@@ -1,0 +1,251 @@
+// Command sjclient is the data-owner CLI for a running sjserver. It
+// manages the client key file, encrypts and uploads CSV tables, and
+// runs SQL join queries whose results are decrypted locally.
+//
+//	sjclient keygen -keys client.key -m 1 -t 10
+//	sjclient upload -keys client.key -addr 127.0.0.1:7788 \
+//	    -table Customers -csv customers.csv -join custkey -attrs selectivity
+//	sjclient join -keys client.key -addr 127.0.0.1:7788 \
+//	    -catalog "Customers:custkey:selectivity;Orders:custkey:selectivity" \
+//	    -query "SELECT * FROM Orders JOIN Customers ON Orders.custkey = Customers.custkey
+//	            WHERE Customers.selectivity = '1/100'"
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/client"
+	"repro/internal/engine"
+	"repro/internal/securejoin"
+	"repro/internal/sql"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "keygen":
+		err = cmdKeygen(os.Args[2:])
+	case "upload":
+		err = cmdUpload(os.Args[2:])
+	case "join":
+		err = cmdJoin(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sjclient:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: sjclient <keygen|upload|join> [flags]
+  keygen  generate a client key file
+  upload  encrypt a CSV table and upload it
+  join    run a SQL join query and decrypt the results`)
+}
+
+func cmdKeygen(args []string) error {
+	fs := flag.NewFlagSet("keygen", flag.ExitOnError)
+	keys := fs.String("keys", "client.key", "key file to create")
+	m := fs.Int("m", 1, "filterable attributes per row")
+	t := fs.Int("t", 10, "maximum IN-clause size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := engine.NewClient(securejoin.Params{M: *m, T: *t}, nil)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(*keys, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := c.ExportKeys(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote key file %s (M=%d, T=%d)\n", *keys, *m, *t)
+	return nil
+}
+
+func loadKeys(path string) (*engine.Client, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return engine.LoadClientKeys(f)
+}
+
+func cmdUpload(args []string) error {
+	fs := flag.NewFlagSet("upload", flag.ExitOnError)
+	keys := fs.String("keys", "client.key", "key file")
+	addr := fs.String("addr", "127.0.0.1:7788", "server address")
+	table := fs.String("table", "", "table name")
+	csvPath := fs.String("csv", "", "CSV file with a header row")
+	joinCol := fs.String("join", "", "name of the join column")
+	attrCols := fs.String("attrs", "", "comma-separated filterable columns (in attribute order)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *table == "" || *csvPath == "" || *joinCol == "" {
+		return fmt.Errorf("upload requires -table, -csv and -join")
+	}
+
+	ek, err := loadKeys(*keys)
+	if err != nil {
+		return err
+	}
+	rows, err := readCSVRows(*csvPath, *joinCol, splitCols(*attrCols))
+	if err != nil {
+		return err
+	}
+	cli, err := client.DialWithKeys(*addr, ek)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	if err := cli.Upload(*table, rows); err != nil {
+		return err
+	}
+	fmt.Printf("uploaded %d encrypted rows as table %s\n", len(rows), *table)
+	return nil
+}
+
+func cmdJoin(args []string) error {
+	fs := flag.NewFlagSet("join", flag.ExitOnError)
+	keys := fs.String("keys", "client.key", "key file")
+	addr := fs.String("addr", "127.0.0.1:7788", "server address")
+	catalogSpec := fs.String("catalog", "", "schemas as Name:joincol:attr1,attr2;Name2:...")
+	query := fs.String("query", "", "SQL query")
+	maxRows := fs.Int("maxrows", 20, "result rows to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *catalogSpec == "" || *query == "" {
+		return fmt.Errorf("join requires -catalog and -query")
+	}
+
+	catalog, err := parseCatalog(*catalogSpec)
+	if err != nil {
+		return err
+	}
+	plan, err := catalog.Compile(*query)
+	if err != nil {
+		return err
+	}
+	ek, err := loadKeys(*keys)
+	if err != nil {
+		return err
+	}
+	cli, err := client.DialWithKeys(*addr, ek)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+
+	results, revealed, err := cli.Join(plan.TableA, plan.TableB, plan.SelA, plan.SelB)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d rows (%d equality pairs observed by server)\n", len(results), revealed)
+	for i, r := range results {
+		if i >= *maxRows {
+			fmt.Printf("... %d more\n", len(results)-*maxRows)
+			break
+		}
+		fmt.Printf("  %s | %s\n", r.PayloadA, r.PayloadB)
+	}
+	return nil
+}
+
+// parseCatalog parses "Name:joincol:attr1,attr2;Name2:joincol2:..."
+func parseCatalog(spec string) (*sql.Catalog, error) {
+	var schemas []sql.TableSchema
+	for _, part := range strings.Split(spec, ";") {
+		fields := strings.Split(part, ":")
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("bad catalog entry %q (want Name:joincol[:attrs])", part)
+		}
+		s := sql.TableSchema{Name: fields[0], JoinColumn: fields[1], Attrs: map[string]int{}}
+		if len(fields) == 3 {
+			for i, a := range splitCols(fields[2]) {
+				s.Attrs[a] = i
+			}
+		}
+		schemas = append(schemas, s)
+	}
+	return sql.NewCatalog(schemas...)
+}
+
+func splitCols(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// readCSVRows loads a CSV with a header and maps it onto engine rows:
+// join column -> JoinValue, attribute columns -> Attrs (in order), and
+// the full record (pipe-joined) as the payload.
+func readCSVRows(path, joinCol string, attrCols []string) ([]engine.PlainRow, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) < 1 {
+		return nil, fmt.Errorf("%s: empty CSV", path)
+	}
+	header := recs[0]
+	colIdx := func(name string) (int, error) {
+		for i, h := range header {
+			if strings.EqualFold(h, name) {
+				return i, nil
+			}
+		}
+		return 0, fmt.Errorf("%s: no column %q (header: %v)", path, name, header)
+	}
+	jIdx, err := colIdx(joinCol)
+	if err != nil {
+		return nil, err
+	}
+	aIdx := make([]int, len(attrCols))
+	for i, a := range attrCols {
+		if aIdx[i], err = colIdx(a); err != nil {
+			return nil, err
+		}
+	}
+
+	rows := make([]engine.PlainRow, 0, len(recs)-1)
+	for _, rec := range recs[1:] {
+		attrs := make([][]byte, len(aIdx))
+		for i, idx := range aIdx {
+			attrs[i] = []byte(rec[idx])
+		}
+		rows = append(rows, engine.PlainRow{
+			JoinValue: []byte(rec[jIdx]),
+			Attrs:     attrs,
+			Payload:   []byte(strings.Join(rec, "|")),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseCatalog(t *testing.T) {
+	cat, err := parseCatalog("Customers:custkey:selectivity,segment;Orders:custkey:selectivity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cat.Schema("customers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.JoinColumn != "custkey" {
+		t.Fatalf("join column = %q", s.JoinColumn)
+	}
+	if s.Attrs["selectivity"] != 0 || s.Attrs["segment"] != 1 {
+		t.Fatalf("attrs = %v", s.Attrs)
+	}
+	// Table without filterable attributes.
+	cat2, err := parseCatalog("T:k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := cat2.Schema("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.Attrs) != 0 {
+		t.Fatalf("attrs = %v", s2.Attrs)
+	}
+}
+
+func TestParseCatalogErrors(t *testing.T) {
+	for _, spec := range []string{"", "OnlyName", "A:b:c:d", "T:k;T:k"} {
+		if _, err := parseCatalog(spec); err == nil {
+			t.Errorf("accepted bad catalog spec %q", spec)
+		}
+	}
+}
+
+func TestSplitCols(t *testing.T) {
+	if got := splitCols(""); got != nil {
+		t.Fatalf("splitCols(\"\") = %v", got)
+	}
+	got := splitCols("a, b ,c")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("splitCols = %v", got)
+	}
+}
+
+func TestReadCSVRows(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	content := "id,color,size\n1,red,L\n2,blue,S\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := readCSVRows(path, "id", []string{"color", "size"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if string(rows[0].JoinValue) != "1" {
+		t.Fatalf("join value = %q", rows[0].JoinValue)
+	}
+	if string(rows[0].Attrs[0]) != "red" || string(rows[0].Attrs[1]) != "L" {
+		t.Fatalf("attrs = %q", rows[0].Attrs)
+	}
+	if string(rows[1].Payload) != "2|blue|S" {
+		t.Fatalf("payload = %q", rows[1].Payload)
+	}
+
+	// Header names are matched case-insensitively.
+	if _, err := readCSVRows(path, "ID", []string{"COLOR"}); err != nil {
+		t.Fatal(err)
+	}
+	// Missing columns are rejected.
+	if _, err := readCSVRows(path, "nope", nil); err == nil {
+		t.Fatal("missing join column accepted")
+	}
+	if _, err := readCSVRows(path, "id", []string{"nope"}); err == nil {
+		t.Fatal("missing attribute column accepted")
+	}
+	if _, err := readCSVRows(filepath.Join(dir, "absent.csv"), "id", nil); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,38 @@
+// Command sjserver runs the encrypted-DBMS provider: a TCP server that
+// stores uploaded ciphertext tables in memory and executes Secure Join
+// queries against them. It holds no key material.
+//
+//	sjserver -listen 127.0.0.1:7788
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7788", "address to listen on")
+	quiet := flag.Bool("quiet", false, "disable request logging")
+	flag.Parse()
+
+	var logger *log.Logger
+	if !*quiet {
+		logger = log.New(os.Stderr, "[sjserver] ", log.LstdFlags)
+	}
+	srv := newServer(logger)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sjserver:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("sjserver listening on %s\n", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("shutting down")
+	srv.Close()
+}

@@ -1,0 +1,13 @@
+package main
+
+import (
+	"log"
+
+	"repro/internal/server"
+)
+
+// newServer wraps the internal server package; kept in its own file so
+// the binary's wiring stays separate from flag handling.
+func newServer(logger *log.Logger) *server.Server {
+	return server.New(logger)
+}

@@ -1,0 +1,134 @@
+// Command sjsql is an interactive encrypted-SQL shell over the
+// synthetic TPC-H dataset: it generates Customers and Orders at a small
+// scale factor, encrypts and "uploads" them to an in-process server,
+// and then executes the supported SQL dialect read from stdin (or from
+// -query) over the ciphertexts.
+//
+//	echo "SELECT * FROM Orders JOIN Customers ON Orders.custkey = Customers.custkey \
+//	      WHERE Customers.selectivity = '1/100' AND Orders.selectivity = '1/100'" | sjsql -scale 0.0002
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/securejoin"
+	"repro/internal/sql"
+	"repro/internal/tpch"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.0002, "TPC-H scale factor")
+	seed := flag.Int64("seed", 42, "generator seed")
+	query := flag.String("query", "", "single query to execute (default: read stdin)")
+	maxRows := flag.Int("maxrows", 10, "result rows to print per query")
+	flag.Parse()
+
+	if err := run(*scale, *seed, *query, *maxRows); err != nil {
+		fmt.Fprintln(os.Stderr, "sjsql:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale float64, seed int64, query string, maxRows int) error {
+	client, err := engine.NewClient(securejoin.Params{M: 1, T: 10}, nil)
+	if err != nil {
+		return err
+	}
+	server := engine.NewServer()
+	catalog, err := sql.NewCatalog(
+		sql.TableSchema{Name: "Customers", JoinColumn: "custkey", Attrs: map[string]int{"selectivity": 0}},
+		sql.TableSchema{Name: "Orders", JoinColumn: "custkey", Attrs: map[string]int{"selectivity": 0}},
+	)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "generating and encrypting TPC-H data at scale %g...\n", scale)
+	ds := tpch.Generate(scale, seed)
+	customers := make([]engine.PlainRow, len(ds.Customers))
+	for i, c := range ds.Customers {
+		customers[i] = engine.PlainRow{
+			JoinValue: tpch.CustomerJoinValue(c),
+			Attrs:     [][]byte{[]byte(c.Selectivity)},
+			Payload:   []byte(fmt.Sprintf("%s (%s)", c.Name, c.MktSegment)),
+		}
+	}
+	orders := make([]engine.PlainRow, len(ds.Orders))
+	for i, o := range ds.Orders {
+		orders[i] = engine.PlainRow{
+			JoinValue: tpch.OrderJoinValue(o),
+			Attrs:     [][]byte{[]byte(o.Selectivity)},
+			Payload:   []byte(fmt.Sprintf("order %d ($%.2f, %s)", o.OrderKey, o.TotalPrice, o.OrderDate)),
+		}
+	}
+	start := time.Now()
+	encC, err := client.EncryptTable("Customers", customers)
+	if err != nil {
+		return err
+	}
+	encO, err := client.EncryptTable("Orders", orders)
+	if err != nil {
+		return err
+	}
+	server.Upload(encC)
+	server.Upload(encO)
+	fmt.Fprintf(os.Stderr, "uploaded %d customers + %d orders in %v\n",
+		len(customers), len(orders), time.Since(start).Round(time.Millisecond))
+
+	exec := func(stmt string) error {
+		plan, err := catalog.Compile(stmt)
+		if err != nil {
+			return err
+		}
+		q, err := client.NewQuery(plan.SelA, plan.SelB)
+		if err != nil {
+			return err
+		}
+		qStart := time.Now()
+		rows, trace, err := server.ExecuteJoin(plan.TableA, plan.TableB, q)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d rows in %v (%d equality pairs observed)\n",
+			len(rows), time.Since(qStart).Round(time.Millisecond), trace.Pairs.Len())
+		for i, r := range rows {
+			if i >= maxRows {
+				fmt.Printf("... %d more\n", len(rows)-maxRows)
+				break
+			}
+			pa, err := client.OpenPayload(r.PayloadA)
+			if err != nil {
+				return err
+			}
+			pb, err := client.OpenPayload(r.PayloadB)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %s | %s\n", pa, pb)
+		}
+		return nil
+	}
+
+	if query != "" {
+		return exec(query)
+	}
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Fprintln(os.Stderr, "enter queries, one per line (join column: custkey; filterable: selectivity)")
+	for scanner.Scan() {
+		stmt := strings.TrimSpace(scanner.Text())
+		if stmt == "" {
+			continue
+		}
+		if err := exec(stmt); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
+	return scanner.Err()
+}

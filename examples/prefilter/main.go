@@ -1,0 +1,57 @@
+// Pre-filter and parallelization example: quantifies the two optional
+// server-side optimizations on one workload.
+//
+//  1. The SSE pre-filter of Section 4.3: resolving the selection
+//     predicates through a searchable index first means SJ.Dec runs over
+//     selectivity*n candidate rows instead of n — at the cost of also
+//     revealing which rows match each individual attribute predicate.
+//  2. Parallel decryption (Section 6.5): per-row SJ.Dec calls are
+//     independent and spread across cores.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"repro/internal/bench"
+	"repro/internal/tpch"
+)
+
+func main() {
+	fmt.Println("building encrypted TPC-H workload (scale 0.001: 150 customers, 1500 orders)...")
+	w, err := bench.BuildWorkload(0.001, 1, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sel := bench.Selection(tpch.Sel25, 1)
+
+	full, err := w.RunServerJoinFullScan(sel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full scan        : %8.2fs  (%d matches) — leakage-optimal, SJ.Dec on every row\n",
+		full.ServerTime.Seconds(), full.Matches)
+
+	pre, err := w.RunServerJoin(sel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SSE pre-filter   : %8.2fs  (%d matches) — SJ.Dec only on selection-matching rows\n",
+		pre.ServerTime.Seconds(), pre.Matches)
+
+	par, err := w.RunServerJoinParallel(sel, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pre-filter + %2d cores: %5.2fs (%d matches)\n",
+		runtime.GOMAXPROCS(0), par.ServerTime.Seconds(), par.Matches)
+
+	if pre.Matches != full.Matches || par.Matches != full.Matches {
+		log.Fatalf("optimized paths changed the result: %d/%d/%d",
+			full.Matches, pre.Matches, par.Matches)
+	}
+	fmt.Println("\nall three paths returned identical join results")
+	fmt.Println("(the pre-filter trades SSE access-pattern leakage for the speedup;")
+	fmt.Println(" see internal/engine/prefilter.go for the exact statement)")
+}

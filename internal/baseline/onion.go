@@ -1,0 +1,115 @@
+package baseline
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// OnionScheme is the CryptDB-style onion baseline: a deterministic join
+// tag (inner layer) wrapped in probabilistic AES-GCM (outer layer). The
+// server stores only the outer ciphertexts, which reveal nothing. To
+// execute the first join over a column pair the client hands the server
+// the outer-layer key; the server strips the onion from the whole column
+// and from then on holds bare deterministic tags — all equal pairs of
+// both columns become visible at t1 and stay visible (the Section 2.1
+// timeline).
+type OnionScheme struct {
+	det      *DetScheme
+	outerKey []byte
+}
+
+// NewOnionScheme samples fresh inner and outer keys.
+func NewOnionScheme(rng io.Reader) (*OnionScheme, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	det, err := NewDetScheme(rng)
+	if err != nil {
+		return nil, err
+	}
+	outer := make([]byte, 32)
+	if _, err := io.ReadFull(rng, outer); err != nil {
+		return nil, fmt.Errorf("baseline: sampling onion key: %w", err)
+	}
+	return &OnionScheme{det: det, outerKey: outer}, nil
+}
+
+// OnionCiphertext is one wrapped join value as stored on the server.
+type OnionCiphertext []byte
+
+// Encrypt wraps the deterministic tag of joinValue in the probabilistic
+// outer layer.
+func (s *OnionScheme) Encrypt(joinValue []byte) (OnionCiphertext, error) {
+	tag := s.det.Encrypt(joinValue)
+	return sealGCM(s.outerKey, tag)
+}
+
+// EncryptColumn wraps a whole join column.
+func (s *OnionScheme) EncryptColumn(values [][]byte) ([]OnionCiphertext, error) {
+	out := make([]OnionCiphertext, len(values))
+	for i, v := range values {
+		ct, err := s.Encrypt(v)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ct
+	}
+	return out, nil
+}
+
+// OuterKey returns the outer-layer key the client surrenders to enable
+// joins. Handing this to the server is the onion "peel" step.
+func (s *OnionScheme) OuterKey() []byte { return s.outerKey }
+
+// Strip removes the outer layer of a whole column server-side using the
+// surrendered key, yielding bare deterministic tags.
+func Strip(outerKey []byte, column []OnionCiphertext) ([]DetTag, error) {
+	out := make([]DetTag, len(column))
+	for i, ct := range column {
+		pt, err := openGCM(outerKey, ct)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: stripping onion row %d: %w", i, err)
+		}
+		out[i] = pt
+	}
+	return out, nil
+}
+
+// sealGCM encrypts pt under key with a random nonce; the nonce is
+// prepended to the ciphertext.
+func sealGCM(key, pt []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, err
+	}
+	return gcm.Seal(nonce, nonce, pt, nil), nil
+}
+
+// openGCM reverses sealGCM.
+func openGCM(key, ct []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	if len(ct) < gcm.NonceSize() {
+		return nil, errors.New("baseline: ciphertext shorter than nonce")
+	}
+	nonce, body := ct[:gcm.NonceSize()], ct[gcm.NonceSize():]
+	return gcm.Open(nil, nonce, body, nil)
+}

@@ -1,0 +1,362 @@
+// Package bench is the shared harness behind cmd/sjbench and the
+// repository's testing.B benchmarks. It builds the paper's workloads
+// (TPC-H Orders x Customers with the selectivity column), runs the
+// client- and server-side phases of Secure Join separately, and returns
+// the series that Figures 2, 3 and 4 and the Section 6.5 comparison
+// plot/report.
+//
+// Absolute numbers differ from the paper (pure-Go big-integer pairing vs
+// the authors' optimized C library), so EXPERIMENTS.md compares shapes:
+// which operation dominates, linearity in table size and IN-clause size,
+// slope ordering across selectivities, and hash-join vs nested-loop
+// scaling.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/securejoin"
+	"repro/internal/sse"
+	"repro/internal/tpch"
+)
+
+// CryptoBenchResult is one row of Figure 2: per-row token generation,
+// encryption and decryption latency for a given IN-clause size.
+type CryptoBenchResult struct {
+	INClauseSize int
+	TokenGen     time.Duration
+	Encrypt      time.Duration
+	Decrypt      time.Duration
+}
+
+// MeasureCryptoOps reproduces Figure 2 for one IN-clause size t: the
+// average latencies of SJ.TokenGen, SJ.Enc and SJ.Dec for a single
+// Customers row, averaged over reps repetitions.
+func MeasureCryptoOps(t, reps int) (CryptoBenchResult, error) {
+	scheme, err := securejoin.Setup(securejoin.Params{M: 1, T: t}, nil)
+	if err != nil {
+		return CryptoBenchResult{}, err
+	}
+	ds := tpch.Generate(0.0001, 1)
+	c := ds.Customers[0]
+	row := securejoin.Row{
+		JoinValue: tpch.CustomerJoinValue(c),
+		Attrs:     [][]byte{[]byte(c.Selectivity)},
+	}
+	inValues := make([][]byte, t)
+	for i := range inValues {
+		inValues[i] = []byte(fmt.Sprintf("sel-value-%d", i))
+	}
+	sel := securejoin.Selection{0: inValues}
+
+	res := CryptoBenchResult{INClauseSize: t}
+
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		q, err := scheme.NewQuery(sel, sel)
+		if err != nil {
+			return res, err
+		}
+		// NewQuery issues two tokens; charge one.
+		res.TokenGen += time.Since(start) / 2
+
+		start = time.Now()
+		ct, err := scheme.Encrypt(row)
+		if err != nil {
+			return res, err
+		}
+		res.Encrypt += time.Since(start)
+
+		start = time.Now()
+		if _, err := securejoin.Decrypt(q.TokenA, ct); err != nil {
+			return res, err
+		}
+		res.Decrypt += time.Since(start)
+	}
+	res.TokenGen /= time.Duration(reps)
+	res.Encrypt /= time.Duration(reps)
+	res.Decrypt /= time.Duration(reps)
+	return res, nil
+}
+
+// Workload is an encrypted TPC-H Orders x Customers instance ready for
+// server-side measurements. Alongside the Secure Join ciphertexts it
+// carries the SSE pre-filter indexes of Section 4.3: the paper's
+// Figures 3 and 4 report runtimes proportional to selectivity * n,
+// which implies SJ.Dec runs only over the selection-matching rows —
+// exactly what the pre-filter provides. RunServerJoin reproduces that
+// setup; RunServerJoinFullScan is the leakage-optimal full-table scan.
+type Workload struct {
+	Scheme    *securejoin.Scheme
+	Dataset   *tpch.Dataset
+	Customers []*securejoin.RowCiphertext
+	Orders    []*securejoin.RowCiphertext
+
+	sseClient *sse.Client
+	idxC      *sse.Index
+	idxO      *sse.Index
+}
+
+// BuildWorkload generates and encrypts a TPC-H instance at the given
+// scale factor with IN-clause bound t. The single filterable attribute
+// is the selectivity column, as in Section 6.1.
+func BuildWorkload(scaleFactor float64, t int, seed int64) (*Workload, error) {
+	scheme, err := securejoin.Setup(securejoin.Params{M: 1, T: t}, nil)
+	if err != nil {
+		return nil, err
+	}
+	ds := tpch.Generate(scaleFactor, seed)
+
+	customers := make([]securejoin.Row, len(ds.Customers))
+	attrsC := make([][][]byte, len(ds.Customers))
+	for i, c := range ds.Customers {
+		customers[i] = securejoin.Row{
+			JoinValue: tpch.CustomerJoinValue(c),
+			Attrs:     [][]byte{[]byte(c.Selectivity)},
+		}
+		attrsC[i] = customers[i].Attrs
+	}
+	orders := make([]securejoin.Row, len(ds.Orders))
+	attrsO := make([][][]byte, len(ds.Orders))
+	for i, o := range ds.Orders {
+		orders[i] = securejoin.Row{
+			JoinValue: tpch.OrderJoinValue(o),
+			Attrs:     [][]byte{[]byte(o.Selectivity)},
+		}
+		attrsO[i] = orders[i].Attrs
+	}
+
+	ctC, err := scheme.EncryptTable(customers)
+	if err != nil {
+		return nil, err
+	}
+	ctO, err := scheme.EncryptTable(orders)
+	if err != nil {
+		return nil, err
+	}
+
+	sseClient, err := sse.NewClient(nil)
+	if err != nil {
+		return nil, err
+	}
+	idxC, err := sseClient.BuildIndex(attrsC)
+	if err != nil {
+		return nil, err
+	}
+	idxO, err := sseClient.BuildIndex(attrsO)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{
+		Scheme: scheme, Dataset: ds,
+		Customers: ctC, Orders: ctO,
+		sseClient: sseClient, idxC: idxC, idxO: idxO,
+	}, nil
+}
+
+// prefilter resolves the candidate rows of one table for a selection.
+func (w *Workload) prefilter(idx *sse.Index, sel securejoin.Selection) ([]int, error) {
+	toks := make([]sse.SearchToken, 0, len(sel[0]))
+	for _, v := range sel[0] {
+		toks = append(toks, w.sseClient.Tokenize(0, v))
+	}
+	return idx.SearchUnion(toks)
+}
+
+func subset(cts []*securejoin.RowCiphertext, rows []int) []*securejoin.RowCiphertext {
+	out := make([]*securejoin.RowCiphertext, len(rows))
+	for i, r := range rows {
+		out[i] = cts[r]
+	}
+	return out
+}
+
+// Selection returns the benchmark selection predicate for one
+// selectivity label, padded with synthetic values to IN-clause size
+// inSize (Figure 4 grows the IN clause while keeping the matching row
+// set fixed to one selectivity class).
+func Selection(label string, inSize int) securejoin.Selection {
+	values := make([][]byte, 0, inSize)
+	values = append(values, []byte(label))
+	for len(values) < inSize {
+		values = append(values, []byte(fmt.Sprintf("filler-%d", len(values))))
+	}
+	return securejoin.Selection{0: values}
+}
+
+// JoinResult is one server-side join measurement.
+type JoinResult struct {
+	ServerTime time.Duration
+	Matches    int
+}
+
+// RunServerJoin measures the server-side cost of one query in the
+// paper's evaluation setup: pre-filter both tables to the
+// selection-matching rows, run SJ.Dec over the candidates and SJ.Match
+// as a hash join. Token generation (client side) is excluded. This is
+// the configuration whose runtime grows as selectivity * n, matching
+// the slope ordering of Figures 3 and 4.
+func (w *Workload) RunServerJoin(sel securejoin.Selection) (JoinResult, error) {
+	q, err := w.Scheme.NewQuery(sel, sel)
+	if err != nil {
+		return JoinResult{}, err
+	}
+	start := time.Now()
+	candC, err := w.prefilter(w.idxC, sel)
+	if err != nil {
+		return JoinResult{}, err
+	}
+	candO, err := w.prefilter(w.idxO, sel)
+	if err != nil {
+		return JoinResult{}, err
+	}
+	dc, err := securejoin.DecryptTable(q.TokenA, subset(w.Customers, candC))
+	if err != nil {
+		return JoinResult{}, err
+	}
+	do, err := securejoin.DecryptTable(q.TokenB, subset(w.Orders, candO))
+	if err != nil {
+		return JoinResult{}, err
+	}
+	pairs := securejoin.HashJoin(dc, do)
+	return JoinResult{ServerTime: time.Since(start), Matches: len(pairs)}, nil
+}
+
+// RunServerJoinParallel is RunServerJoin with SJ.Dec spread over the
+// given number of workers — the multi-core deployment Section 6.5 notes
+// the scheme supports trivially (0 = GOMAXPROCS).
+func (w *Workload) RunServerJoinParallel(sel securejoin.Selection, workers int) (JoinResult, error) {
+	q, err := w.Scheme.NewQuery(sel, sel)
+	if err != nil {
+		return JoinResult{}, err
+	}
+	start := time.Now()
+	candC, err := w.prefilter(w.idxC, sel)
+	if err != nil {
+		return JoinResult{}, err
+	}
+	candO, err := w.prefilter(w.idxO, sel)
+	if err != nil {
+		return JoinResult{}, err
+	}
+	dc, err := securejoin.DecryptTableParallel(q.TokenA, subset(w.Customers, candC), workers)
+	if err != nil {
+		return JoinResult{}, err
+	}
+	do, err := securejoin.DecryptTableParallel(q.TokenB, subset(w.Orders, candO), workers)
+	if err != nil {
+		return JoinResult{}, err
+	}
+	pairs := securejoin.HashJoin(dc, do)
+	return JoinResult{ServerTime: time.Since(start), Matches: len(pairs)}, nil
+}
+
+// RunServerJoinFullScan measures the leakage-optimal configuration
+// without the SSE pre-filter: SJ.Dec over every row of both tables.
+// Its runtime is independent of selectivity — the ablation that shows
+// what the pre-filter buys.
+func (w *Workload) RunServerJoinFullScan(sel securejoin.Selection) (JoinResult, error) {
+	q, err := w.Scheme.NewQuery(sel, sel)
+	if err != nil {
+		return JoinResult{}, err
+	}
+	start := time.Now()
+	dc, err := securejoin.DecryptTable(q.TokenA, w.Customers)
+	if err != nil {
+		return JoinResult{}, err
+	}
+	do, err := securejoin.DecryptTable(q.TokenB, w.Orders)
+	if err != nil {
+		return JoinResult{}, err
+	}
+	pairs := securejoin.HashJoin(dc, do)
+	return JoinResult{ServerTime: time.Since(start), Matches: len(pairs)}, nil
+}
+
+// RunServerJoinNestedLoop is the ablation variant using the O(n^2)
+// nested-loop SJ.Match over the same pre-filtered candidates.
+func (w *Workload) RunServerJoinNestedLoop(sel securejoin.Selection) (JoinResult, error) {
+	q, err := w.Scheme.NewQuery(sel, sel)
+	if err != nil {
+		return JoinResult{}, err
+	}
+	start := time.Now()
+	candC, err := w.prefilter(w.idxC, sel)
+	if err != nil {
+		return JoinResult{}, err
+	}
+	candO, err := w.prefilter(w.idxO, sel)
+	if err != nil {
+		return JoinResult{}, err
+	}
+	dc, err := securejoin.DecryptTable(q.TokenA, subset(w.Customers, candC))
+	if err != nil {
+		return JoinResult{}, err
+	}
+	do, err := securejoin.DecryptTable(q.TokenB, subset(w.Orders, candO))
+	if err != nil {
+		return JoinResult{}, err
+	}
+	pairs := securejoin.NestedLoopJoin(dc, do)
+	return JoinResult{ServerTime: time.Since(start), Matches: len(pairs)}, nil
+}
+
+// HahnWorkload is the comparison workload for the Hahn et al. baseline.
+type HahnWorkload struct {
+	Scheme    *baseline.HahnScheme
+	Dataset   *tpch.Dataset
+	Customers *baseline.ServerState
+	Orders    *baseline.ServerState
+}
+
+// BuildHahnWorkload encrypts the same TPC-H instance under the Hahn
+// et al. baseline.
+func BuildHahnWorkload(scaleFactor float64, seed int64) (*HahnWorkload, error) {
+	scheme, err := baseline.NewHahnScheme(nil)
+	if err != nil {
+		return nil, err
+	}
+	ds := tpch.Generate(scaleFactor, seed)
+
+	joinC := make([][]byte, len(ds.Customers))
+	attrC := make([][]byte, len(ds.Customers))
+	for i, c := range ds.Customers {
+		joinC[i] = tpch.CustomerJoinValue(c)
+		attrC[i] = []byte(c.Selectivity)
+	}
+	rowsC, err := scheme.EncryptTable(joinC, attrC)
+	if err != nil {
+		return nil, err
+	}
+
+	joinO := make([][]byte, len(ds.Orders))
+	attrO := make([][]byte, len(ds.Orders))
+	for i, o := range ds.Orders {
+		joinO[i] = tpch.OrderJoinValue(o)
+		attrO[i] = []byte(o.Selectivity)
+	}
+	rowsO, err := scheme.EncryptTable(joinO, attrO)
+	if err != nil {
+		return nil, err
+	}
+
+	return &HahnWorkload{
+		Scheme:    scheme,
+		Dataset:   ds,
+		Customers: baseline.NewServerState(rowsC),
+		Orders:    baseline.NewServerState(rowsO),
+	}, nil
+}
+
+// RunServerJoin measures the Hahn baseline's server cost: unwrap all
+// selection-matching rows, then nested-loop join the unwrapped tags.
+func (w *HahnWorkload) RunServerJoin(label string) JoinResult {
+	tok := w.Scheme.Token([][]byte{[]byte(label)})
+	start := time.Now()
+	w.Customers.Unwrap(tok)
+	w.Orders.Unwrap(tok)
+	pairs := baseline.NestedLoopJoin(w.Customers, w.Orders)
+	return JoinResult{ServerTime: time.Since(start), Matches: len(pairs)}
+}

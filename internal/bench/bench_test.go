@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/tpch"
+)
+
+func TestMeasureCryptoOps(t *testing.T) {
+	r, err := MeasureCryptoOps(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.INClauseSize != 2 {
+		t.Fatalf("IN clause size = %d", r.INClauseSize)
+	}
+	if r.TokenGen <= 0 || r.Encrypt <= 0 || r.Decrypt <= 0 {
+		t.Fatalf("non-positive timings: %+v", r)
+	}
+	// The paper's Figure 2 ordering: decryption dominates encryption.
+	if r.Decrypt < r.Encrypt {
+		t.Errorf("expected Decrypt >= Encrypt, got %v < %v", r.Decrypt, r.Encrypt)
+	}
+}
+
+func TestWorkloadJoinCounts(t *testing.T) {
+	w, err := BuildWorkload(0.0001, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Secure Join and the Hahn baseline must agree on the number of
+	// matches for the same selection (both compute the same plaintext
+	// join).
+	res, err := w.RunServerJoin(Selection(tpch.Sel12_5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := BuildHahnWorkload(0.0001, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hres := hw.RunServerJoin(tpch.Sel12_5)
+	if res.Matches != hres.Matches {
+		t.Fatalf("secure join found %d matches, Hahn %d", res.Matches, hres.Matches)
+	}
+
+	// Nested-loop ablation agrees with the hash join.
+	nl, err := w.RunServerJoinNestedLoop(Selection(tpch.Sel12_5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Matches != res.Matches {
+		t.Fatalf("nested loop found %d matches, hash join %d", nl.Matches, res.Matches)
+	}
+}
+
+func TestSelectionPadding(t *testing.T) {
+	sel := Selection(tpch.Sel100, 5)
+	values := sel[0]
+	if len(values) != 5 {
+		t.Fatalf("IN clause size = %d, want 5", len(values))
+	}
+	if string(values[0]) != tpch.Sel100 {
+		t.Fatalf("first value = %q", values[0])
+	}
+	// Padding values must be distinct from each other and the label.
+	seen := map[string]bool{}
+	for _, v := range values {
+		if seen[string(v)] {
+			t.Fatalf("duplicate IN value %q", v)
+		}
+		seen[string(v)] = true
+	}
+}

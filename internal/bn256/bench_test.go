@@ -1,0 +1,123 @@
+package bn256
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// Montgomery-limb field vs a big.Int field, batched multi-pairing vs
+// naive per-pair pairing, and the cost split between the Miller loop
+// and the final exponentiation.
+
+func BenchmarkGFpMul(b *testing.B) {
+	x, _ := rand.Int(rand.Reader, P)
+	y, _ := rand.Int(rand.Reader, P)
+	fx, fy := gfPFromBig(x), gfPFromBig(y)
+	var out gfP
+	b.Run("montgomery", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out.Mul(fx, fy)
+		}
+	})
+	b.Run("bigint", func(b *testing.B) {
+		z := new(big.Int)
+		for i := 0; i < b.N; i++ {
+			z.Mul(x, y)
+			z.Mod(z, P)
+		}
+	})
+}
+
+func BenchmarkGFpInvert(b *testing.B) {
+	x, _ := rand.Int(rand.Reader, P)
+	fx := gfPFromBig(x)
+	var out gfP
+	for i := 0; i < b.N; i++ {
+		out.Invert(fx)
+	}
+}
+
+func BenchmarkG1ScalarBaseMult(b *testing.B) {
+	k, _ := rand.Int(rand.Reader, Order)
+	var e G1
+	for i := 0; i < b.N; i++ {
+		e.ScalarBaseMult(k)
+	}
+}
+
+func BenchmarkG2ScalarBaseMult(b *testing.B) {
+	k, _ := rand.Int(rand.Reader, Order)
+	var e G2
+	for i := 0; i < b.N; i++ {
+		e.ScalarBaseMult(k)
+	}
+}
+
+func BenchmarkPairing(b *testing.B) {
+	_, p, _ := RandomG1(rand.Reader)
+	_, q, _ := RandomG2(rand.Reader)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Pair(p, q)
+	}
+}
+
+func BenchmarkMillerLoopOnly(b *testing.B) {
+	_, p, _ := RandomG1(rand.Reader)
+	_, q, _ := RandomG2(rand.Reader)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slots := []*pairSlot{newPairSlot(&p.p, &q.p)}
+		millerBatch(slots)
+	}
+}
+
+func BenchmarkFinalExponentiationOnly(b *testing.B) {
+	_, p, _ := RandomG1(rand.Reader)
+	_, q, _ := RandomG2(rand.Reader)
+	slots := []*pairSlot{newPairSlot(&p.p, &q.p)}
+	f := millerBatch(slots)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		finalExponentiation(&f)
+	}
+}
+
+// BenchmarkPairBatchedVsNaive quantifies the multi-pairing saving: SJ
+// decryption pairs d = m(t+1)+3 elements; the batched Miller loop
+// shares the squaring chain and pays one final exponentiation instead
+// of d.
+func BenchmarkPairBatchedVsNaive(b *testing.B) {
+	const d = 5 // m=1, t=1
+	ps := make([]*G1, d)
+	qs := make([]*G2, d)
+	for i := range ps {
+		_, ps[i], _ = RandomG1(rand.Reader)
+		_, qs[i], _ = RandomG2(rand.Reader)
+	}
+	b.Run("batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			PairBatch(ps, qs)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			acc := new(GT).SetOne()
+			for j := 0; j < d; j++ {
+				acc.Mul(acc, Pair(ps[j], qs[j]))
+			}
+		}
+	})
+}
+
+func BenchmarkGTMarshal(b *testing.B) {
+	_, p, _ := RandomG1(rand.Reader)
+	_, q, _ := RandomG2(rand.Reader)
+	e := Pair(p, q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Marshal()
+	}
+}

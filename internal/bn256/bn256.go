@@ -1,0 +1,366 @@
+package bn256
+
+import (
+	"crypto/rand"
+	"errors"
+	"io"
+	"math/big"
+)
+
+// G1 is an element of the order-r group of points on E(Fp). The zero
+// value is not valid; use new(G1).Set... or the package functions.
+type G1 struct {
+	p curvePoint
+}
+
+// G2 is an element of the order-r subgroup of the twist E'(Fp2).
+type G2 struct {
+	p twistPoint
+}
+
+// GT is an element of the order-r subgroup of Fp12*.
+type GT struct {
+	p gfP12
+}
+
+// RandomG1 returns k and g1^k where k is uniform in [1, Order-1].
+func RandomG1(r io.Reader) (*big.Int, *G1, error) {
+	k, err := randomK(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return k, new(G1).ScalarBaseMult(k), nil
+}
+
+// RandomG2 returns k and g2^k where k is uniform in [1, Order-1].
+func RandomG2(r io.Reader) (*big.Int, *G2, error) {
+	k, err := randomK(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return k, new(G2).ScalarBaseMult(k), nil
+}
+
+func randomK(r io.Reader) (*big.Int, error) {
+	if r == nil {
+		r = rand.Reader
+	}
+	for {
+		k, err := rand.Int(r, Order)
+		if err != nil {
+			return nil, err
+		}
+		if k.Sign() > 0 {
+			return k, nil
+		}
+	}
+}
+
+// ScalarBaseMult sets e = g1^k where g1 is the generator (1, 2).
+func (e *G1) ScalarBaseMult(k *big.Int) *G1 {
+	e.p.Mul(&curveGen, norm(k))
+	return e
+}
+
+// ScalarMult sets e = a^k.
+func (e *G1) ScalarMult(a *G1, k *big.Int) *G1 {
+	e.p.Mul(&a.p, norm(k))
+	return e
+}
+
+// Add sets e = a + b (group operation written additively).
+func (e *G1) Add(a, b *G1) *G1 {
+	e.p.Add(&a.p, &b.p)
+	return e
+}
+
+// Neg sets e = -a.
+func (e *G1) Neg(a *G1) *G1 {
+	e.p.Neg(&a.p)
+	return e
+}
+
+// Set sets e = a.
+func (e *G1) Set(a *G1) *G1 {
+	e.p.Set(&a.p)
+	return e
+}
+
+// SetInfinity sets e to the group identity.
+func (e *G1) SetInfinity() *G1 {
+	e.p.SetInfinity()
+	return e
+}
+
+// IsInfinity reports whether e is the group identity.
+func (e *G1) IsInfinity() bool {
+	return e.p.IsInfinity()
+}
+
+// Equal reports whether e == a.
+func (e *G1) Equal(a *G1) bool {
+	return e.p.Equal(&a.p)
+}
+
+// Marshal encodes e as 64 bytes: the affine x and y coordinates, big
+// endian. The identity encodes as all zeros.
+func (e *G1) Marshal() []byte {
+	out := make([]byte, 64)
+	if e.p.IsInfinity() {
+		return out
+	}
+	var a curvePoint
+	a.Set(&e.p)
+	a.MakeAffine()
+	a.x.Marshal(out[:32])
+	a.y.Marshal(out[32:])
+	return out
+}
+
+// Unmarshal decodes a point produced by Marshal, verifying that it lies
+// on the curve.
+func (e *G1) Unmarshal(data []byte) error {
+	if len(data) != 64 {
+		return errors.New("bn256: invalid G1 encoding length")
+	}
+	if allZero(data) {
+		e.p.SetInfinity()
+		return nil
+	}
+	var a curvePoint
+	if err := a.x.Unmarshal(data[:32]); err != nil {
+		return err
+	}
+	if err := a.y.Unmarshal(data[32:]); err != nil {
+		return err
+	}
+	a.z.SetOne()
+	if !a.isOnCurve() {
+		return errors.New("bn256: malformed G1 point")
+	}
+	e.p.Set(&a)
+	return nil
+}
+
+// ScalarBaseMult sets e = g2^k where g2 is the fixed twist generator.
+func (e *G2) ScalarBaseMult(k *big.Int) *G2 {
+	e.p.Mul(&twistGen, norm(k))
+	return e
+}
+
+// ScalarMult sets e = a^k.
+func (e *G2) ScalarMult(a *G2, k *big.Int) *G2 {
+	e.p.Mul(&a.p, norm(k))
+	return e
+}
+
+// Add sets e = a + b.
+func (e *G2) Add(a, b *G2) *G2 {
+	e.p.Add(&a.p, &b.p)
+	return e
+}
+
+// Neg sets e = -a.
+func (e *G2) Neg(a *G2) *G2 {
+	e.p.Neg(&a.p)
+	return e
+}
+
+// Set sets e = a.
+func (e *G2) Set(a *G2) *G2 {
+	e.p.Set(&a.p)
+	return e
+}
+
+// SetInfinity sets e to the group identity.
+func (e *G2) SetInfinity() *G2 {
+	e.p.SetInfinity()
+	return e
+}
+
+// IsInfinity reports whether e is the group identity.
+func (e *G2) IsInfinity() bool {
+	return e.p.IsInfinity()
+}
+
+// Equal reports whether e == a.
+func (e *G2) Equal(a *G2) bool {
+	return e.p.Equal(&a.p)
+}
+
+// Marshal encodes e as 128 bytes: x.a0 || x.a1 || y.a0 || y.a1, big
+// endian. The identity encodes as all zeros.
+func (e *G2) Marshal() []byte {
+	out := make([]byte, 128)
+	if e.p.IsInfinity() {
+		return out
+	}
+	var a twistPoint
+	a.Set(&e.p)
+	a.MakeAffine()
+	a.x.a0.Marshal(out[0:32])
+	a.x.a1.Marshal(out[32:64])
+	a.y.a0.Marshal(out[64:96])
+	a.y.a1.Marshal(out[96:128])
+	return out
+}
+
+// Unmarshal decodes a point produced by Marshal, verifying both the twist
+// equation and membership in the order-r subgroup.
+func (e *G2) Unmarshal(data []byte) error {
+	if len(data) != 128 {
+		return errors.New("bn256: invalid G2 encoding length")
+	}
+	if allZero(data) {
+		e.p.SetInfinity()
+		return nil
+	}
+	var a twistPoint
+	if err := a.x.a0.Unmarshal(data[0:32]); err != nil {
+		return err
+	}
+	if err := a.x.a1.Unmarshal(data[32:64]); err != nil {
+		return err
+	}
+	if err := a.y.a0.Unmarshal(data[64:96]); err != nil {
+		return err
+	}
+	if err := a.y.a1.Unmarshal(data[96:128]); err != nil {
+		return err
+	}
+	a.z.SetOne()
+	if !a.isOnTwist() {
+		return errors.New("bn256: malformed G2 point")
+	}
+	var check twistPoint
+	check.Mul(&a, Order)
+	if !check.IsInfinity() {
+		return errors.New("bn256: G2 point not in the order-r subgroup")
+	}
+	e.p.Set(&a)
+	return nil
+}
+
+// Pair computes the reduced Tate pairing e(p, q).
+func Pair(p *G1, q *G2) *GT {
+	gt := &GT{}
+	gt.p = pair(&p.p, &q.p)
+	return gt
+}
+
+// PairBatch computes the product of pairings prod_i e(ps[i], qs[i]) with a
+// single shared Miller loop and one final exponentiation. It is
+// substantially faster than multiplying len(ps) individual pairings.
+func PairBatch(ps []*G1, qs []*G2) *GT {
+	cps := make([]*curvePoint, len(ps))
+	cqs := make([]*twistPoint, len(qs))
+	for i := range ps {
+		cps[i] = &ps[i].p
+	}
+	for i := range qs {
+		cqs[i] = &qs[i].p
+	}
+	gt := &GT{}
+	gt.p = pairBatch(cps, cqs)
+	return gt
+}
+
+// Mul sets e = a * b (the GT group operation) and returns e.
+func (e *GT) Mul(a, b *GT) *GT {
+	e.p.Mul(&a.p, &b.p)
+	return e
+}
+
+// Exp sets e = a^k and returns e.
+func (e *GT) Exp(a *GT, k *big.Int) *GT {
+	e.p.Exp(&a.p, norm(k))
+	return e
+}
+
+// Invert sets e = a^-1 and returns e.
+func (e *GT) Invert(a *GT) *GT {
+	// GT elements lie in the cyclotomic subgroup where inversion is
+	// conjugation, but use the generic inverse for safety.
+	e.p.Invert(&a.p)
+	return e
+}
+
+// Set sets e = a and returns e.
+func (e *GT) Set(a *GT) *GT {
+	e.p.Set(&a.p)
+	return e
+}
+
+// SetOne sets e to the GT identity and returns e.
+func (e *GT) SetOne() *GT {
+	e.p.SetOne()
+	return e
+}
+
+// IsOne reports whether e is the GT identity.
+func (e *GT) IsOne() bool {
+	return e.p.IsOne()
+}
+
+// Equal reports whether e == a.
+func (e *GT) Equal(a *GT) bool {
+	return e.p.Equal(&a.p)
+}
+
+// Marshal encodes e as 384 bytes (twelve Fp coefficients, big endian).
+// Equal GT elements produce identical encodings, making the output
+// usable as a hash-join key.
+func (e *GT) Marshal() []byte {
+	out := make([]byte, 384)
+	coeffs := []*gfP{
+		&e.p.c0.b0.a0, &e.p.c0.b0.a1,
+		&e.p.c0.b1.a0, &e.p.c0.b1.a1,
+		&e.p.c0.b2.a0, &e.p.c0.b2.a1,
+		&e.p.c1.b0.a0, &e.p.c1.b0.a1,
+		&e.p.c1.b1.a0, &e.p.c1.b1.a1,
+		&e.p.c1.b2.a0, &e.p.c1.b2.a1,
+	}
+	for i, c := range coeffs {
+		c.Marshal(out[i*32 : (i+1)*32])
+	}
+	return out
+}
+
+// Unmarshal decodes an element produced by Marshal.
+func (e *GT) Unmarshal(data []byte) error {
+	if len(data) != 384 {
+		return errors.New("bn256: invalid GT encoding length")
+	}
+	coeffs := []*gfP{
+		&e.p.c0.b0.a0, &e.p.c0.b0.a1,
+		&e.p.c0.b1.a0, &e.p.c0.b1.a1,
+		&e.p.c0.b2.a0, &e.p.c0.b2.a1,
+		&e.p.c1.b0.a0, &e.p.c1.b0.a1,
+		&e.p.c1.b1.a0, &e.p.c1.b1.a1,
+		&e.p.c1.b2.a0, &e.p.c1.b2.a1,
+	}
+	for i, c := range coeffs {
+		if err := c.Unmarshal(data[i*32 : (i+1)*32]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// norm reduces k into [0, Order) so that negative and oversized scalars
+// behave as their canonical representatives.
+func norm(k *big.Int) *big.Int {
+	if k.Sign() >= 0 && k.Cmp(Order) < 0 {
+		return k
+	}
+	return new(big.Int).Mod(k, Order)
+}
+
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,246 @@
+package bn256
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+func randScalar(t *testing.T) *big.Int {
+	t.Helper()
+	k, err := rand.Int(rand.Reader, Order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestG1GroupLaws(t *testing.T) {
+	a, b := randScalar(t), randScalar(t)
+	pa := new(G1).ScalarBaseMult(a)
+	pb := new(G1).ScalarBaseMult(b)
+
+	// g^a + g^b == g^(a+b)
+	sum := new(G1).Add(pa, pb)
+	ab := new(big.Int).Add(a, b)
+	want := new(G1).ScalarBaseMult(ab)
+	if !sum.Equal(want) {
+		t.Fatal("G1 addition is not compatible with scalar multiplication")
+	}
+
+	// Commutativity.
+	sum2 := new(G1).Add(pb, pa)
+	if !sum.Equal(sum2) {
+		t.Fatal("G1 addition is not commutative")
+	}
+
+	// P + (-P) == infinity.
+	neg := new(G1).Neg(pa)
+	id := new(G1).Add(pa, neg)
+	if !id.IsInfinity() {
+		t.Fatal("P + (-P) != infinity")
+	}
+
+	// P + infinity == P.
+	inf := new(G1).SetInfinity()
+	same := new(G1).Add(pa, inf)
+	if !same.Equal(pa) {
+		t.Fatal("P + infinity != P")
+	}
+
+	// Doubling consistency: P + P == 2P.
+	dbl := new(G1).Add(pa, pa)
+	twice := new(G1).ScalarMult(pa, big.NewInt(2))
+	if !dbl.Equal(twice) {
+		t.Fatal("P + P != 2P")
+	}
+}
+
+func TestG2GroupLaws(t *testing.T) {
+	a, b := randScalar(t), randScalar(t)
+	pa := new(G2).ScalarBaseMult(a)
+	pb := new(G2).ScalarBaseMult(b)
+
+	sum := new(G2).Add(pa, pb)
+	ab := new(big.Int).Add(a, b)
+	want := new(G2).ScalarBaseMult(ab)
+	if !sum.Equal(want) {
+		t.Fatal("G2 addition is not compatible with scalar multiplication")
+	}
+
+	neg := new(G2).Neg(pa)
+	id := new(G2).Add(pa, neg)
+	if !id.IsInfinity() {
+		t.Fatal("Q + (-Q) != infinity")
+	}
+
+	dbl := new(G2).Add(pa, pa)
+	twice := new(G2).ScalarMult(pa, big.NewInt(2))
+	if !dbl.Equal(twice) {
+		t.Fatal("Q + Q != 2Q")
+	}
+}
+
+func TestG1MarshalRoundTrip(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		_, p, err := RandomG1(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var q G1
+		if err := q.Unmarshal(p.Marshal()); err != nil {
+			t.Fatal(err)
+		}
+		if !p.Equal(&q) {
+			t.Fatal("G1 marshal round trip failed")
+		}
+	}
+	// Infinity round trip.
+	inf := new(G1).SetInfinity()
+	var q G1
+	if err := q.Unmarshal(inf.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if !q.IsInfinity() {
+		t.Fatal("G1 infinity round trip failed")
+	}
+}
+
+func TestG2MarshalRoundTrip(t *testing.T) {
+	for i := 0; i < 5; i++ {
+		_, p, err := RandomG2(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var q G2
+		if err := q.Unmarshal(p.Marshal()); err != nil {
+			t.Fatal(err)
+		}
+		if !p.Equal(&q) {
+			t.Fatal("G2 marshal round trip failed")
+		}
+	}
+}
+
+func TestG1UnmarshalRejectsOffCurve(t *testing.T) {
+	_, p, err := RandomG1(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := p.Marshal()
+	data[63] ^= 1 // corrupt y
+	var q G1
+	if err := q.Unmarshal(data); err == nil {
+		t.Fatal("accepted an off-curve G1 point")
+	}
+	if err := q.Unmarshal(data[:10]); err == nil {
+		t.Fatal("accepted a truncated G1 encoding")
+	}
+}
+
+func TestG2UnmarshalRejectsOffCurve(t *testing.T) {
+	_, p, err := RandomG2(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := p.Marshal()
+	data[127] ^= 1
+	var q G2
+	if err := q.Unmarshal(data); err == nil {
+		t.Fatal("accepted an off-twist G2 point")
+	}
+}
+
+func TestG2UnmarshalRejectsWrongSubgroup(t *testing.T) {
+	// Build a twist point outside the order-r subgroup: a point with
+	// order dividing the cofactor. Multiply a random twist point by r;
+	// if the result is not infinity it has cofactor order.
+	for n := int64(1); n < 60; n++ {
+		var x, rhs, y gfP2
+		x.a0 = *newGFp(n)
+		x.a1 = *newGFp(3)
+		rhs.Square(&x)
+		rhs.Mul(&rhs, &x)
+		rhs.Add(&rhs, &twistB)
+		if !y.Sqrt(&rhs) {
+			continue
+		}
+		var pt twistPoint
+		pt.x, pt.y = x, y
+		pt.z.SetOne()
+		var small twistPoint
+		small.Mul(&pt, Order)
+		if small.IsInfinity() {
+			continue // the point happened to lie in G2
+		}
+		small.MakeAffine()
+		var g2 G2
+		g2.p.Set(&small)
+		data := g2.Marshal()
+		var q G2
+		if err := q.Unmarshal(data); err == nil {
+			t.Fatal("accepted a G2 point outside the order-r subgroup")
+		}
+		return
+	}
+	t.Skip("no cofactor-order point found in scan range")
+}
+
+func TestPairingWithInfinity(t *testing.T) {
+	_, p, _ := RandomG1(rand.Reader)
+	_, q, _ := RandomG2(rand.Reader)
+	infG1 := new(G1).SetInfinity()
+	infG2 := new(G2).SetInfinity()
+	if !Pair(infG1, q).IsOne() {
+		t.Fatal("e(0, Q) != 1")
+	}
+	if !Pair(p, infG2).IsOne() {
+		t.Fatal("e(P, 0) != 1")
+	}
+}
+
+func TestPairingLinearityInEachArgument(t *testing.T) {
+	a, b := randScalar(t), randScalar(t)
+	p := new(G1).ScalarBaseMult(a)
+	q := new(G2).ScalarBaseMult(b)
+	k := big.NewInt(7)
+
+	// e(kP, Q) == e(P, kQ) == e(P, Q)^k
+	kp := new(G1).ScalarMult(p, k)
+	kq := new(G2).ScalarMult(q, k)
+	base := Pair(p, q)
+	want := new(GT).Exp(base, k)
+	if !Pair(kp, q).Equal(want) {
+		t.Fatal("e(kP, Q) != e(P, Q)^k")
+	}
+	if !Pair(p, kq).Equal(want) {
+		t.Fatal("e(P, kQ) != e(P, Q)^k")
+	}
+}
+
+func TestPairBatchEmpty(t *testing.T) {
+	if !PairBatch(nil, nil).IsOne() {
+		t.Fatal("empty batch should be the identity")
+	}
+}
+
+func TestPairBatchWithInfinitySlots(t *testing.T) {
+	_, p, _ := RandomG1(rand.Reader)
+	_, q, _ := RandomG2(rand.Reader)
+	inf1 := new(G1).SetInfinity()
+	inf2 := new(G2).SetInfinity()
+	got := PairBatch([]*G1{p, inf1}, []*G2{q, inf2})
+	want := Pair(p, q)
+	if !got.Equal(want) {
+		t.Fatal("infinity slots should contribute the identity")
+	}
+}
+
+func TestNormHandlesNegativeScalars(t *testing.T) {
+	k := big.NewInt(-3)
+	p := new(G1).ScalarBaseMult(k)
+	want := new(G1).ScalarBaseMult(new(big.Int).Sub(Order, big.NewInt(3)))
+	if !p.Equal(want) {
+		t.Fatal("negative scalar not normalized")
+	}
+}

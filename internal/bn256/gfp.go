@@ -1,0 +1,329 @@
+package bn256
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+)
+
+// gfP is an element of the prime field Fp held in Montgomery form as four
+// little-endian 64-bit limbs: the value represented is limbs * 2^-256 mod p.
+type gfP [4]uint64
+
+var (
+	// pLimbs holds p as little-endian limbs.
+	pLimbs [4]uint64
+	// np is -p^-1 mod 2^64, the Montgomery reduction constant.
+	np uint64
+	// r2 is 2^512 mod p, used to convert into Montgomery form.
+	r2 gfP
+	// rOne is 1 in Montgomery form (2^256 mod p).
+	rOne gfP
+	// pMinus2 is p-2, the Fermat inversion exponent.
+	pMinus2 *big.Int
+)
+
+func initGFp() {
+	if P.BitLen() > 256 {
+		panic("bn256: prime does not fit in four limbs")
+	}
+	for i := 0; i < 4; i++ {
+		pLimbs[i] = 0
+	}
+	for i, w := range P.Bits() {
+		pLimbs[i] = uint64(w)
+	}
+
+	// np = -p^-1 mod 2^64 via Newton iteration on the low limb.
+	inv := pLimbs[0] // p is odd, so p^-1 mod 2 == 1 == pLimbs[0] mod 2
+	for i := 0; i < 5; i++ {
+		inv *= 2 - pLimbs[0]*inv
+	}
+	np = -inv
+
+	big256 := new(big.Int).Lsh(big.NewInt(1), 256)
+	r2Big := new(big.Int).Mul(big256, big256)
+	r2Big.Mod(r2Big, P)
+	r2 = gfPFromRawBig(r2Big)
+
+	rBig := new(big.Int).Mod(big256, P)
+	rOne = gfPFromRawBig(rBig)
+
+	pMinus2 = new(big.Int).Sub(P, big.NewInt(2))
+}
+
+// gfPFromRawBig loads a reduced big.Int into limbs without Montgomery
+// conversion.
+func gfPFromRawBig(n *big.Int) gfP {
+	if n.Sign() < 0 || n.Cmp(P) >= 0 {
+		panic("bn256: value out of range")
+	}
+	var e gfP
+	for i, w := range n.Bits() {
+		e[i] = uint64(w)
+	}
+	return e
+}
+
+// newGFp converts a small signed integer into a Montgomery-form field
+// element.
+func newGFp(x int64) *gfP {
+	n := big.NewInt(x)
+	n.Mod(n, P)
+	e := gfPFromRawBig(n)
+	e.montEncode(&e)
+	return &e
+}
+
+// gfPFromBig converts an arbitrary big.Int into a Montgomery-form field
+// element, reducing it mod p.
+func gfPFromBig(n *big.Int) *gfP {
+	m := new(big.Int).Mod(n, P)
+	e := gfPFromRawBig(m)
+	e.montEncode(&e)
+	return &e
+}
+
+// BigInt returns the canonical (non-Montgomery) value of e.
+func (e *gfP) BigInt() *big.Int {
+	var d gfP
+	d.montDecode(e)
+	out := new(big.Int)
+	for i := 3; i >= 0; i-- {
+		out.Lsh(out, 64)
+		out.Or(out, new(big.Int).SetUint64(d[i]))
+	}
+	return out
+}
+
+func (e *gfP) String() string {
+	return fmt.Sprintf("%x", e.BigInt())
+}
+
+// Set sets e = a and returns e.
+func (e *gfP) Set(a *gfP) *gfP {
+	*e = *a
+	return e
+}
+
+// SetZero sets e = 0.
+func (e *gfP) SetZero() *gfP {
+	*e = gfP{}
+	return e
+}
+
+// SetOne sets e = 1 (in Montgomery form).
+func (e *gfP) SetOne() *gfP {
+	*e = rOne
+	return e
+}
+
+// IsZero reports whether e == 0.
+func (e *gfP) IsZero() bool {
+	return e[0]|e[1]|e[2]|e[3] == 0
+}
+
+// Equal reports whether e == a.
+func (e *gfP) Equal(a *gfP) bool {
+	return e[0] == a[0] && e[1] == a[1] && e[2] == a[2] && e[3] == a[3]
+}
+
+// gteP reports whether the raw limbs of e are >= p.
+func (e *gfP) gteP() bool {
+	for i := 3; i >= 0; i-- {
+		if e[i] > pLimbs[i] {
+			return true
+		}
+		if e[i] < pLimbs[i] {
+			return false
+		}
+	}
+	return true // equal
+}
+
+// subP sets e = e - p over the raw limbs (assumes e >= p or a pending
+// carry makes the subtraction safe).
+func (e *gfP) subP() {
+	var b uint64
+	e[0], b = bits.Sub64(e[0], pLimbs[0], 0)
+	e[1], b = bits.Sub64(e[1], pLimbs[1], b)
+	e[2], b = bits.Sub64(e[2], pLimbs[2], b)
+	e[3], _ = bits.Sub64(e[3], pLimbs[3], b)
+}
+
+// Add sets e = a + b mod p and returns e.
+func (e *gfP) Add(a, b *gfP) *gfP {
+	var c uint64
+	e[0], c = bits.Add64(a[0], b[0], 0)
+	e[1], c = bits.Add64(a[1], b[1], c)
+	e[2], c = bits.Add64(a[2], b[2], c)
+	e[3], c = bits.Add64(a[3], b[3], c)
+	if c == 1 || e.gteP() {
+		e.subP()
+	}
+	return e
+}
+
+// Sub sets e = a - b mod p and returns e.
+func (e *gfP) Sub(a, b *gfP) *gfP {
+	var brw uint64
+	e[0], brw = bits.Sub64(a[0], b[0], 0)
+	e[1], brw = bits.Sub64(a[1], b[1], brw)
+	e[2], brw = bits.Sub64(a[2], b[2], brw)
+	e[3], brw = bits.Sub64(a[3], b[3], brw)
+	if brw == 1 {
+		var c uint64
+		e[0], c = bits.Add64(e[0], pLimbs[0], 0)
+		e[1], c = bits.Add64(e[1], pLimbs[1], c)
+		e[2], c = bits.Add64(e[2], pLimbs[2], c)
+		e[3], _ = bits.Add64(e[3], pLimbs[3], c)
+	}
+	return e
+}
+
+// Neg sets e = -a mod p and returns e.
+func (e *gfP) Neg(a *gfP) *gfP {
+	if a.IsZero() {
+		return e.SetZero()
+	}
+	var brw uint64
+	e[0], brw = bits.Sub64(pLimbs[0], a[0], 0)
+	e[1], brw = bits.Sub64(pLimbs[1], a[1], brw)
+	e[2], brw = bits.Sub64(pLimbs[2], a[2], brw)
+	e[3], _ = bits.Sub64(pLimbs[3], a[3], brw)
+	return e
+}
+
+// Double sets e = 2a mod p and returns e.
+func (e *gfP) Double(a *gfP) *gfP {
+	return e.Add(a, a)
+}
+
+// mul512 computes the full 512-bit product of a and b.
+func mul512(a, b *gfP) [8]uint64 {
+	var r [8]uint64
+	for i := 0; i < 4; i++ {
+		var carry uint64
+		ai := a[i]
+		for j := 0; j < 4; j++ {
+			hi, lo := bits.Mul64(ai, b[j])
+			var c uint64
+			lo, c = bits.Add64(lo, r[i+j], 0)
+			hi += c
+			lo, c = bits.Add64(lo, carry, 0)
+			hi += c
+			r[i+j] = lo
+			carry = hi
+		}
+		r[i+4] = carry
+	}
+	return r
+}
+
+// montReduce performs Montgomery reduction of a 512-bit value, returning
+// t = r * 2^-256 mod p with t < p.
+func montReduce(r *[8]uint64) gfP {
+	var extra uint64
+	for i := 0; i < 4; i++ {
+		m := r[i] * np
+		var carry uint64
+		for j := 0; j < 4; j++ {
+			hi, lo := bits.Mul64(m, pLimbs[j])
+			var c uint64
+			lo, c = bits.Add64(lo, r[i+j], 0)
+			hi += c
+			lo, c = bits.Add64(lo, carry, 0)
+			hi += c
+			r[i+j] = lo
+			carry = hi
+		}
+		// Propagate carry into the upper words.
+		for k := i + 4; k < 8 && carry != 0; k++ {
+			var c uint64
+			r[k], c = bits.Add64(r[k], carry, 0)
+			carry = c
+		}
+		extra += carry
+	}
+	t := gfP{r[4], r[5], r[6], r[7]}
+	if extra != 0 || t.gteP() {
+		t.subP()
+	}
+	return t
+}
+
+// Mul sets e = a * b mod p (Montgomery form) and returns e.
+func (e *gfP) Mul(a, b *gfP) *gfP {
+	r := mul512(a, b)
+	*e = montReduce(&r)
+	return e
+}
+
+// Square sets e = a^2 mod p and returns e.
+func (e *gfP) Square(a *gfP) *gfP {
+	return e.Mul(a, a)
+}
+
+// montEncode converts a from canonical into Montgomery form.
+func (e *gfP) montEncode(a *gfP) *gfP {
+	return e.Mul(a, &r2)
+}
+
+// montDecode converts a from Montgomery into canonical form.
+func (e *gfP) montDecode(a *gfP) *gfP {
+	r := [8]uint64{a[0], a[1], a[2], a[3]}
+	*e = montReduce(&r)
+	return e
+}
+
+// Exp sets e = a^k mod p for a non-negative exponent k and returns e.
+func (e *gfP) Exp(a *gfP, k *big.Int) *gfP {
+	acc := rOne
+	base := *a
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		acc.Square(&acc)
+		if k.Bit(i) == 1 {
+			acc.Mul(&acc, &base)
+		}
+	}
+	*e = acc
+	return e
+}
+
+// Invert sets e = a^-1 mod p via Fermat's little theorem and returns e.
+// Inverting zero yields zero.
+func (e *gfP) Invert(a *gfP) *gfP {
+	return e.Exp(a, pMinus2)
+}
+
+// Marshal appends the 32-byte big-endian canonical encoding of e to out.
+func (e *gfP) Marshal(out []byte) {
+	var d gfP
+	d.montDecode(e)
+	for i := 0; i < 4; i++ {
+		w := d[3-i]
+		for j := 0; j < 8; j++ {
+			out[i*8+j] = byte(w >> (56 - 8*j))
+		}
+	}
+}
+
+// Unmarshal sets e from a 32-byte big-endian canonical encoding. It
+// returns an error if the value is not fully reduced.
+func (e *gfP) Unmarshal(in []byte) error {
+	var d gfP
+	for i := 0; i < 4; i++ {
+		var w uint64
+		for j := 0; j < 8; j++ {
+			w = w<<8 | uint64(in[i*8+j])
+		}
+		d[3-i] = w
+	}
+	if d.gteP() {
+		return errFieldElementRange
+	}
+	e.montEncode(&d)
+	return nil
+}
+
+var errFieldElementRange = fmt.Errorf("bn256: field element not reduced")

@@ -1,0 +1,193 @@
+package bn256
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// gfP12 is an element c0 + c1*omega of Fp12 = Fp6[omega]/(omega^2 - tau).
+type gfP12 struct {
+	c0, c1 gfP6
+}
+
+// frob2Consts[k] = (xi^((p^2-1)/6))^k for k = 0..5, the coefficient
+// constants of the p^2-power Frobenius on the omega^k basis.
+var frob2Consts [6]gfP2
+
+func initTower() {
+	p2 := new(big.Int).Mul(P, P)
+	exp := new(big.Int).Sub(p2, big.NewInt(1))
+	exp.Div(exp, big.NewInt(6))
+	var gamma gfP2
+	gamma.Exp(&xi, exp)
+	frob2Consts[0].SetOne()
+	for k := 1; k < 6; k++ {
+		frob2Consts[k].Mul(&frob2Consts[k-1], &gamma)
+	}
+}
+
+func (e *gfP12) String() string {
+	return fmt.Sprintf("(%v + %v omega)", &e.c0, &e.c1)
+}
+
+// Set sets e = a and returns e.
+func (e *gfP12) Set(a *gfP12) *gfP12 {
+	e.c0.Set(&a.c0)
+	e.c1.Set(&a.c1)
+	return e
+}
+
+// SetZero sets e = 0 and returns e.
+func (e *gfP12) SetZero() *gfP12 {
+	e.c0.SetZero()
+	e.c1.SetZero()
+	return e
+}
+
+// SetOne sets e = 1 and returns e.
+func (e *gfP12) SetOne() *gfP12 {
+	e.c0.SetOne()
+	e.c1.SetZero()
+	return e
+}
+
+// IsZero reports whether e == 0.
+func (e *gfP12) IsZero() bool {
+	return e.c0.IsZero() && e.c1.IsZero()
+}
+
+// IsOne reports whether e == 1.
+func (e *gfP12) IsOne() bool {
+	var one gfP6
+	one.SetOne()
+	return e.c0.Equal(&one) && e.c1.IsZero()
+}
+
+// Equal reports whether e == a.
+func (e *gfP12) Equal(a *gfP12) bool {
+	return e.c0.Equal(&a.c0) && e.c1.Equal(&a.c1)
+}
+
+// Conjugate sets e = c0 - c1*omega, the p^6-power Frobenius, and returns e.
+func (e *gfP12) Conjugate(a *gfP12) *gfP12 {
+	e.c0.Set(&a.c0)
+	e.c1.Neg(&a.c1)
+	return e
+}
+
+// Add sets e = a + b and returns e.
+func (e *gfP12) Add(a, b *gfP12) *gfP12 {
+	e.c0.Add(&a.c0, &b.c0)
+	e.c1.Add(&a.c1, &b.c1)
+	return e
+}
+
+// Sub sets e = a - b and returns e.
+func (e *gfP12) Sub(a, b *gfP12) *gfP12 {
+	e.c0.Sub(&a.c0, &b.c0)
+	e.c1.Sub(&a.c1, &b.c1)
+	return e
+}
+
+// Mul sets e = a*b and returns e.
+func (e *gfP12) Mul(a, b *gfP12) *gfP12 {
+	// Karatsuba: (c0 + c1 w)(d0 + d1 w) =
+	//   c0 d0 + c1 d1 tau + ((c0+c1)(d0+d1) - c0 d0 - c1 d1) w
+	var v0, v1, s, t gfP6
+	v0.Mul(&a.c0, &b.c0)
+	v1.Mul(&a.c1, &b.c1)
+	s.Add(&a.c0, &a.c1)
+	t.Add(&b.c0, &b.c1)
+	s.Mul(&s, &t)
+	s.Sub(&s, &v0)
+	s.Sub(&s, &v1)
+	var v1t gfP6
+	v1t.MulTau(&v1)
+	e.c0.Add(&v0, &v1t)
+	e.c1.Set(&s)
+	return e
+}
+
+// Square sets e = a^2 and returns e.
+func (e *gfP12) Square(a *gfP12) *gfP12 {
+	// (c0 + c1 w)^2 = c0^2 + c1^2 tau + 2 c0 c1 w
+	var v0, v1, m gfP6
+	v0.Square(&a.c0)
+	v1.Square(&a.c1)
+	m.Mul(&a.c0, &a.c1)
+	var v1t gfP6
+	v1t.MulTau(&v1)
+	e.c0.Add(&v0, &v1t)
+	e.c1.Add(&m, &m)
+	return e
+}
+
+// Invert sets e = a^-1 and returns e. Inverting zero yields zero.
+func (e *gfP12) Invert(a *gfP12) *gfP12 {
+	// 1/(c0 + c1 w) = (c0 - c1 w)/(c0^2 - c1^2 tau)
+	var d, t gfP6
+	d.Square(&a.c0)
+	t.Square(&a.c1)
+	t.MulTau(&t)
+	d.Sub(&d, &t)
+	d.Invert(&d)
+	e.c0.Mul(&a.c0, &d)
+	d.Neg(&d)
+	e.c1.Mul(&a.c1, &d)
+	return e
+}
+
+// Exp sets e = a^k for a non-negative exponent k and returns e.
+func (e *gfP12) Exp(a *gfP12, k *big.Int) *gfP12 {
+	var acc gfP12
+	acc.SetOne()
+	base := *a
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		acc.Square(&acc)
+		if k.Bit(i) == 1 {
+			acc.Mul(&acc, &base)
+		}
+	}
+	return e.Set(&acc)
+}
+
+// Frobenius2 sets e = a^(p^2) and returns e. The p^2-power Frobenius acts
+// trivially on Fp2 coefficients and multiplies the omega^k basis
+// coefficient by frob2Consts[k].
+func (e *gfP12) Frobenius2(a *gfP12) *gfP12 {
+	// Basis exponents: c0.b0 -> w^0, c0.b1 -> w^2, c0.b2 -> w^4,
+	// c1.b0 -> w^1, c1.b1 -> w^3, c1.b2 -> w^5.
+	e.c0.b0.Mul(&a.c0.b0, &frob2Consts[0])
+	e.c0.b1.Mul(&a.c0.b1, &frob2Consts[2])
+	e.c0.b2.Mul(&a.c0.b2, &frob2Consts[4])
+	e.c1.b0.Mul(&a.c1.b0, &frob2Consts[1])
+	e.c1.b1.Mul(&a.c1.b1, &frob2Consts[3])
+	e.c1.b2.Mul(&a.c1.b2, &frob2Consts[5])
+	return e
+}
+
+// mulLine multiplies e by the sparse line element
+// l = (l00 + l01*tau) + (l11*tau)*omega, the shape produced by Tate
+// pairing line evaluations, and returns e. Exploiting sparsity saves
+// roughly half the Fp2 multiplications of a general gfP12 Mul.
+func (e *gfP12) mulLine(a *gfP12, l00, l01, l11 *gfP2) *gfP12 {
+	// b = b0 + b1 w with b0 = (l00, l01, 0), b1 = (0, l11, 0).
+	var b0, b1 gfP6
+	b0.b0.Set(l00)
+	b0.b1.Set(l01)
+	b1.b1.Set(l11)
+
+	var v0, v1, s, t gfP6
+	v0.Mul(&a.c0, &b0)
+	v1.Mul(&a.c1, &b1)
+	s.Add(&a.c0, &a.c1)
+	t.Add(&b0, &b1)
+	s.Mul(&s, &t)
+	s.Sub(&s, &v0)
+	s.Sub(&s, &v1)
+	var v1t gfP6
+	v1t.MulTau(&v1)
+	e.c0.Add(&v0, &v1t)
+	e.c1.Set(&s)
+	return e
+}

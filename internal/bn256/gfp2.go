@@ -1,0 +1,256 @@
+package bn256
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// gfP2 is an element a0 + a1*i of Fp2 = Fp(i) with i^2 = -1. This
+// representation requires p = 3 mod 4, which is verified at init.
+type gfP2 struct {
+	a0, a1 gfP
+}
+
+var (
+	// xi is the quadratic and cubic non-residue in Fp2 that defines the
+	// tower Fp6 = Fp2[tau]/(tau^3 - xi). It is chosen at init as the
+	// first element of the form n + i that is neither a square nor a
+	// cube in Fp2.
+	xi gfP2
+	// xiInv is xi^-1, used for the twist curve coefficient b' = 3/xi.
+	xiInv gfP2
+	// p2Minus1Over2 and p2Minus1Over3 are residue-test exponents.
+	p2Minus1Over2 *big.Int
+	p2Minus1Over3 *big.Int
+)
+
+func initGFp2() {
+	if new(big.Int).Mod(P, big.NewInt(4)).Int64() != 3 {
+		panic("bn256: prime is not 3 mod 4; i^2 = -1 is not a tower base")
+	}
+	p2 := new(big.Int).Mul(P, P)
+	p2m1 := new(big.Int).Sub(p2, big.NewInt(1))
+	p2Minus1Over2 = new(big.Int).Rsh(p2m1, 1)
+	p2Minus1Over3 = new(big.Int).Div(p2m1, big.NewInt(3))
+	if new(big.Int).Mod(p2m1, big.NewInt(3)).Sign() != 0 {
+		panic("bn256: p^2-1 not divisible by 3")
+	}
+
+	// Find xi = n + i that is a quadratic and cubic non-residue.
+	one := newGFp2One()
+	for n := int64(1); ; n++ {
+		var cand gfP2
+		cand.a0 = *newGFp(n)
+		cand.a1 = *newGFp(1)
+		var t gfP2
+		if t.Exp(&cand, p2Minus1Over2); t.Equal(one) {
+			continue
+		}
+		if t.Exp(&cand, p2Minus1Over3); t.Equal(one) {
+			continue
+		}
+		xi = cand
+		break
+	}
+	xiInv.Invert(&xi)
+}
+
+func newGFp2One() *gfP2 {
+	e := &gfP2{}
+	e.a0.SetOne()
+	return e
+}
+
+func (e *gfP2) String() string {
+	return fmt.Sprintf("(%v, %v)", &e.a0, &e.a1)
+}
+
+// Set sets e = a and returns e.
+func (e *gfP2) Set(a *gfP2) *gfP2 {
+	e.a0.Set(&a.a0)
+	e.a1.Set(&a.a1)
+	return e
+}
+
+// SetZero sets e = 0 and returns e.
+func (e *gfP2) SetZero() *gfP2 {
+	e.a0.SetZero()
+	e.a1.SetZero()
+	return e
+}
+
+// SetOne sets e = 1 and returns e.
+func (e *gfP2) SetOne() *gfP2 {
+	e.a0.SetOne()
+	e.a1.SetZero()
+	return e
+}
+
+// IsZero reports whether e == 0.
+func (e *gfP2) IsZero() bool {
+	return e.a0.IsZero() && e.a1.IsZero()
+}
+
+// IsOne reports whether e == 1.
+func (e *gfP2) IsOne() bool {
+	return e.a0.Equal(&rOne) && e.a1.IsZero()
+}
+
+// Equal reports whether e == a.
+func (e *gfP2) Equal(a *gfP2) bool {
+	return e.a0.Equal(&a.a0) && e.a1.Equal(&a.a1)
+}
+
+// Conjugate sets e = a0 - a1*i and returns e.
+func (e *gfP2) Conjugate(a *gfP2) *gfP2 {
+	e.a0.Set(&a.a0)
+	e.a1.Neg(&a.a1)
+	return e
+}
+
+// Add sets e = a + b and returns e.
+func (e *gfP2) Add(a, b *gfP2) *gfP2 {
+	e.a0.Add(&a.a0, &b.a0)
+	e.a1.Add(&a.a1, &b.a1)
+	return e
+}
+
+// Sub sets e = a - b and returns e.
+func (e *gfP2) Sub(a, b *gfP2) *gfP2 {
+	e.a0.Sub(&a.a0, &b.a0)
+	e.a1.Sub(&a.a1, &b.a1)
+	return e
+}
+
+// Neg sets e = -a and returns e.
+func (e *gfP2) Neg(a *gfP2) *gfP2 {
+	e.a0.Neg(&a.a0)
+	e.a1.Neg(&a.a1)
+	return e
+}
+
+// Double sets e = 2a and returns e.
+func (e *gfP2) Double(a *gfP2) *gfP2 {
+	e.a0.Double(&a.a0)
+	e.a1.Double(&a.a1)
+	return e
+}
+
+// Mul sets e = a*b using Karatsuba multiplication and returns e.
+func (e *gfP2) Mul(a, b *gfP2) *gfP2 {
+	// (a0 + a1 i)(b0 + b1 i) = (a0b0 - a1b1) + ((a0+a1)(b0+b1) - a0b0 - a1b1) i
+	var v0, v1, s, t gfP
+	v0.Mul(&a.a0, &b.a0)
+	v1.Mul(&a.a1, &b.a1)
+	s.Add(&a.a0, &a.a1)
+	t.Add(&b.a0, &b.a1)
+	s.Mul(&s, &t)
+	s.Sub(&s, &v0)
+	s.Sub(&s, &v1)
+	e.a0.Sub(&v0, &v1)
+	e.a1.Set(&s)
+	return e
+}
+
+// MulScalar sets e = a * s for a base-field scalar s and returns e.
+func (e *gfP2) MulScalar(a *gfP2, s *gfP) *gfP2 {
+	e.a0.Mul(&a.a0, s)
+	e.a1.Mul(&a.a1, s)
+	return e
+}
+
+// Square sets e = a^2 and returns e.
+func (e *gfP2) Square(a *gfP2) *gfP2 {
+	// (a0 + a1 i)^2 = (a0+a1)(a0-a1) + 2 a0 a1 i
+	var s, d, m gfP
+	s.Add(&a.a0, &a.a1)
+	d.Sub(&a.a0, &a.a1)
+	m.Mul(&a.a0, &a.a1)
+	e.a0.Mul(&s, &d)
+	e.a1.Double(&m)
+	return e
+}
+
+// MulXi sets e = a * xi and returns e.
+func (e *gfP2) MulXi(a *gfP2) *gfP2 {
+	var t gfP2
+	t.Mul(a, &xi)
+	return e.Set(&t)
+}
+
+// Invert sets e = a^-1 and returns e. Inverting zero yields zero.
+func (e *gfP2) Invert(a *gfP2) *gfP2 {
+	// 1/(a0 + a1 i) = (a0 - a1 i) / (a0^2 + a1^2)
+	var n, t0, t1 gfP
+	t0.Square(&a.a0)
+	t1.Square(&a.a1)
+	n.Add(&t0, &t1)
+	n.Invert(&n)
+	e.a0.Mul(&a.a0, &n)
+	n.Neg(&n)
+	e.a1.Mul(&a.a1, &n)
+	return e
+}
+
+// Exp sets e = a^k for a non-negative exponent k and returns e.
+func (e *gfP2) Exp(a *gfP2, k *big.Int) *gfP2 {
+	acc := *newGFp2One()
+	base := *a
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		acc.Square(&acc)
+		if k.Bit(i) == 1 {
+			acc.Mul(&acc, &base)
+		}
+	}
+	return e.Set(&acc)
+}
+
+// Sqrt sets e to a square root of a and reports whether a is a quadratic
+// residue in Fp2. Uses the complex method, valid for p = 3 mod 4.
+func (e *gfP2) Sqrt(a *gfP2) bool {
+	if a.IsZero() {
+		e.SetZero()
+		return true
+	}
+	pPlus1Over4 := new(big.Int).Add(P, big.NewInt(1))
+	pPlus1Over4.Rsh(pPlus1Over4, 2)
+	inv2 := newGFp(2)
+	inv2.Invert(inv2)
+
+	// lambda = sqrt(norm(a)) in Fp.
+	var norm, t gfP
+	norm.Square(&a.a0)
+	t.Square(&a.a1)
+	norm.Add(&norm, &t)
+	var lambda gfP
+	lambda.Exp(&norm, pPlus1Over4)
+	var check gfP
+	if check.Square(&lambda); !check.Equal(&norm) {
+		return false
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		// delta = (a0 + lambda)/2, then x0 = sqrt(delta), x1 = a1/(2 x0).
+		var delta gfP
+		delta.Add(&a.a0, &lambda)
+		delta.Mul(&delta, inv2)
+		var x0 gfP
+		x0.Exp(&delta, pPlus1Over4)
+		var sq gfP
+		if sq.Square(&x0); sq.Equal(&delta) && !x0.IsZero() {
+			var x0inv, x1 gfP
+			x0inv.Invert(&x0)
+			x1.Mul(&a.a1, &x0inv)
+			x1.Mul(&x1, inv2)
+			var cand gfP2
+			cand.a0 = x0
+			cand.a1 = x1
+			var candSq gfP2
+			if candSq.Square(&cand); candSq.Equal(a) {
+				e.Set(&cand)
+				return true
+			}
+		}
+		lambda.Neg(&lambda)
+	}
+	return false
+}

@@ -1,0 +1,180 @@
+package bn256
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// randGFp returns a uniformly random field element together with its
+// canonical big.Int value.
+func randGFp(t *testing.T) (*gfP, *big.Int) {
+	t.Helper()
+	n, err := rand.Int(rand.Reader, P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gfPFromBig(n), n
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 64}
+}
+
+// TestGFpMatchesBigInt cross-checks every gfP operation against the
+// big.Int reference implementation on random inputs.
+func TestGFpMatchesBigInt(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		a, aBig := randGFp(t)
+		b, bBig := randGFp(t)
+
+		var sum gfP
+		sum.Add(a, b)
+		want := new(big.Int).Add(aBig, bBig)
+		want.Mod(want, P)
+		if sum.BigInt().Cmp(want) != 0 {
+			t.Fatalf("add mismatch: %v + %v", aBig, bBig)
+		}
+
+		var diff gfP
+		diff.Sub(a, b)
+		want.Sub(aBig, bBig)
+		want.Mod(want, P)
+		if diff.BigInt().Cmp(want) != 0 {
+			t.Fatalf("sub mismatch: %v - %v", aBig, bBig)
+		}
+
+		var prod gfP
+		prod.Mul(a, b)
+		want.Mul(aBig, bBig)
+		want.Mod(want, P)
+		if prod.BigInt().Cmp(want) != 0 {
+			t.Fatalf("mul mismatch: %v * %v", aBig, bBig)
+		}
+
+		var neg gfP
+		neg.Neg(a)
+		want.Neg(aBig)
+		want.Mod(want, P)
+		if neg.BigInt().Cmp(want) != 0 {
+			t.Fatalf("neg mismatch: -%v", aBig)
+		}
+	}
+}
+
+func TestGFpInvert(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		a, aBig := randGFp(t)
+		if aBig.Sign() == 0 {
+			continue
+		}
+		var inv, prod gfP
+		inv.Invert(a)
+		prod.Mul(a, &inv)
+		if !prod.Equal(&rOne) {
+			t.Fatalf("a * a^-1 != 1 for a = %v", aBig)
+		}
+	}
+	// Inverting zero yields zero (Fermat convention).
+	var zero, inv gfP
+	inv.Invert(&zero)
+	if !inv.IsZero() {
+		t.Fatal("0^-1 should be 0 under the Fermat convention")
+	}
+}
+
+func TestGFpExpMatchesBigInt(t *testing.T) {
+	a, aBig := randGFp(t)
+	for _, k := range []int64{0, 1, 2, 3, 17, 65537} {
+		var got gfP
+		got.Exp(a, big.NewInt(k))
+		want := new(big.Int).Exp(aBig, big.NewInt(k), P)
+		if got.BigInt().Cmp(want) != 0 {
+			t.Fatalf("exp mismatch at k=%d", k)
+		}
+	}
+}
+
+func TestGFpMarshalRoundTrip(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		a, _ := randGFp(t)
+		buf := make([]byte, 32)
+		a.Marshal(buf)
+		var b gfP
+		if err := b.Unmarshal(buf); err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(&b) {
+			t.Fatal("marshal round trip failed")
+		}
+	}
+}
+
+func TestGFpUnmarshalRejectsUnreduced(t *testing.T) {
+	buf := make([]byte, 32)
+	pBytes := P.Bytes()
+	copy(buf[32-len(pBytes):], pBytes) // exactly p: not reduced
+	var e gfP
+	if err := e.Unmarshal(buf); err == nil {
+		t.Fatal("unmarshal accepted p itself")
+	}
+	for i := range buf {
+		buf[i] = 0xff
+	}
+	if err := e.Unmarshal(buf); err == nil {
+		t.Fatal("unmarshal accepted 2^256-1")
+	}
+}
+
+// TestGFpFieldAxioms verifies commutativity, associativity and
+// distributivity via testing/quick over random limb patterns reduced
+// into the field.
+func TestGFpFieldAxioms(t *testing.T) {
+	fromRaw := func(x [4]uint64) *gfP {
+		n := new(big.Int)
+		for i := 3; i >= 0; i-- {
+			n.Lsh(n, 64)
+			n.Or(n, new(big.Int).SetUint64(x[i]))
+		}
+		return gfPFromBig(n)
+	}
+
+	commutative := func(x, y [4]uint64) bool {
+		a, b := fromRaw(x), fromRaw(y)
+		var ab, ba gfP
+		ab.Mul(a, b)
+		ba.Mul(b, a)
+		return ab.Equal(&ba)
+	}
+	if err := quick.Check(commutative, quickCfg()); err != nil {
+		t.Error("multiplication not commutative:", err)
+	}
+
+	associative := func(x, y, z [4]uint64) bool {
+		a, b, c := fromRaw(x), fromRaw(y), fromRaw(z)
+		var ab, abc1, bc, abc2 gfP
+		ab.Mul(a, b)
+		abc1.Mul(&ab, c)
+		bc.Mul(b, c)
+		abc2.Mul(a, &bc)
+		return abc1.Equal(&abc2)
+	}
+	if err := quick.Check(associative, quickCfg()); err != nil {
+		t.Error("multiplication not associative:", err)
+	}
+
+	distributive := func(x, y, z [4]uint64) bool {
+		a, b, c := fromRaw(x), fromRaw(y), fromRaw(z)
+		var bPlusC, lhs, ab, ac, rhs gfP
+		bPlusC.Add(b, c)
+		lhs.Mul(a, &bPlusC)
+		ab.Mul(a, b)
+		ac.Mul(a, c)
+		rhs.Add(&ab, &ac)
+		return lhs.Equal(&rhs)
+	}
+	if err := quick.Check(distributive, quickCfg()); err != nil {
+		t.Error("distributivity fails:", err)
+	}
+}

@@ -1,0 +1,133 @@
+package bn256
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+// Independent validation of the Jacobian group law: a textbook affine
+// implementation over big.Int, sharing no code with the production
+// formulas, must agree with curvePoint on random inputs.
+
+type affinePoint struct {
+	x, y *big.Int
+	inf  bool
+}
+
+func affineFromCurvePoint(c *curvePoint) affinePoint {
+	if c.IsInfinity() {
+		return affinePoint{inf: true}
+	}
+	var a curvePoint
+	a.Set(c)
+	a.MakeAffine()
+	return affinePoint{x: a.x.BigInt(), y: a.y.BigInt()}
+}
+
+func affineAdd(p, q affinePoint) affinePoint {
+	if p.inf {
+		return q
+	}
+	if q.inf {
+		return p
+	}
+	if p.x.Cmp(q.x) == 0 {
+		sum := new(big.Int).Add(p.y, q.y)
+		sum.Mod(sum, P)
+		if sum.Sign() == 0 {
+			return affinePoint{inf: true}
+		}
+		// Doubling: lambda = 3x^2 / 2y.
+		num := new(big.Int).Mul(p.x, p.x)
+		num.Mul(num, big.NewInt(3))
+		den := new(big.Int).Lsh(p.y, 1)
+		den.ModInverse(den, P)
+		lambda := num.Mul(num, den)
+		lambda.Mod(lambda, P)
+		return affineChord(p, p, lambda)
+	}
+	// Addition: lambda = (y2 - y1)/(x2 - x1).
+	num := new(big.Int).Sub(q.y, p.y)
+	den := new(big.Int).Sub(q.x, p.x)
+	den.Mod(den, P)
+	den.ModInverse(den, P)
+	lambda := num.Mul(num, den)
+	lambda.Mod(lambda, P)
+	return affineChord(p, q, lambda)
+}
+
+func affineChord(p, q affinePoint, lambda *big.Int) affinePoint {
+	x3 := new(big.Int).Mul(lambda, lambda)
+	x3.Sub(x3, p.x)
+	x3.Sub(x3, q.x)
+	x3.Mod(x3, P)
+	y3 := new(big.Int).Sub(p.x, x3)
+	y3.Mul(y3, lambda)
+	y3.Sub(y3, p.y)
+	y3.Mod(y3, P)
+	return affinePoint{x: x3, y: y3}
+}
+
+func (p affinePoint) equal(q affinePoint) bool {
+	if p.inf || q.inf {
+		return p.inf == q.inf
+	}
+	return p.x.Cmp(q.x) == 0 && p.y.Cmp(q.y) == 0
+}
+
+func TestJacobianAgainstAffineReference(t *testing.T) {
+	for i := 0; i < 30; i++ {
+		ka, _ := rand.Int(rand.Reader, Order)
+		kb, _ := rand.Int(rand.Reader, Order)
+		var pa, pb, sum curvePoint
+		pa.Mul(&curveGen, ka)
+		pb.Mul(&curveGen, kb)
+		sum.Add(&pa, &pb)
+
+		ra := affineFromCurvePoint(&pa)
+		rb := affineFromCurvePoint(&pb)
+		want := affineAdd(ra, rb)
+		got := affineFromCurvePoint(&sum)
+		if !got.equal(want) {
+			t.Fatalf("Jacobian addition disagrees with affine reference (iteration %d)", i)
+		}
+
+		var dbl curvePoint
+		dbl.Double(&pa)
+		wantDbl := affineAdd(ra, ra)
+		gotDbl := affineFromCurvePoint(&dbl)
+		if !gotDbl.equal(wantDbl) {
+			t.Fatalf("Jacobian doubling disagrees with affine reference (iteration %d)", i)
+		}
+	}
+}
+
+// TestScalarMultAgainstRepeatedAddition validates Mul against the
+// definition for small scalars.
+func TestScalarMultAgainstRepeatedAddition(t *testing.T) {
+	var acc curvePoint
+	acc.SetInfinity()
+	for k := int64(1); k <= 25; k++ {
+		acc.Add(&acc, &curveGen)
+		var viaMul curvePoint
+		viaMul.Mul(&curveGen, big.NewInt(k))
+		if !acc.Equal(&viaMul) {
+			t.Fatalf("k*G != G+...+G at k=%d", k)
+		}
+	}
+}
+
+// TestTwistScalarMultAgainstRepeatedAddition does the same on G2.
+func TestTwistScalarMultAgainstRepeatedAddition(t *testing.T) {
+	var acc twistPoint
+	acc.SetInfinity()
+	for k := int64(1); k <= 10; k++ {
+		acc.Add(&acc, &twistGen)
+		var viaMul twistPoint
+		viaMul.Mul(&twistGen, big.NewInt(k))
+		if !acc.Equal(&viaMul) {
+			t.Fatalf("k*G2 != repeated addition at k=%d", k)
+		}
+	}
+}

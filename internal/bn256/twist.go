@@ -1,0 +1,254 @@
+package bn256
+
+import "math/big"
+
+// twistPoint is a point on the sextic D-twist E': y^2 = x^3 + 3/xi over
+// Fp2 in Jacobian coordinates. The order-r subgroup of E'(Fp2) is G2.
+type twistPoint struct {
+	x, y, z gfP2
+}
+
+// twistB is the twist curve coefficient b' = 3/xi.
+var twistB gfP2
+
+// twistGen is a generator of the order-r subgroup of E'(Fp2), found at
+// init by hashing along x-coordinates and clearing the twist cofactor.
+var twistGen twistPoint
+
+func initTwist() {
+	var three gfP2
+	three.a0 = *newGFp(3)
+	twistB.Mul(&three, &xiInv)
+
+	// Scan small x-coordinates for a point on the twist, then clear the
+	// cofactor to land in the order-r subgroup.
+	for n := int64(1); ; n++ {
+		var x, rhs, y gfP2
+		x.a0 = *newGFp(n)
+		x.a1 = *newGFp(1)
+		rhs.Square(&x)
+		rhs.Mul(&rhs, &x)
+		rhs.Add(&rhs, &twistB)
+		if !y.Sqrt(&rhs) {
+			continue
+		}
+		var pt twistPoint
+		pt.x.Set(&x)
+		pt.y.Set(&y)
+		pt.z.SetOne()
+		if !pt.isOnTwist() {
+			continue
+		}
+		var gen twistPoint
+		gen.Mul(&pt, twistCofactor)
+		if gen.IsInfinity() {
+			continue
+		}
+		var check twistPoint
+		check.Mul(&gen, Order)
+		if !check.IsInfinity() {
+			panic("bn256: cofactor-cleared twist point does not have order r")
+		}
+		gen.MakeAffine()
+		twistGen = gen
+		return
+	}
+}
+
+// Set sets t = a and returns t.
+func (t *twistPoint) Set(a *twistPoint) *twistPoint {
+	t.x.Set(&a.x)
+	t.y.Set(&a.y)
+	t.z.Set(&a.z)
+	return t
+}
+
+// SetInfinity sets t to the point at infinity.
+func (t *twistPoint) SetInfinity() *twistPoint {
+	t.x.SetOne()
+	t.y.SetOne()
+	t.z.SetZero()
+	return t
+}
+
+// IsInfinity reports whether t is the point at infinity.
+func (t *twistPoint) IsInfinity() bool {
+	return t.z.IsZero()
+}
+
+// isOnTwist reports whether the affine form of t satisfies
+// y^2 = x^3 + 3/xi.
+func (t *twistPoint) isOnTwist() bool {
+	if t.IsInfinity() {
+		return true
+	}
+	var a twistPoint
+	a.Set(t)
+	a.MakeAffine()
+	var lhs, rhs gfP2
+	lhs.Square(&a.y)
+	rhs.Square(&a.x)
+	rhs.Mul(&rhs, &a.x)
+	rhs.Add(&rhs, &twistB)
+	return lhs.Equal(&rhs)
+}
+
+// MakeAffine normalizes t to Z = 1 (or canonical infinity) and returns t.
+func (t *twistPoint) MakeAffine() *twistPoint {
+	if t.z.IsOne() {
+		return t
+	}
+	if t.IsInfinity() {
+		return t.SetInfinity()
+	}
+	var zInv, zInv2, zInv3 gfP2
+	zInv.Invert(&t.z)
+	zInv2.Square(&zInv)
+	zInv3.Mul(&zInv2, &zInv)
+	t.x.Mul(&t.x, &zInv2)
+	t.y.Mul(&t.y, &zInv3)
+	t.z.SetOne()
+	return t
+}
+
+// Double sets t = 2a and returns t.
+func (t *twistPoint) Double(a *twistPoint) *twistPoint {
+	if a.IsInfinity() {
+		return t.SetInfinity()
+	}
+	var A, B, C, D, E, F, tt gfP2
+	A.Square(&a.x)
+	B.Square(&a.y)
+	C.Square(&B)
+
+	D.Add(&a.x, &B)
+	D.Square(&D)
+	D.Sub(&D, &A)
+	D.Sub(&D, &C)
+	D.Double(&D)
+
+	E.Double(&A)
+	E.Add(&E, &A)
+	F.Square(&E)
+
+	var x3, y3, z3 gfP2
+	x3.Double(&D)
+	x3.Sub(&F, &x3)
+
+	tt.Sub(&D, &x3)
+	y3.Mul(&E, &tt)
+	tt.Double(&C)
+	tt.Double(&tt)
+	tt.Double(&tt)
+	y3.Sub(&y3, &tt)
+
+	z3.Mul(&a.y, &a.z)
+	z3.Double(&z3)
+
+	t.x.Set(&x3)
+	t.y.Set(&y3)
+	t.z.Set(&z3)
+	return t
+}
+
+// Add sets t = a + b and returns t.
+func (t *twistPoint) Add(a, b *twistPoint) *twistPoint {
+	if a.IsInfinity() {
+		return t.Set(b)
+	}
+	if b.IsInfinity() {
+		return t.Set(a)
+	}
+	var z1z1, z2z2, u1, u2, s1, s2 gfP2
+	z1z1.Square(&a.z)
+	z2z2.Square(&b.z)
+	u1.Mul(&a.x, &z2z2)
+	u2.Mul(&b.x, &z1z1)
+	s1.Mul(&a.y, &b.z)
+	s1.Mul(&s1, &z2z2)
+	s2.Mul(&b.y, &a.z)
+	s2.Mul(&s2, &z1z1)
+
+	var h, r gfP2
+	h.Sub(&u2, &u1)
+	r.Sub(&s2, &s1)
+	if h.IsZero() {
+		if r.IsZero() {
+			return t.Double(a)
+		}
+		return t.SetInfinity()
+	}
+	r.Double(&r)
+
+	var i, j, v gfP2
+	i.Double(&h)
+	i.Square(&i)
+	j.Mul(&h, &i)
+	v.Mul(&u1, &i)
+
+	var x3, y3, z3, tt gfP2
+	x3.Square(&r)
+	x3.Sub(&x3, &j)
+	tt.Double(&v)
+	x3.Sub(&x3, &tt)
+
+	tt.Sub(&v, &x3)
+	y3.Mul(&r, &tt)
+	tt.Mul(&s1, &j)
+	tt.Double(&tt)
+	y3.Sub(&y3, &tt)
+
+	z3.Add(&a.z, &b.z)
+	z3.Square(&z3)
+	z3.Sub(&z3, &z1z1)
+	z3.Sub(&z3, &z2z2)
+	z3.Mul(&z3, &h)
+
+	t.x.Set(&x3)
+	t.y.Set(&y3)
+	t.z.Set(&z3)
+	return t
+}
+
+// Neg sets t = -a and returns t.
+func (t *twistPoint) Neg(a *twistPoint) *twistPoint {
+	t.x.Set(&a.x)
+	t.y.Neg(&a.y)
+	t.z.Set(&a.z)
+	return t
+}
+
+// Mul sets t = k*a using double-and-add and returns t.
+func (t *twistPoint) Mul(a *twistPoint, k *big.Int) *twistPoint {
+	var acc twistPoint
+	acc.SetInfinity()
+	base := *a
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		acc.Double(&acc)
+		if k.Bit(i) == 1 {
+			acc.Add(&acc, &base)
+		}
+	}
+	return t.Set(&acc)
+}
+
+// Equal reports whether t and a represent the same point.
+func (t *twistPoint) Equal(a *twistPoint) bool {
+	if t.IsInfinity() || a.IsInfinity() {
+		return t.IsInfinity() == a.IsInfinity()
+	}
+	var z1z1, z2z2, l, r gfP2
+	z1z1.Square(&t.z)
+	z2z2.Square(&a.z)
+	l.Mul(&t.x, &z2z2)
+	r.Mul(&a.x, &z1z1)
+	if !l.Equal(&r) {
+		return false
+	}
+	var z1c, z2c gfP2
+	z1c.Mul(&z1z1, &t.z)
+	z2c.Mul(&z2z2, &a.z)
+	l.Mul(&t.y, &z2c)
+	r.Mul(&a.y, &z1c)
+	return l.Equal(&r)
+}

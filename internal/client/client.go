@@ -1,0 +1,155 @@
+// Package client implements the data-owner side of the
+// database-as-a-service model: it holds the Secure Join master key and
+// the payload AEAD key, encrypts tables before upload, issues per-query
+// tokens and decrypts result payloads. The server never receives any key
+// material.
+package client
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+
+	"repro/internal/engine"
+	"repro/internal/securejoin"
+	"repro/internal/wire"
+)
+
+// Client is a connected protocol client.
+type Client struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+
+	keys *engine.Client
+}
+
+// Dial connects to a server and provisions fresh key material for the
+// given scheme parameters.
+func Dial(addr string, params securejoin.Params) (*Client, error) {
+	keys, err := engine.NewClient(params, nil)
+	if err != nil {
+		return nil, err
+	}
+	return DialWithKeys(addr, keys)
+}
+
+// DialWithKeys connects to a server reusing existing key material —
+// e.g. keys restored with engine.LoadClientKeys from an earlier
+// session, so previously uploaded tables stay queryable.
+func DialWithKeys(addr string, keys *engine.Client) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn: conn,
+		enc:  gob.NewEncoder(conn),
+		dec:  gob.NewDecoder(conn),
+		keys: keys,
+	}, nil
+}
+
+// Keys returns the client's key material, e.g. for ExportKeys.
+func (c *Client) Keys() *engine.Client { return c.keys }
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Ping round-trips an empty request.
+func (c *Client) Ping() error {
+	resp, err := c.roundTrip(&wire.Request{Ping: true})
+	if err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return errors.New(resp.Err)
+	}
+	return nil
+}
+
+// Upload encrypts a plaintext table and stores it on the server under
+// the given name.
+func (c *Client) Upload(name string, rows []engine.PlainRow) error {
+	table, err := c.keys.EncryptTable(name, rows)
+	if err != nil {
+		return err
+	}
+	req := &wire.UploadRequest{Table: name, Rows: make([]wire.UploadRow, len(table.Rows))}
+	for i, r := range table.Rows {
+		jc, err := r.Join.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		req.Rows[i] = wire.UploadRow{JoinCiphertext: jc, Payload: r.Payload}
+	}
+	resp, err := c.roundTrip(&wire.Request{Upload: req})
+	if err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return fmt.Errorf("client: upload rejected: %s", resp.Err)
+	}
+	return nil
+}
+
+// JoinResult is one decrypted joined row pair.
+type JoinResult struct {
+	RowA, RowB         int
+	PayloadA, PayloadB []byte
+}
+
+// Join executes SELECT * FROM tableA JOIN tableB ON joinA = joinB WHERE
+// selA AND selB. A fresh query key is drawn, so repeated identical calls
+// are unlinkable at the server.
+func (c *Client) Join(tableA, tableB string, selA, selB securejoin.Selection) ([]JoinResult, int, error) {
+	q, err := c.keys.NewQuery(selA, selB)
+	if err != nil {
+		return nil, 0, err
+	}
+	tka, err := q.TokenA.MarshalBinary()
+	if err != nil {
+		return nil, 0, err
+	}
+	tkb, err := q.TokenB.MarshalBinary()
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.roundTrip(&wire.Request{Join: &wire.JoinRequest{
+		TableA: tableA, TableB: tableB, TokenA: tka, TokenB: tkb,
+	}})
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.Err != "" {
+		return nil, 0, fmt.Errorf("client: join rejected: %s", resp.Err)
+	}
+	if resp.Join == nil {
+		return nil, 0, errors.New("client: server returned no join payload")
+	}
+	out := make([]JoinResult, len(resp.Join.Rows))
+	for i, r := range resp.Join.Rows {
+		pa, err := c.keys.OpenPayload(r.PayloadA)
+		if err != nil {
+			return nil, 0, fmt.Errorf("client: opening payload A of result %d: %w", i, err)
+		}
+		pb, err := c.keys.OpenPayload(r.PayloadB)
+		if err != nil {
+			return nil, 0, fmt.Errorf("client: opening payload B of result %d: %w", i, err)
+		}
+		out[i] = JoinResult{RowA: r.RowA, RowB: r.RowB, PayloadA: pa, PayloadB: pb}
+	}
+	return out, resp.Join.RevealedPairs, nil
+}
+
+func (c *Client) roundTrip(req *wire.Request) (*wire.Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("client: send: %w", err)
+	}
+	var resp wire.Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("client: receive: %w", err)
+	}
+	return &resp, nil
+}

@@ -1,0 +1,246 @@
+// Package engine implements the database-as-a-service system model of
+// Section 2 on top of the Secure Join scheme: a Client that owns the
+// master secret key, encrypts tables and issues query tokens, and a
+// Server that stores only ciphertexts and executes SJ.Dec + SJ.Match as
+// an O(n) hash join. Row payloads (the full attribute tuples returned in
+// join results) are protected with client-side AES-GCM, so the server
+// handles them only as opaque blobs.
+//
+// The server additionally records, per query, the equality pairs its
+// execution observed — the sigma(q) trace of Section 5.2 — so examples
+// and tests can audit the leakage of a series of queries.
+package engine
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/leakage"
+	"repro/internal/securejoin"
+	"repro/internal/sse"
+)
+
+// PlainRow is one client-side row: the join value, the filterable
+// attribute values (in scheme attribute order) and an arbitrary payload
+// (e.g. the rendered full tuple) returned with join results.
+type PlainRow struct {
+	JoinValue []byte
+	Attrs     [][]byte
+	Payload   []byte
+}
+
+// EncryptedRow is the server-side image of one row.
+type EncryptedRow struct {
+	Join    *securejoin.RowCiphertext
+	Payload []byte // AES-GCM sealed under the client's payload key
+}
+
+// EncryptedTable is an uploaded table. Index is the optional SSE
+// pre-filter index (see prefilter.go); it is nil for tables uploaded
+// with EncryptTable.
+type EncryptedTable struct {
+	Name  string
+	Rows  []*EncryptedRow
+	Index *sse.Index
+}
+
+// Client holds all secret material: the Secure Join master key, the
+// payload encryption key and the SSE index keys.
+type Client struct {
+	scheme      *securejoin.Scheme
+	payloadAEAD cipher.AEAD
+	payloadKey  []byte
+	sse         *sse.Client
+}
+
+// NewClient creates a client for tables with the given Secure Join
+// parameters. If rng is nil crypto/rand is used.
+func NewClient(params securejoin.Params, rng io.Reader) (*Client, error) {
+	scheme, err := securejoin.Setup(params, rng)
+	if err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	key := make([]byte, 32)
+	if _, err := io.ReadFull(rng, key); err != nil {
+		return nil, fmt.Errorf("engine: sampling payload key: %w", err)
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	sseClient, err := sse.NewClient(rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{scheme: scheme, payloadAEAD: aead, payloadKey: key, sse: sseClient}, nil
+}
+
+// Params returns the scheme parameters of the client.
+func (c *Client) Params() securejoin.Params { return c.scheme.Params() }
+
+// EncryptTable encrypts a table for upload.
+func (c *Client) EncryptTable(name string, rows []PlainRow) (*EncryptedTable, error) {
+	out := &EncryptedTable{Name: name, Rows: make([]*EncryptedRow, len(rows))}
+	for i, r := range rows {
+		jc, err := c.scheme.Encrypt(securejoin.Row{JoinValue: r.JoinValue, Attrs: r.Attrs})
+		if err != nil {
+			return nil, fmt.Errorf("engine: encrypting row %d of %s: %w", i, name, err)
+		}
+		pc, err := c.sealPayload(r.Payload)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows[i] = &EncryptedRow{Join: jc, Payload: pc}
+	}
+	return out, nil
+}
+
+// NewQuery issues the two tokens of one equi-join query.
+func (c *Client) NewQuery(selA, selB securejoin.Selection) (*securejoin.Query, error) {
+	return c.scheme.NewQuery(selA, selB)
+}
+
+// OpenPayload decrypts a payload blob from a join result.
+func (c *Client) OpenPayload(sealed []byte) ([]byte, error) {
+	ns := c.payloadAEAD.NonceSize()
+	if len(sealed) < ns {
+		return nil, errors.New("engine: sealed payload shorter than nonce")
+	}
+	return c.payloadAEAD.Open(nil, sealed[:ns], sealed[ns:], nil)
+}
+
+func (c *Client) sealPayload(pt []byte) ([]byte, error) {
+	nonce := make([]byte, c.payloadAEAD.NonceSize())
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, err
+	}
+	return c.payloadAEAD.Seal(nonce, nonce, pt, nil), nil
+}
+
+// JoinedRow is one element of a join result: the sealed payloads of the
+// matching rows.
+type JoinedRow struct {
+	RowA, RowB         int
+	PayloadA, PayloadB []byte
+}
+
+// QueryTrace is the server-observable leakage of one query: the equality
+// pairs revealed among rows matching the selection criteria (cross-table
+// and intra-table), i.e. sigma(q) of Section 5.2.
+type QueryTrace struct {
+	Pairs leakage.PairSet
+}
+
+// Server stores encrypted tables and executes join queries. It holds no
+// key material.
+type Server struct {
+	tables map[string]*EncryptedTable
+
+	// cumulative is everything the server has observed across queries,
+	// for leakage auditing.
+	cumulative leakage.PairSet
+	perQuery   []leakage.PairSet
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{tables: make(map[string]*EncryptedTable), cumulative: leakage.NewPairSet()}
+}
+
+// Upload stores an encrypted table, replacing any previous version.
+func (s *Server) Upload(t *EncryptedTable) {
+	s.tables[t.Name] = t
+}
+
+// Table returns an uploaded table.
+func (s *Server) Table(name string) (*EncryptedTable, error) {
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// ExecuteJoin runs one equi-join query: SJ.Dec over both tables followed
+// by a hash-based SJ.Match. It returns the joined row payloads and
+// records the query's observed leakage.
+func (s *Server) ExecuteJoin(tableA, tableB string, q *securejoin.Query) ([]JoinedRow, *QueryTrace, error) {
+	ta, err := s.Table(tableA)
+	if err != nil {
+		return nil, nil, err
+	}
+	tb, err := s.Table(tableB)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	das, err := decryptAll(q.TokenA, ta)
+	if err != nil {
+		return nil, nil, err
+	}
+	dbs, err := decryptAll(q.TokenB, tb)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	pairs := securejoin.HashJoin(das, dbs)
+	result := make([]JoinedRow, len(pairs))
+	for i, p := range pairs {
+		result[i] = JoinedRow{
+			RowA:     p.RowA,
+			RowB:     p.RowB,
+			PayloadA: ta.Rows[p.RowA].Payload,
+			PayloadB: tb.Rows[p.RowB].Payload,
+		}
+	}
+
+	trace := &QueryTrace{Pairs: leakage.NewPairSet()}
+	for _, p := range pairs {
+		trace.Pairs.Add(leakage.Pair{
+			A: leakage.RowRef{Table: tableA, Row: p.RowA},
+			B: leakage.RowRef{Table: tableB, Row: p.RowB},
+		})
+	}
+	for _, sp := range securejoin.SelfPairs(das) {
+		trace.Pairs.Add(leakage.Pair{
+			A: leakage.RowRef{Table: tableA, Row: sp[0]},
+			B: leakage.RowRef{Table: tableA, Row: sp[1]},
+		})
+	}
+	for _, sp := range securejoin.SelfPairs(dbs) {
+		trace.Pairs.Add(leakage.Pair{
+			A: leakage.RowRef{Table: tableB, Row: sp[0]},
+			B: leakage.RowRef{Table: tableB, Row: sp[1]},
+		})
+	}
+	s.perQuery = append(s.perQuery, trace.Pairs)
+	s.cumulative.AddAll(trace.Pairs)
+
+	return result, trace, nil
+}
+
+// ObservedLeakage returns the per-query traces recorded so far and the
+// transitive closure of their union — by Corollary 5.2.2 this closure is
+// everything a semi-honest server can derive from the whole series.
+func (s *Server) ObservedLeakage() (perQuery []leakage.PairSet, closure leakage.PairSet) {
+	return s.perQuery, s.cumulative.TransitiveClosure()
+}
+
+func decryptAll(tk *securejoin.Token, t *EncryptedTable) ([]securejoin.DValue, error) {
+	cts := make([]*securejoin.RowCiphertext, len(t.Rows))
+	for i, r := range t.Rows {
+		cts[i] = r.Join
+	}
+	return securejoin.DecryptTable(tk, cts)
+}

@@ -1,0 +1,188 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/leakage"
+	"repro/internal/securejoin"
+)
+
+func exampleTables() (teams, employees []PlainRow) {
+	teams = []PlainRow{
+		{JoinValue: []byte("1"), Attrs: [][]byte{[]byte("Web Application")}, Payload: []byte("team-1")},
+		{JoinValue: []byte("2"), Attrs: [][]byte{[]byte("Database")}, Payload: []byte("team-2")},
+	}
+	employees = []PlainRow{
+		{JoinValue: []byte("1"), Attrs: [][]byte{[]byte("Programmer")}, Payload: []byte("hans")},
+		{JoinValue: []byte("1"), Attrs: [][]byte{[]byte("Tester")}, Payload: []byte("kaily")},
+		{JoinValue: []byte("2"), Attrs: [][]byte{[]byte("Programmer")}, Payload: []byte("john")},
+		{JoinValue: []byte("2"), Attrs: [][]byte{[]byte("Tester")}, Payload: []byte("sally")},
+	}
+	return
+}
+
+func setup(t *testing.T) (*Client, *Server) {
+	t.Helper()
+	client, err := NewClient(securejoin.Params{M: 1, T: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := NewServer()
+	teams, employees := exampleTables()
+	encT, err := client.EncryptTable("Teams", teams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encE, err := client.EncryptTable("Employees", employees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server.Upload(encT)
+	server.Upload(encE)
+	return client, server
+}
+
+func TestEndToEndJoin(t *testing.T) {
+	client, server := setup(t)
+	q, err := client.NewQuery(
+		securejoin.Selection{0: [][]byte{[]byte("Web Application")}},
+		securejoin.Selection{0: [][]byte{[]byte("Tester")}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, trace, err := server.ExecuteJoin("Teams", "Employees", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("expected 1 result, got %d", len(rows))
+	}
+	pa, err := client.OpenPayload(rows[0].PayloadA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := client.OpenPayload(rows[0].PayloadB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pa, []byte("team-1")) || !bytes.Equal(pb, []byte("kaily")) {
+		t.Fatalf("payloads = %q, %q", pa, pb)
+	}
+	if trace.Pairs.Len() != 1 {
+		t.Fatalf("query trace has %d pairs, want 1", trace.Pairs.Len())
+	}
+}
+
+// TestSeriesLeakageIsClosureOnly replays the two queries of the paper's
+// timeline and verifies that the server's cumulative observation equals
+// exactly the transitive closure of the per-query traces (Corollary
+// 5.2.2) — 2 pairs, not Hahn's 6.
+func TestSeriesLeakageIsClosureOnly(t *testing.T) {
+	client, server := setup(t)
+
+	q1, err := client.NewQuery(
+		securejoin.Selection{0: [][]byte{[]byte("Web Application")}},
+		securejoin.Selection{0: [][]byte{[]byte("Tester")}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := server.ExecuteJoin("Teams", "Employees", q1); err != nil {
+		t.Fatal(err)
+	}
+	q2, err := client.NewQuery(
+		securejoin.Selection{0: [][]byte{[]byte("Database")}},
+		securejoin.Selection{0: [][]byte{[]byte("Programmer")}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := server.ExecuteJoin("Teams", "Employees", q2); err != nil {
+		t.Fatal(err)
+	}
+
+	perQuery, closure := server.ObservedLeakage()
+	if len(perQuery) != 2 {
+		t.Fatalf("%d per-query traces", len(perQuery))
+	}
+	if closure.Len() != 2 {
+		t.Fatalf("closure has %d pairs, want 2", closure.Len())
+	}
+	if leakage.IsSuperAdditive(closure, perQuery) {
+		t.Fatal("engine leaked super-additively")
+	}
+	want := leakage.NewPairSet(
+		leakage.Pair{A: leakage.RowRef{Table: "Teams", Row: 0}, B: leakage.RowRef{Table: "Employees", Row: 1}},
+		leakage.Pair{A: leakage.RowRef{Table: "Teams", Row: 1}, B: leakage.RowRef{Table: "Employees", Row: 2}},
+	)
+	if !closure.Equal(want) {
+		t.Fatalf("closure = %v", closure.Sorted())
+	}
+}
+
+func TestUnknownTable(t *testing.T) {
+	client, server := setup(t)
+	q, err := client.NewQuery(securejoin.Selection{}, securejoin.Selection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := server.ExecuteJoin("Teams", "Nope", q); err == nil {
+		t.Fatal("join against a missing table should fail")
+	}
+	if _, _, err := server.ExecuteJoin("Nope", "Teams", q); err == nil {
+		t.Fatal("join against a missing table should fail")
+	}
+}
+
+func TestPayloadConfidentialityAndIntegrity(t *testing.T) {
+	client, server := setup(t)
+	table, err := server.Table("Teams")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed := table.Rows[0].Payload
+	if bytes.Contains(sealed, []byte("team-1")) {
+		t.Fatal("payload plaintext visible in stored ciphertext")
+	}
+	// Tampering must be detected.
+	tampered := append([]byte{}, sealed...)
+	tampered[len(tampered)-1] ^= 1
+	if _, err := client.OpenPayload(tampered); err == nil {
+		t.Fatal("tampered payload accepted")
+	}
+	// A second client cannot open the first client's payloads.
+	other, err := NewClient(securejoin.Params{M: 1, T: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.OpenPayload(sealed); err == nil {
+		t.Fatal("foreign client opened the payload")
+	}
+	if _, err := client.OpenPayload([]byte{1, 2}); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+// TestRepeatedQueryUnlinkable: executing the same logical query twice
+// adds no new pairs to the closure (the results are the same rows), and
+// the servers' D values across the two executions differ.
+func TestRepeatedQueryUnlinkable(t *testing.T) {
+	client, server := setup(t)
+	sel := securejoin.Selection{0: [][]byte{[]byte("Web Application")}}
+	selB := securejoin.Selection{0: [][]byte{[]byte("Tester")}}
+	for i := 0; i < 2; i++ {
+		q, err := client.NewQuery(sel, selB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := server.ExecuteJoin("Teams", "Employees", q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, closure := server.ObservedLeakage()
+	if closure.Len() != 1 {
+		t.Fatalf("re-running a query should not grow the closure: %d pairs", closure.Len())
+	}
+}

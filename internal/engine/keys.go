@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/securejoin"
+	"repro/internal/sse"
+)
+
+// Client key persistence: ExportKeys writes every client secret (Secure
+// Join master key, payload AEAD key, SSE index keys) so a client can be
+// reconstructed in a later session with LoadClientKeys and keep
+// querying previously uploaded tables. The output must be stored like
+// any other long-term secret key.
+
+type keyFile struct {
+	Scheme  []byte
+	Payload []byte
+	SSE     []byte
+}
+
+// ExportKeys serializes all client secrets to w.
+func (c *Client) ExportKeys(w io.Writer) error {
+	schemeBytes, err := c.scheme.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("engine: encoding scheme: %w", err)
+	}
+	sseBytes, err := c.sse.MarshalKeys()
+	if err != nil {
+		return fmt.Errorf("engine: encoding SSE keys: %w", err)
+	}
+	return gob.NewEncoder(w).Encode(&keyFile{
+		Scheme:  schemeBytes,
+		Payload: c.payloadKey,
+		SSE:     sseBytes,
+	})
+}
+
+// LoadClientKeys reconstructs a client from ExportKeys output.
+func LoadClientKeys(r io.Reader) (*Client, error) {
+	var f keyFile
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("engine: decoding key file: %w", err)
+	}
+	scheme, err := securejoin.LoadScheme(f.Scheme, nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(f.Payload) != 32 {
+		return nil, fmt.Errorf("engine: payload key has %d bytes, want 32", len(f.Payload))
+	}
+	block, err := aes.NewCipher(f.Payload)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	sseClient, err := sse.LoadClientKeys(f.SSE)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		scheme:      scheme,
+		payloadAEAD: aead,
+		payloadKey:  f.Payload,
+		sse:         sseClient,
+	}, nil
+}

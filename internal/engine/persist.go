@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/securejoin"
+	"repro/internal/sse"
+)
+
+// Persistence for encrypted tables: the server (or the client, before
+// upload) can serialize a table to any io.Writer and reload it later.
+// Only public values are stored — ciphertexts, sealed payloads and the
+// SSE index — so a table file is safe to keep on untrusted storage,
+// with the same security posture as the running server.
+
+// tableFile is the gob image of an EncryptedTable.
+type tableFile struct {
+	Name  string
+	Rows  []tableFileRow
+	Index []byte // empty when the table has no SSE index
+}
+
+type tableFileRow struct {
+	Join    []byte
+	Payload []byte
+}
+
+// SaveTable serializes an encrypted table.
+func SaveTable(w io.Writer, t *EncryptedTable) error {
+	f := tableFile{Name: t.Name, Rows: make([]tableFileRow, len(t.Rows))}
+	for i, r := range t.Rows {
+		jc, err := r.Join.MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("engine: encoding row %d: %w", i, err)
+		}
+		f.Rows[i] = tableFileRow{Join: jc, Payload: r.Payload}
+	}
+	if t.Index != nil {
+		idx, err := t.Index.MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("engine: encoding index: %w", err)
+		}
+		f.Index = idx
+	}
+	return gob.NewEncoder(w).Encode(&f)
+}
+
+// LoadTable deserializes a table written by SaveTable, re-validating
+// every ciphertext group element.
+func LoadTable(r io.Reader) (*EncryptedTable, error) {
+	var f tableFile
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("engine: decoding table: %w", err)
+	}
+	t := &EncryptedTable{Name: f.Name, Rows: make([]*EncryptedRow, len(f.Rows))}
+	for i, row := range f.Rows {
+		var ct securejoin.RowCiphertext
+		if err := ct.UnmarshalBinary(row.Join); err != nil {
+			return nil, fmt.Errorf("engine: decoding row %d: %w", i, err)
+		}
+		t.Rows[i] = &EncryptedRow{Join: &ct, Payload: row.Payload}
+	}
+	if len(f.Index) > 0 {
+		idx := &sse.Index{}
+		if err := idx.UnmarshalBinary(f.Index); err != nil {
+			return nil, fmt.Errorf("engine: decoding index: %w", err)
+		}
+		t.Index = idx
+	}
+	return t, nil
+}

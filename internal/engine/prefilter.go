@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/leakage"
+	"repro/internal/securejoin"
+	"repro/internal/sse"
+)
+
+// This file adds the optional SSE pre-filter of Section 4.3 ("There
+// exist many (searchable) encryption schemes which can be used for
+// pre-filtering the rows with the attributes matching the selection
+// criteria reducing the size of the tables, but they are orthogonal to
+// our join encryption scheme"). When a table is uploaded with an index,
+// the server can resolve the selection predicates via SSE first and run
+// the expensive SJ.Dec pairings only over the candidate rows — turning
+// per-query work from O(n) pairings into O(selectivity * n).
+//
+// The pre-filter trades a little leakage for that speedup: the server
+// additionally learns which rows match each *individual* attribute
+// predicate (standard SSE access-pattern leakage), not only the
+// equality pairs among fully-matching rows. Clients wanting the exact
+// leakage of Theorem 5.2 use ExecuteJoin instead.
+
+// PrefilterQuery carries, for each table, the SSE tokens of the query's
+// selection predicates: one token list per restricted attribute
+// (tokens of one attribute are OR'ed, attributes are AND'ed), matching
+// the WHERE ... IN (...) AND ... semantics.
+type PrefilterQuery struct {
+	Join    *securejoin.Query
+	TokensA map[int][]sse.SearchToken
+	TokensB map[int][]sse.SearchToken
+}
+
+// EncryptTableIndexed encrypts a table and builds its SSE pre-filter
+// index over the same attribute values used by the Secure Join
+// selection polynomials.
+func (c *Client) EncryptTableIndexed(name string, rows []PlainRow) (*EncryptedTable, error) {
+	table, err := c.EncryptTable(name, rows)
+	if err != nil {
+		return nil, err
+	}
+	attrRows := make([][][]byte, len(rows))
+	for i, r := range rows {
+		attrRows[i] = r.Attrs
+	}
+	idx, err := c.sse.BuildIndex(attrRows)
+	if err != nil {
+		return nil, fmt.Errorf("engine: building SSE index for %s: %w", name, err)
+	}
+	table.Index = idx
+	return table, nil
+}
+
+// NewPrefilterQuery issues the join tokens plus the SSE search tokens
+// for both selections.
+func (c *Client) NewPrefilterQuery(selA, selB securejoin.Selection) (*PrefilterQuery, error) {
+	q, err := c.NewQuery(selA, selB)
+	if err != nil {
+		return nil, err
+	}
+	return &PrefilterQuery{
+		Join:    q,
+		TokensA: c.sseTokens(selA),
+		TokensB: c.sseTokens(selB),
+	}, nil
+}
+
+func (c *Client) sseTokens(sel securejoin.Selection) map[int][]sse.SearchToken {
+	out := make(map[int][]sse.SearchToken, len(sel))
+	for attr, values := range sel {
+		toks := make([]sse.SearchToken, len(values))
+		for i, v := range values {
+			toks[i] = c.sse.Tokenize(attr, v)
+		}
+		out[attr] = toks
+	}
+	return out
+}
+
+// ExecuteJoinPrefiltered runs a join like ExecuteJoin but resolves the
+// selection predicates through each table's SSE index first, paying
+// SJ.Dec only for candidate rows. Tables uploaded without an index are
+// processed in full.
+func (s *Server) ExecuteJoinPrefiltered(tableA, tableB string, q *PrefilterQuery) ([]JoinedRow, *QueryTrace, error) {
+	ta, err := s.Table(tableA)
+	if err != nil {
+		return nil, nil, err
+	}
+	tb, err := s.Table(tableB)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	candA, err := candidates(ta, q.TokensA)
+	if err != nil {
+		return nil, nil, err
+	}
+	candB, err := candidates(tb, q.TokensB)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	das, err := decryptRows(q.Join.TokenA, ta, candA)
+	if err != nil {
+		return nil, nil, err
+	}
+	dbs, err := decryptRows(q.Join.TokenB, tb, candB)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	pairs := securejoin.HashJoin(das, dbs)
+	result := make([]JoinedRow, len(pairs))
+	trace := &QueryTrace{Pairs: leakage.NewPairSet()}
+	for i, p := range pairs {
+		ra, rb := candA[p.RowA], candB[p.RowB]
+		result[i] = JoinedRow{
+			RowA: ra, RowB: rb,
+			PayloadA: ta.Rows[ra].Payload,
+			PayloadB: tb.Rows[rb].Payload,
+		}
+		trace.Pairs.Add(leakage.Pair{
+			A: leakage.RowRef{Table: tableA, Row: ra},
+			B: leakage.RowRef{Table: tableB, Row: rb},
+		})
+	}
+	for _, sp := range securejoin.SelfPairs(das) {
+		trace.Pairs.Add(leakage.Pair{
+			A: leakage.RowRef{Table: tableA, Row: candA[sp[0]]},
+			B: leakage.RowRef{Table: tableA, Row: candA[sp[1]]},
+		})
+	}
+	for _, sp := range securejoin.SelfPairs(dbs) {
+		trace.Pairs.Add(leakage.Pair{
+			A: leakage.RowRef{Table: tableB, Row: candB[sp[0]]},
+			B: leakage.RowRef{Table: tableB, Row: candB[sp[1]]},
+		})
+	}
+	s.perQuery = append(s.perQuery, trace.Pairs)
+	s.cumulative.AddAll(trace.Pairs)
+	return result, trace, nil
+}
+
+// candidates resolves a table's pre-filter: the intersection over
+// restricted attributes of the union over each attribute's values.
+// With no index or no restrictions, every row is a candidate.
+func candidates(t *EncryptedTable, tokens map[int][]sse.SearchToken) ([]int, error) {
+	if t.Index == nil || len(tokens) == 0 {
+		all := make([]int, len(t.Rows))
+		for i := range all {
+			all[i] = i
+		}
+		return all, nil
+	}
+	var cand []int
+	first := true
+	for _, toks := range tokens {
+		rows, err := t.Index.SearchUnion(toks)
+		if err != nil {
+			return nil, err
+		}
+		if first {
+			cand = rows
+			first = false
+			continue
+		}
+		cand = sse.IntersectSorted(cand, rows)
+	}
+	return cand, nil
+}
+
+// decryptRows runs SJ.Dec over the selected row subset only.
+func decryptRows(tk *securejoin.Token, t *EncryptedTable, rows []int) ([]securejoin.DValue, error) {
+	cts := make([]*securejoin.RowCiphertext, len(rows))
+	for i, r := range rows {
+		if r < 0 || r >= len(t.Rows) {
+			return nil, fmt.Errorf("engine: candidate row %d out of range", r)
+		}
+		cts[i] = t.Rows[r].Join
+	}
+	return securejoin.DecryptTable(tk, cts)
+}

@@ -1,0 +1,167 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/securejoin"
+)
+
+func setupIndexed(t *testing.T) (*Client, *Server) {
+	t.Helper()
+	client, err := NewClient(securejoin.Params{M: 1, T: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := NewServer()
+	teams, employees := exampleTables()
+	encT, err := client.EncryptTableIndexed("Teams", teams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encE, err := client.EncryptTableIndexed("Employees", employees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if encT.Index == nil || encE.Index == nil {
+		t.Fatal("indexed upload did not attach an index")
+	}
+	server.Upload(encT)
+	server.Upload(encE)
+	return client, server
+}
+
+// TestPrefilteredJoinMatchesFullJoin: the pre-filtered execution path
+// must return exactly the same result rows as the full scan.
+func TestPrefilteredJoinMatchesFullJoin(t *testing.T) {
+	client, server := setupIndexed(t)
+	selA := securejoin.Selection{0: [][]byte{[]byte("Web Application")}}
+	selB := securejoin.Selection{0: [][]byte{[]byte("Tester")}}
+
+	pq, err := client.NewPrefilterQuery(selA, selB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, trace, err := server.ExecuteJoinPrefiltered("Teams", "Employees", pq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q, err := client.NewQuery(selA, selB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := server.ExecuteJoin("Teams", "Employees", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(fast) != len(full) {
+		t.Fatalf("prefiltered join returned %d rows, full join %d", len(fast), len(full))
+	}
+	for i := range fast {
+		if fast[i].RowA != full[i].RowA || fast[i].RowB != full[i].RowB {
+			t.Fatalf("row %d differs: %v vs %v", i, fast[i], full[i])
+		}
+	}
+	if trace.Pairs.Len() != 1 {
+		t.Fatalf("trace has %d pairs", trace.Pairs.Len())
+	}
+}
+
+// TestPrefilteredJoinINClause: IN clauses union within an attribute.
+func TestPrefilteredJoinINClause(t *testing.T) {
+	client, server := setupIndexed(t)
+	pq, err := client.NewPrefilterQuery(
+		securejoin.Selection{0: [][]byte{[]byte("Web Application"), []byte("Database")}},
+		securejoin.Selection{0: [][]byte{[]byte("Tester")}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _, err := server.ExecuteJoinPrefiltered("Teams", "Employees", pq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("expected both testers, got %d rows", len(rows))
+	}
+}
+
+// TestPrefilterOnUnindexedTableFallsBack: a table uploaded without an
+// index is processed with a full scan and the query still succeeds.
+func TestPrefilterOnUnindexedTableFallsBack(t *testing.T) {
+	client, err := NewClient(securejoin.Params{M: 1, T: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := NewServer()
+	teams, employees := exampleTables()
+	encT, err := client.EncryptTable("Teams", teams) // no index
+	if err != nil {
+		t.Fatal(err)
+	}
+	encE, err := client.EncryptTableIndexed("Employees", employees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server.Upload(encT)
+	server.Upload(encE)
+
+	pq, err := client.NewPrefilterQuery(
+		securejoin.Selection{0: [][]byte{[]byte("Web Application")}},
+		securejoin.Selection{0: [][]byte{[]byte("Tester")}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _, err := server.ExecuteJoinPrefiltered("Teams", "Employees", pq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("expected 1 row, got %d", len(rows))
+	}
+}
+
+// TestPrefilterEmptySelection: with no predicates every row is a
+// candidate and the pre-filtered path degenerates to the full join.
+func TestPrefilterEmptySelection(t *testing.T) {
+	client, server := setupIndexed(t)
+	pq, err := client.NewPrefilterQuery(securejoin.Selection{}, securejoin.Selection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _, err := server.ExecuteJoinPrefiltered("Teams", "Employees", pq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("unfiltered join should return 4 rows, got %d", len(rows))
+	}
+}
+
+// TestPrefilterNoMatches: predicates selecting nothing yield an empty
+// result without error.
+func TestPrefilterNoMatches(t *testing.T) {
+	client, server := setupIndexed(t)
+	pq, err := client.NewPrefilterQuery(
+		securejoin.Selection{0: [][]byte{[]byte("No Such Team")}},
+		securejoin.Selection{},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, trace, err := server.ExecuteJoinPrefiltered("Teams", "Employees", pq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("expected no joined rows, got %d", len(rows))
+	}
+	// The Employees side is unrestricted, so its intra-table equality
+	// pairs (two teams of two) are legitimately revealed even though
+	// the cross join is empty — exactly the paper's leakage definition.
+	if trace.Pairs.Len() != 2 {
+		t.Fatalf("expected the 2 intra-Employees pairs, got %d", trace.Pairs.Len())
+	}
+}

@@ -1,0 +1,185 @@
+// Package ipe implements the function-hiding inner-product encryption
+// (FHIPE) scheme of Kim, Lewi, Mandal, Montgomery, Roy and Wu (SCN'18)
+// over the bn256 pairing groups, exactly as recalled in Section 3.3 of
+// the paper, together with the modified variant of Section 4.2 that the
+// Secure Join scheme is built on.
+//
+// In the full scheme, a secret key for vector v and a ciphertext for
+// vector w decrypt to the inner product <v, w> provided it lies in a
+// polynomially-sized set S. In the modified variant the randomizers
+// alpha and beta are fixed to 1 (randomness is carried inside the
+// vectors instead), only the second component of keys and ciphertexts is
+// kept, and decryption outputs the group element
+//
+//	D = e(g1, g2)^(det(B) * <v, w>)
+//
+// without extracting a discrete logarithm: Secure Join only compares D
+// values for equality.
+package ipe
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"repro/internal/bn256"
+	"repro/internal/matrix"
+	"repro/internal/zq"
+)
+
+// MasterKey is the IPE master secret key: the matrix B sampled from
+// GL_n(Z_q), its dual B* = det(B)(B^-1)^T and det(B).
+type MasterKey struct {
+	N     int
+	B     *matrix.Matrix
+	BStar *matrix.Matrix
+	Det   zq.Scalar
+}
+
+// Setup samples a master secret key for vectors of dimension n.
+// The public parameters (the bn256 group description) are implicit.
+func Setup(n int, rng io.Reader) (*MasterKey, error) {
+	if n <= 0 {
+		return nil, errors.New("ipe: dimension must be positive")
+	}
+	b, err := matrix.RandomInvertible(n, rng)
+	if err != nil {
+		return nil, fmt.Errorf("ipe: sampling B: %w", err)
+	}
+	bStar, err := b.Dual()
+	if err != nil {
+		return nil, fmt.Errorf("ipe: computing B*: %w", err)
+	}
+	return &MasterKey{N: n, B: b, BStar: bStar, Det: b.Det()}, nil
+}
+
+// SecretKey is a full-scheme functional key (K1, K2) for a vector v.
+type SecretKey struct {
+	K1 *bn256.G1
+	K2 []*bn256.G1
+}
+
+// Ciphertext is a full-scheme ciphertext (C1, C2) for a vector w.
+type Ciphertext struct {
+	C1 *bn256.G2
+	C2 []*bn256.G2
+}
+
+// KeyGen produces the pair sk = (g1^(alpha det B), g1^(alpha v B)) for a
+// fresh uniform alpha.
+func (msk *MasterKey) KeyGen(v zq.Vector, rng io.Reader) (*SecretKey, error) {
+	if len(v) != msk.N {
+		return nil, fmt.Errorf("ipe: key vector has length %d, want %d", len(v), msk.N)
+	}
+	alpha, err := zq.Random(rng)
+	if err != nil {
+		return nil, err
+	}
+	sk := &SecretKey{
+		K1: new(bn256.G1).ScalarBaseMult(alpha.Mul(msk.Det).Big()),
+		K2: make([]*bn256.G1, msk.N),
+	}
+	vb := msk.B.MulVec(v)
+	for i, c := range vb {
+		sk.K2[i] = new(bn256.G1).ScalarBaseMult(alpha.Mul(c).Big())
+	}
+	return sk, nil
+}
+
+// Encrypt produces the pair ct = (g2^beta, g2^(beta w B*)) for a fresh
+// uniform beta.
+func (msk *MasterKey) Encrypt(w zq.Vector, rng io.Reader) (*Ciphertext, error) {
+	if len(w) != msk.N {
+		return nil, fmt.Errorf("ipe: plaintext vector has length %d, want %d", len(w), msk.N)
+	}
+	beta, err := zq.Random(rng)
+	if err != nil {
+		return nil, err
+	}
+	ct := &Ciphertext{
+		C1: new(bn256.G2).ScalarBaseMult(beta.Big()),
+		C2: make([]*bn256.G2, msk.N),
+	}
+	wb := msk.BStar.MulVec(w)
+	for i, c := range wb {
+		ct.C2[i] = new(bn256.G2).ScalarBaseMult(beta.Mul(c).Big())
+	}
+	return ct, nil
+}
+
+// Decrypt recovers <v, w> if it lies in the candidate set S (given as a
+// slice of int64), and returns an error otherwise. This mirrors
+// IPE.Decrypt of Section 3.3: compute D1 = e(K1, C1),
+// D2 = e(K2, C2) and search for z in S with D1^z == D2.
+func Decrypt(sk *SecretKey, ct *Ciphertext, s []int64) (int64, error) {
+	d1 := bn256.Pair(sk.K1, ct.C1)
+	d2 := bn256.PairBatch(sk.K2, ct.C2)
+	for _, z := range s {
+		var cand bn256.GT
+		k := big.NewInt(z)
+		if z < 0 {
+			// D1^z with negative z: invert after exponentiation.
+			cand.Exp(d1, new(big.Int).Neg(k))
+			cand.Invert(&cand)
+		} else {
+			cand.Exp(d1, k)
+		}
+		if cand.Equal(d2) {
+			return z, nil
+		}
+	}
+	return 0, errors.New("ipe: inner product outside candidate set")
+}
+
+// Token is a modified-scheme key: the single vector component
+// Tk = g1^(v B). The paper calls this the query's "unlocking token".
+type Token struct {
+	Elems []*bn256.G1
+}
+
+// CiphertextM is a modified-scheme ciphertext: the single vector
+// component C = g2^(w B*).
+type CiphertextM struct {
+	Elems []*bn256.G2
+}
+
+// KeyGenModified computes Tk = g1^(v B) with alpha = 1; per Section 4.2
+// the randomness that alpha provided lives inside v itself (the delta
+// slot appended by the Secure Join token builder).
+func (msk *MasterKey) KeyGenModified(v zq.Vector) (*Token, error) {
+	if len(v) != msk.N {
+		return nil, fmt.Errorf("ipe: token vector has length %d, want %d", len(v), msk.N)
+	}
+	vb := msk.B.MulVec(v)
+	tk := &Token{Elems: make([]*bn256.G1, msk.N)}
+	for i, c := range vb {
+		tk.Elems[i] = new(bn256.G1).ScalarBaseMult(c.Big())
+	}
+	return tk, nil
+}
+
+// EncryptModified computes C = g2^(w B*) with beta = 1; the gamma slots
+// inside w carry the randomness.
+func (msk *MasterKey) EncryptModified(w zq.Vector) (*CiphertextM, error) {
+	if len(w) != msk.N {
+		return nil, fmt.Errorf("ipe: plaintext vector has length %d, want %d", len(w), msk.N)
+	}
+	wb := msk.BStar.MulVec(w)
+	ct := &CiphertextM{Elems: make([]*bn256.G2, msk.N)}
+	for i, c := range wb {
+		ct.Elems[i] = new(bn256.G2).ScalarBaseMult(c.Big())
+	}
+	return ct, nil
+}
+
+// DecryptModified computes D = e(Tk, C) = e(g1,g2)^(det(B) <v, w>) using
+// one batched multi-pairing. Secure Join compares these D values for
+// equality; their discrete logs are never extracted.
+func DecryptModified(tk *Token, ct *CiphertextM) (*bn256.GT, error) {
+	if len(tk.Elems) != len(ct.Elems) {
+		return nil, fmt.Errorf("ipe: token dimension %d does not match ciphertext dimension %d",
+			len(tk.Elems), len(ct.Elems))
+	}
+	return bn256.PairBatch(tk.Elems, ct.Elems), nil
+}

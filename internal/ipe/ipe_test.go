@@ -1,0 +1,229 @@
+package ipe
+
+import (
+	"testing"
+
+	"repro/internal/zq"
+)
+
+func vec(xs ...int64) zq.Vector {
+	v := make(zq.Vector, len(xs))
+	for i, x := range xs {
+		v[i] = zq.FromInt64(x)
+	}
+	return v
+}
+
+func TestFullSchemeRecoverInnerProduct(t *testing.T) {
+	msk, err := Setup(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vec(1, 2, 3, 4)
+	w := vec(2, 0, 1, 5) // <v,w> = 2 + 0 + 3 + 20 = 25
+	sk, err := msk.KeyGen(v, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := msk.Encrypt(w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := []int64{0, 5, 10, 25, 30}
+	got, err := Decrypt(sk, ct, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 25 {
+		t.Fatalf("decrypted %d, want 25", got)
+	}
+}
+
+func TestFullSchemeNegativeInnerProduct(t *testing.T) {
+	msk, err := Setup(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vec(1, -3)
+	w := vec(2, 1) // <v,w> = -1
+	sk, err := msk.KeyGen(v, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := msk.Encrypt(w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decrypt(sk, ct, []int64{-2, -1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != -1 {
+		t.Fatalf("decrypted %d, want -1", got)
+	}
+}
+
+func TestFullSchemeOutsideCandidateSet(t *testing.T) {
+	msk, err := Setup(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := msk.KeyGen(vec(1, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := msk.Encrypt(vec(10, 10), nil) // <v,w> = 20
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decrypt(sk, ct, []int64{0, 1, 2}); err == nil {
+		t.Fatal("decryption should fail outside the candidate set")
+	}
+}
+
+// TestModifiedSchemeEquality is the property Secure Join needs: two
+// ciphertexts decrypted under keys with the same inner-product outcome
+// yield equal D values, and differing inner products yield different
+// ones.
+func TestModifiedSchemeEquality(t *testing.T) {
+	msk, err := Setup(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// <v, w1> == <v, w2> == 10
+	v := vec(1, 2, 0)
+	w1 := vec(10, 0, 7)
+	w2 := vec(2, 4, 99)
+	tk, err := msk.KeyGenModified(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := msk.EncryptModified(w1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := msk.EncryptModified(w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := DecryptModified(tk, c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := DecryptModified(tk, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d1.Equal(d2) {
+		t.Fatal("equal inner products should give equal D values")
+	}
+
+	// <v, w3> = 11 != 10
+	w3 := vec(11, 0, 3)
+	c3, err := msk.EncryptModified(w3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3, err := DecryptModified(tk, c3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Equal(d3) {
+		t.Fatal("different inner products should give different D values")
+	}
+}
+
+// TestModifiedSchemeCrossMskUnlinkable: the same vectors under two
+// independent master keys must produce different D values (det(B)
+// differs), the reason different clients/uploads are unlinkable.
+func TestModifiedSchemeCrossMskUnlinkable(t *testing.T) {
+	v := vec(1, 2)
+	w := vec(3, 4)
+	d := func() []byte {
+		msk, err := Setup(2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tk, err := msk.KeyGenModified(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, err := msk.EncryptModified(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gt, err := DecryptModified(tk, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return gt.Marshal()
+	}
+	if string(d()) == string(d()) {
+		t.Fatal("independent master keys produced identical D values")
+	}
+}
+
+func TestDimensionValidation(t *testing.T) {
+	if _, err := Setup(0, nil); err == nil {
+		t.Fatal("dimension 0 should be rejected")
+	}
+	msk, err := Setup(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := msk.KeyGen(vec(1, 2), nil); err == nil {
+		t.Fatal("short key vector should be rejected")
+	}
+	if _, err := msk.Encrypt(vec(1, 2, 3, 4), nil); err == nil {
+		t.Fatal("long plaintext vector should be rejected")
+	}
+	if _, err := msk.KeyGenModified(vec(1)); err == nil {
+		t.Fatal("short modified key vector should be rejected")
+	}
+	if _, err := msk.EncryptModified(vec(1)); err == nil {
+		t.Fatal("short modified plaintext vector should be rejected")
+	}
+
+	tk, err := msk.KeyGenModified(vec(1, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := &CiphertextM{Elems: nil}
+	if _, err := DecryptModified(tk, short); err == nil {
+		t.Fatal("mismatched dimensions should be rejected")
+	}
+}
+
+// TestKeyCiphertextRandomization: two keys for the same vector (or two
+// ciphertexts for the same message) must differ, by the fresh alpha and
+// beta randomness of the full scheme.
+func TestKeyCiphertextRandomization(t *testing.T) {
+	msk, err := Setup(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vec(5, 6)
+	sk1, err := msk.KeyGen(v, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk2, err := msk.KeyGen(v, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk1.K1.Equal(sk2.K1) {
+		t.Fatal("two keys for the same vector are identical (alpha reuse)")
+	}
+	ct1, err := msk.Encrypt(v, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct2, err := msk.Encrypt(v, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct1.C1.Equal(ct2.C1) {
+		t.Fatal("two ciphertexts for the same vector are identical (beta reuse)")
+	}
+}

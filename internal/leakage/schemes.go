@@ -1,0 +1,173 @@
+package leakage
+
+// This file contains the per-scheme leakage simulators of the Section
+// 2.1 analysis. Each simulator is fed the plaintext tables and the query
+// series and answers: which equality pairs does a server running this
+// scheme observe at each point in time?
+//
+// The simulators intentionally work on plaintext — they model what an
+// adversary *learns*, which for the analytic comparison is a function of
+// join-value equality and selection-predicate membership only. The
+// executable cryptographic counterparts live in internal/securejoin and
+// internal/baseline; tests cross-check the simulators against the real
+// implementations on the paper's example.
+
+// Table is a plaintext view of a table for leakage simulation: for each
+// row, its join value and its attribute values.
+type Table struct {
+	Name  string
+	Joins []string   // join-column value per row
+	Attrs [][]string // attribute values per row
+}
+
+// Query describes one equi-join query over two tables with per-table
+// selection predicates (attribute index -> admissible values).
+type Query struct {
+	SelA map[int][]string // selection on table A
+	SelB map[int][]string // selection on table B
+}
+
+// matches reports whether row r of tbl satisfies sel.
+func matches(tbl *Table, r int, sel map[int][]string) bool {
+	for attr, values := range sel {
+		ok := false
+		if attr < len(tbl.Attrs[r]) {
+			for _, v := range values {
+				if tbl.Attrs[r][attr] == v {
+					ok = true
+					break
+				}
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// equalPairsAmong returns every pair among the given row sets (both
+// cross-table and intra-table) with equal join values.
+func equalPairsAmong(ta *Table, rowsA []int, tb *Table, rowsB []int) PairSet {
+	out := NewPairSet()
+	add := func(t1 *Table, r1 int, t2 *Table, r2 int) {
+		if t1.Joins[r1] == t2.Joins[r2] {
+			out.Add(Pair{A: RowRef{t1.Name, r1}, B: RowRef{t2.Name, r2}})
+		}
+	}
+	for i := 0; i < len(rowsA); i++ {
+		for j := i + 1; j < len(rowsA); j++ {
+			add(ta, rowsA[i], ta, rowsA[j])
+		}
+	}
+	for i := 0; i < len(rowsB); i++ {
+		for j := i + 1; j < len(rowsB); j++ {
+			add(tb, rowsB[i], tb, rowsB[j])
+		}
+	}
+	for _, i := range rowsA {
+		for _, j := range rowsB {
+			add(ta, i, tb, j)
+		}
+	}
+	return out
+}
+
+func allRows(t *Table) []int {
+	rows := make([]int, len(t.Joins))
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}
+
+func selectedRows(t *Table, sel map[int][]string) []int {
+	var rows []int
+	for i := range t.Joins {
+		if matches(t, i, sel) {
+			rows = append(rows, i)
+		}
+	}
+	return rows
+}
+
+// DeterministicLeakage models Hacigumus et al.: all equal pairs of the
+// join columns are visible from time t0 (upload), before any query.
+func DeterministicLeakage(ta, tb *Table, queries []Query) []PairSet {
+	atUpload := equalPairsAmong(ta, allRows(ta), tb, allRows(tb))
+	out := []PairSet{atUpload}
+	for range queries {
+		next := NewPairSet()
+		next.AddAll(out[len(out)-1])
+		out = append(out, next)
+	}
+	return out
+}
+
+// CryptDBLeakage models onion encryption: nothing at t0; the first join
+// query strips the probabilistic onion from both join columns, revealing
+// all equal pairs.
+func CryptDBLeakage(ta, tb *Table, queries []Query) []PairSet {
+	out := []PairSet{NewPairSet()}
+	for range queries {
+		// Any join query over the pair of columns strips the onion from
+		// both columns entirely.
+		next := NewPairSet()
+		next.AddAll(out[len(out)-1])
+		next.AddAll(equalPairsAmong(ta, allRows(ta), tb, allRows(tb)))
+		out = append(out, next)
+	}
+	return out
+}
+
+// HahnLeakage models Hahn et al. (ICDE'19): each query unwraps the KP-ABE
+// layer of every row matching its selection criterion; unwrapped rows
+// stay unwrapped, so at time t_i all equal pairs among rows unwrapped by
+// ANY query so far are visible. This is where super-additive leakage
+// arises.
+func HahnLeakage(ta, tb *Table, queries []Query) []PairSet {
+	out := []PairSet{NewPairSet()}
+	unwrappedA := map[int]bool{}
+	unwrappedB := map[int]bool{}
+	for _, q := range queries {
+		for _, r := range selectedRows(ta, q.SelA) {
+			unwrappedA[r] = true
+		}
+		for _, r := range selectedRows(tb, q.SelB) {
+			unwrappedB[r] = true
+		}
+		rowsA := keys(unwrappedA)
+		rowsB := keys(unwrappedB)
+		out = append(out, equalPairsAmong(ta, rowsA, tb, rowsB))
+	}
+	return out
+}
+
+// SecureJoinLeakage models this paper's scheme: query q_i reveals only
+// the equal pairs among rows matching q_i's selection criteria; across
+// queries the adversary can combine observations only up to transitive
+// closure. The returned cumulative sets are exactly those closures.
+func SecureJoinLeakage(ta, tb *Table, queries []Query) []PairSet {
+	out := []PairSet{NewPairSet()}
+	union := NewPairSet()
+	for _, q := range queries {
+		sigma := PerQueryLeakage(ta, tb, q)
+		union.AddAll(sigma)
+		out = append(out, union.TransitiveClosure())
+	}
+	return out
+}
+
+// PerQueryLeakage returns sigma(q): the equality pairs revealed by one
+// Secure Join query in isolation.
+func PerQueryLeakage(ta, tb *Table, q Query) PairSet {
+	return equalPairsAmong(ta, selectedRows(ta, q.SelA), tb, selectedRows(tb, q.SelB))
+}
+
+func keys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package securejoin
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/bn256"
+	"repro/internal/ipe"
+)
+
+// Wire encodings for tokens and row ciphertexts, used by the TCP
+// client/server protocol and by anything that persists encrypted tables.
+// Both are a 4-byte big-endian element count followed by fixed-size
+// group-element encodings (64 bytes per G1 element, 128 per G2).
+
+const (
+	g1Size = 64
+	g2Size = 128
+)
+
+// MarshalBinary encodes the token.
+func (t *Token) MarshalBinary() ([]byte, error) {
+	n := len(t.Tk.Elems)
+	out := make([]byte, 4, 4+n*g1Size)
+	binary.BigEndian.PutUint32(out, uint32(n))
+	for _, e := range t.Tk.Elems {
+		out = append(out, e.Marshal()...)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes a token produced by MarshalBinary, validating
+// every group element.
+func (t *Token) UnmarshalBinary(data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("securejoin: token encoding too short")
+	}
+	n := int(binary.BigEndian.Uint32(data))
+	data = data[4:]
+	if len(data) != n*g1Size {
+		return fmt.Errorf("securejoin: token encoding has %d trailing bytes, want %d", len(data), n*g1Size)
+	}
+	elems := make([]*bn256.G1, n)
+	for i := 0; i < n; i++ {
+		elems[i] = new(bn256.G1)
+		if err := elems[i].Unmarshal(data[i*g1Size : (i+1)*g1Size]); err != nil {
+			return fmt.Errorf("securejoin: token element %d: %w", i, err)
+		}
+	}
+	t.Tk = &ipe.Token{Elems: elems}
+	return nil
+}
+
+// MarshalBinary encodes the row ciphertext.
+func (ct *RowCiphertext) MarshalBinary() ([]byte, error) {
+	n := len(ct.C.Elems)
+	out := make([]byte, 4, 4+n*g2Size)
+	binary.BigEndian.PutUint32(out, uint32(n))
+	for _, e := range ct.C.Elems {
+		out = append(out, e.Marshal()...)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes a row ciphertext produced by MarshalBinary,
+// validating every group element (curve membership and G2 subgroup
+// checks included, so a malicious encoder cannot smuggle small-order
+// points).
+func (ct *RowCiphertext) UnmarshalBinary(data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("securejoin: ciphertext encoding too short")
+	}
+	n := int(binary.BigEndian.Uint32(data))
+	data = data[4:]
+	if len(data) != n*g2Size {
+		return fmt.Errorf("securejoin: ciphertext encoding has %d trailing bytes, want %d", len(data), n*g2Size)
+	}
+	elems := make([]*bn256.G2, n)
+	for i := 0; i < n; i++ {
+		elems[i] = new(bn256.G2)
+		if err := elems[i].Unmarshal(data[i*g2Size : (i+1)*g2Size]); err != nil {
+			return fmt.Errorf("securejoin: ciphertext element %d: %w", i, err)
+		}
+	}
+	ct.C = &ipe.CiphertextM{Elems: elems}
+	return nil
+}

@@ -1,0 +1,148 @@
+package securejoin
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bn256"
+	"repro/internal/ipe"
+)
+
+func TestTokenCodecRoundTrip(t *testing.T) {
+	s := newTestScheme(t, 1, 2)
+	q, err := s.NewQuery(Selection{0: [][]byte{[]byte("v")}}, Selection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := q.TokenA.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tk Token
+	if err := tk.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	data2, err := tk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("token round trip not stable")
+	}
+
+	// The decoded token must behave identically.
+	ct, err := s.Encrypt(Row{JoinValue: []byte("x"), Attrs: [][]byte{[]byte("v")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := Decrypt(q.TokenA, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Decrypt(&tk, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Match(d1, d2) {
+		t.Fatal("decoded token produces different D values")
+	}
+}
+
+func TestCiphertextCodecRoundTrip(t *testing.T) {
+	s := newTestScheme(t, 1, 2)
+	ct, err := s.Encrypt(Row{JoinValue: []byte("x"), Attrs: [][]byte{[]byte("v")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ct.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ct2 RowCiphertext
+	if err := ct2.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	q, err := s.NewQuery(Selection{0: [][]byte{[]byte("v")}}, Selection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := Decrypt(q.TokenA, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Decrypt(q.TokenA, &ct2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Match(d1, d2) {
+		t.Fatal("decoded ciphertext produces different D values")
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	var tk Token
+	if err := tk.UnmarshalBinary(nil); err == nil {
+		t.Fatal("nil token encoding accepted")
+	}
+	if err := tk.UnmarshalBinary([]byte{0, 0, 0, 2, 1, 2, 3}); err == nil {
+		t.Fatal("truncated token encoding accepted")
+	}
+	var ct RowCiphertext
+	if err := ct.UnmarshalBinary([]byte{0, 0}); err == nil {
+		t.Fatal("short ciphertext encoding accepted")
+	}
+	// Correct length but invalid group elements.
+	junk := make([]byte, 4+128)
+	junk[3] = 1
+	for i := 4; i < len(junk); i++ {
+		junk[i] = 0xff
+	}
+	if err := ct.UnmarshalBinary(junk); err == nil {
+		t.Fatal("non-curve ciphertext element accepted")
+	}
+}
+
+// TestTamperedCiphertextDoesNotMatch injects a fault: flipping any
+// group element of a row ciphertext must break the match (failure
+// injection for the integrity of the match semantics).
+func TestTamperedCiphertextDoesNotMatch(t *testing.T) {
+	s := newTestScheme(t, 1, 1)
+	row := Row{JoinValue: []byte("x"), Attrs: [][]byte{[]byte("v")}}
+	ct, err := s.Encrypt(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := s.Encrypt(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := s.NewQuery(Selection{0: [][]byte{[]byte("v")}}, Selection{0: [][]byte{[]byte("v")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dRef, err := Decrypt(q.TokenB, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dOrig, err := Decrypt(q.TokenA, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Match(dOrig, dRef) {
+		t.Fatal("sanity: untampered rows should match")
+	}
+
+	// Tamper: swap two ciphertext elements — each remains a valid group
+	// element, but the encoded vector changes.
+	swapped := append([]*bn256.G2{}, ct.C.Elems...)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	tampered := &RowCiphertext{C: &ipe.CiphertextM{Elems: swapped}}
+
+	dTampered, err := Decrypt(q.TokenA, tampered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Match(dTampered, dRef) {
+		t.Fatal("tampered ciphertext still matches")
+	}
+}

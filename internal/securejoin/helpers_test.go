@@ -1,0 +1,17 @@
+package securejoin
+
+import (
+	"testing"
+
+	"repro/internal/zq"
+)
+
+// mustKey returns a fresh non-zero query key or fails the test.
+func (s *Scheme) mustKey(t *testing.T) zq.Scalar {
+	t.Helper()
+	k, err := zq.RandomNonZero(s.rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}

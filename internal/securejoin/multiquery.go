@@ -1,0 +1,120 @@
+package securejoin
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/zq"
+)
+
+// Multi-table queries. The paper's related work (Section 7) recounts
+// how CryptDB-era schemes need re-encryption machinery to join more
+// than two tables under per-table keys; Secure Join needs none of it:
+// every table is encrypted under the same master secret and a query is
+// bound to a fresh symmetric key k, so issuing one token per table with
+// a shared k makes ALL of the query's tables mutually joinable — rows
+// of any two tables match iff they carry equal join values and satisfy
+// their selections, and the per-query k still isolates the query series
+// (no super-additive leakage across queries).
+
+// MultiQuery is one equi-join query over N tables: the i-th token
+// filters the i-th table, all bound to the same fresh k.
+type MultiQuery struct {
+	Tokens []*Token
+}
+
+// NewMultiQuery issues one token per selection, all sharing a fresh
+// query key. At least two selections are required.
+func (s *Scheme) NewMultiQuery(sels ...Selection) (*MultiQuery, error) {
+	if len(sels) < 2 {
+		return nil, errors.New("securejoin: a multi-query needs at least two tables")
+	}
+	k, err := zq.RandomNonZero(s.rng)
+	if err != nil {
+		return nil, err
+	}
+	mq := &MultiQuery{Tokens: make([]*Token, len(sels))}
+	for i, sel := range sels {
+		tk, err := s.TokenGen(k, sel)
+		if err != nil {
+			return nil, fmt.Errorf("securejoin: token %d: %w", i, err)
+		}
+		mq.Tokens[i] = tk
+	}
+	return mq, nil
+}
+
+// MultiMatch is one result of a multi-way join: Rows[i] indexes the
+// matching row of table i. All rows share one join value and satisfy
+// their tables' selections.
+type MultiMatch struct {
+	Rows []int
+}
+
+// MultiHashJoin joins N decrypted tables on equal D values: it returns
+// the cross product, within each equality group, of the group's rows of
+// each table — the N-way generalization of HashJoin. Groups missing a
+// representative in any table produce no output (inner-join semantics).
+func MultiHashJoin(tables ...[]DValue) []MultiMatch {
+	if len(tables) == 0 {
+		return nil
+	}
+	// Group rows of every table by D value.
+	groups := make(map[string][][]int) // D -> per-table row lists
+	for ti, ds := range tables {
+		for ri, d := range ds {
+			key := string(d)
+			g, ok := groups[key]
+			if !ok {
+				g = make([][]int, len(tables))
+				groups[key] = g
+			}
+			g[ti] = append(g[ti], ri)
+		}
+	}
+
+	var out []MultiMatch
+	for _, g := range groups {
+		complete := true
+		for _, rows := range g {
+			if len(rows) == 0 {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			continue
+		}
+		out = append(out, crossProduct(g)...)
+	}
+	return out
+}
+
+// crossProduct expands one equality group into all row combinations.
+func crossProduct(group [][]int) []MultiMatch {
+	total := 1
+	for _, rows := range group {
+		total *= len(rows)
+	}
+	out := make([]MultiMatch, 0, total)
+	idx := make([]int, len(group))
+	for {
+		m := MultiMatch{Rows: make([]int, len(group))}
+		for i, rows := range group {
+			m.Rows[i] = rows[idx[i]]
+		}
+		out = append(out, m)
+		// Odometer increment.
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(group[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return out
+		}
+	}
+}

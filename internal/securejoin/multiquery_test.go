@@ -1,0 +1,173 @@
+package securejoin
+
+import "testing"
+
+// TestThreeWayJoin: three tables encrypted under one master key join on
+// a shared key with per-table selections — the multi-table setting that
+// CryptDB-era schemes need re-encryption for.
+func TestThreeWayJoin(t *testing.T) {
+	s := newTestScheme(t, 1, 2)
+
+	patients := []Row{
+		{JoinValue: []byte("ins-A"), Attrs: [][]byte{[]byte("oncology")}},
+		{JoinValue: []byte("ins-B"), Attrs: [][]byte{[]byte("oncology")}},
+		{JoinValue: []byte("ins-A"), Attrs: [][]byte{[]byte("cardiology")}},
+	}
+	insurers := []Row{
+		{JoinValue: []byte("ins-A"), Attrs: [][]byte{[]byte("gold")}},
+		{JoinValue: []byte("ins-B"), Attrs: [][]byte{[]byte("basic")}},
+	}
+	claims := []Row{
+		{JoinValue: []byte("ins-A"), Attrs: [][]byte{[]byte("open")}},
+		{JoinValue: []byte("ins-A"), Attrs: [][]byte{[]byte("closed")}},
+		{JoinValue: []byte("ins-B"), Attrs: [][]byte{[]byte("open")}},
+	}
+
+	ctP, err := s.EncryptTable(patients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctI, err := s.EncryptTable(insurers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctC, err := s.EncryptTable(claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// WHERE patients.dept = 'oncology' AND insurers.plan = 'gold'
+	// AND claims.status = 'open'
+	mq, err := s.NewMultiQuery(
+		Selection{0: [][]byte{[]byte("oncology")}},
+		Selection{0: [][]byte{[]byte("gold")}},
+		Selection{0: [][]byte{[]byte("open")}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dP, err := DecryptTable(mq.Tokens[0], ctP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dI, err := DecryptTable(mq.Tokens[1], ctI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dC, err := DecryptTable(mq.Tokens[2], ctC)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	matches := MultiHashJoin(dP, dI, dC)
+	// Only ins-A satisfies all three selections: patient 0, insurer 0,
+	// claim 0. (Claim 1 is closed; patient 1 is ins-B whose insurer is
+	// basic.)
+	if len(matches) != 1 {
+		t.Fatalf("expected 1 three-way match, got %v", matches)
+	}
+	want := []int{0, 0, 0}
+	for i, r := range matches[0].Rows {
+		if r != want[i] {
+			t.Fatalf("match rows = %v, want %v", matches[0].Rows, want)
+		}
+	}
+}
+
+// TestThreeWayJoinCrossProduct: equality groups expand into the full
+// cross product across the tables.
+func TestThreeWayJoinCrossProduct(t *testing.T) {
+	s := newTestScheme(t, 1, 1)
+	mk := func(n int) []Row {
+		rows := make([]Row, n)
+		for i := range rows {
+			rows[i] = Row{JoinValue: []byte("k"), Attrs: [][]byte{[]byte("a")}}
+		}
+		return rows
+	}
+	ct1, _ := s.EncryptTable(mk(2))
+	ct2, _ := s.EncryptTable(mk(3))
+	ct3, _ := s.EncryptTable(mk(1))
+
+	mq, err := s.NewMultiQuery(Selection{}, Selection{}, Selection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, _ := DecryptTable(mq.Tokens[0], ct1)
+	d2, _ := DecryptTable(mq.Tokens[1], ct2)
+	d3, _ := DecryptTable(mq.Tokens[2], ct3)
+	matches := MultiHashJoin(d1, d2, d3)
+	if len(matches) != 2*3*1 {
+		t.Fatalf("expected 6 combinations, got %d", len(matches))
+	}
+	seen := map[[3]int]bool{}
+	for _, m := range matches {
+		key := [3]int{m.Rows[0], m.Rows[1], m.Rows[2]}
+		if seen[key] {
+			t.Fatalf("duplicate combination %v", key)
+		}
+		seen[key] = true
+	}
+}
+
+// TestMultiJoinMissingTableYieldsNothing: inner-join semantics — a join
+// value absent from one table produces no output.
+func TestMultiJoinMissingTableYieldsNothing(t *testing.T) {
+	s := newTestScheme(t, 1, 1)
+	a := []Row{{JoinValue: []byte("x"), Attrs: [][]byte{[]byte("a")}}}
+	b := []Row{{JoinValue: []byte("x"), Attrs: [][]byte{[]byte("a")}}}
+	c := []Row{{JoinValue: []byte("y"), Attrs: [][]byte{[]byte("a")}}}
+	ctA, _ := s.EncryptTable(a)
+	ctB, _ := s.EncryptTable(b)
+	ctC, _ := s.EncryptTable(c)
+	mq, err := s.NewMultiQuery(Selection{}, Selection{}, Selection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dA, _ := DecryptTable(mq.Tokens[0], ctA)
+	dB, _ := DecryptTable(mq.Tokens[1], ctB)
+	dC, _ := DecryptTable(mq.Tokens[2], ctC)
+	if got := MultiHashJoin(dA, dB, dC); len(got) != 0 {
+		t.Fatalf("expected no matches, got %v", got)
+	}
+	// Pairwise, A and B still match.
+	if got := MultiHashJoin(dA, dB); len(got) != 1 {
+		t.Fatalf("two-way multi join = %v", got)
+	}
+}
+
+func TestNewMultiQueryValidation(t *testing.T) {
+	s := newTestScheme(t, 1, 1)
+	if _, err := s.NewMultiQuery(Selection{}); err == nil {
+		t.Fatal("single-table multi-query accepted")
+	}
+	if _, err := s.NewMultiQuery(Selection{}, Selection{9: [][]byte{[]byte("v")}}); err == nil {
+		t.Fatal("invalid selection accepted")
+	}
+	if MultiHashJoin() != nil {
+		t.Fatal("empty multi join should be nil")
+	}
+}
+
+// TestMultiQueryIsolatedFromPairQueries: tokens of a multi-query must
+// not link with tokens of an ordinary query over the same data (fresh
+// keys per query).
+func TestMultiQueryIsolatedFromPairQueries(t *testing.T) {
+	s := newTestScheme(t, 1, 1)
+	rows := []Row{{JoinValue: []byte("x"), Attrs: [][]byte{[]byte("a")}}}
+	ct, _ := s.EncryptTable(rows)
+
+	mq, err := s.NewMultiQuery(Selection{}, Selection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := s.NewQuery(Selection{}, Selection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, _ := DecryptTable(mq.Tokens[0], ct)
+	d2, _ := DecryptTable(q.TokenA, ct)
+	if Match(d1[0], d2[0]) {
+		t.Fatal("multi-query and pair-query results are linkable")
+	}
+}

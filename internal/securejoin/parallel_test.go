@@ -1,0 +1,79 @@
+package securejoin
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestDecryptTableParallelMatchesSequential(t *testing.T) {
+	s := newTestScheme(t, 1, 1)
+	rows := make([]Row, 16)
+	for i := range rows {
+		rows[i] = Row{
+			JoinValue: []byte(fmt.Sprintf("j-%d", i%4)),
+			Attrs:     [][]byte{[]byte("a")},
+		}
+	}
+	cts, err := s.EncryptTable(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := s.NewQuery(Selection{}, Selection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := DecryptTable(q.TokenA, cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 4, 32} {
+		par, err := DecryptTableParallel(q.TokenA, cts, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: length mismatch", workers)
+		}
+		for i := range seq {
+			if !Match(seq[i], par[i]) {
+				t.Fatalf("workers=%d: row %d differs from sequential result", workers, i)
+			}
+		}
+	}
+}
+
+func TestDecryptTableParallelEmpty(t *testing.T) {
+	s := newTestScheme(t, 1, 1)
+	q, err := s.NewQuery(Selection{}, Selection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecryptTableParallel(q.TokenA, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatal("empty input should give empty output")
+	}
+}
+
+func TestDecryptTableParallelPropagatesErrors(t *testing.T) {
+	s := newTestScheme(t, 1, 1)
+	ct, err := s.Encrypt(Row{JoinValue: []byte("x"), Attrs: [][]byte{[]byte("a")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := s.NewQuery(Selection{}, Selection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a ciphertext with mismatched dimension to force a decrypt
+	// error in one slot.
+	bad := &RowCiphertext{C: ct.C}
+	short := *bad.C
+	short.Elems = short.Elems[:len(short.Elems)-1]
+	cts := []*RowCiphertext{ct, {C: &short}, ct, ct}
+	if _, err := DecryptTableParallel(q.TokenA, cts, 3); err == nil {
+		t.Fatal("error in one row was swallowed")
+	}
+}

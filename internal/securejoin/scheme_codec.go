@@ -1,0 +1,49 @@
+package securejoin
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/ipe"
+)
+
+// Scheme (master key) serialization, so a client can persist its key
+// material and keep querying tables uploaded in earlier sessions.
+
+// MarshalBinary encodes the scheme parameters and master secret key.
+// The output is secret: anyone holding it can decrypt-match every row.
+func (s *Scheme) MarshalBinary() ([]byte, error) {
+	mskBytes, err := s.msk.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 8, 8+len(mskBytes))
+	binary.BigEndian.PutUint32(out[0:4], uint32(s.params.M))
+	binary.BigEndian.PutUint32(out[4:8], uint32(s.params.T))
+	return append(out, mskBytes...), nil
+}
+
+// LoadScheme reconstructs a scheme from MarshalBinary output. rng
+// supplies randomness for subsequent operations (nil = crypto/rand).
+func LoadScheme(data []byte, rng io.Reader) (*Scheme, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("securejoin: scheme encoding too short")
+	}
+	params := Params{
+		M: int(binary.BigEndian.Uint32(data[0:4])),
+		T: int(binary.BigEndian.Uint32(data[4:8])),
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	msk := &ipe.MasterKey{}
+	if err := msk.UnmarshalBinary(data[8:]); err != nil {
+		return nil, err
+	}
+	if msk.N != params.Dim() {
+		return nil, fmt.Errorf("securejoin: master key dimension %d does not match params dimension %d",
+			msk.N, params.Dim())
+	}
+	return &Scheme{params: params, msk: msk, rng: rng}, nil
+}

@@ -1,0 +1,158 @@
+// Package server implements the DBMS-provider side of the
+// database-as-a-service model over TCP. The protocol is length-prefixed
+// gob: the client uploads encrypted tables and issues join-query tokens;
+// the server — which never sees key material — executes SJ.Dec and the
+// hash-based SJ.Match and streams back the sealed payloads of matching
+// row pairs.
+package server
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/securejoin"
+	"repro/internal/wire"
+)
+
+// Server is a TCP front end over an engine.Server.
+type Server struct {
+	mu     sync.Mutex
+	eng    *engine.Server
+	ln     net.Listener
+	done   chan struct{}
+	logger *log.Logger
+}
+
+// New returns a server with an empty table store. logger may be nil to
+// disable logging.
+func New(logger *log.Logger) *Server {
+	return &Server{eng: engine.NewServer(), done: make(chan struct{}), logger: logger}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address. Serving happens on background goroutines
+// until Close.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("server: listen: %w", err)
+	}
+	s.ln = ln
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener. In-flight connections finish their current
+// request.
+func (s *Server) Close() error {
+	close(s.done)
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+			}
+			s.logf("accept error: %v", err)
+			return
+		}
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req wire.Request
+		if err := dec.Decode(&req); err != nil {
+			return // client hung up
+		}
+		resp := s.handle(&req)
+		if err := enc.Encode(resp); err != nil {
+			s.logf("encode response: %v", err)
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req *wire.Request) *wire.Response {
+	switch {
+	case req.Upload != nil:
+		return s.handleUpload(req.Upload)
+	case req.Join != nil:
+		return s.handleJoin(req.Join)
+	case req.Ping:
+		return &wire.Response{}
+	default:
+		return errResponse(errors.New("server: empty request"))
+	}
+}
+
+func (s *Server) handleUpload(up *wire.UploadRequest) *wire.Response {
+	table := &engine.EncryptedTable{Name: up.Table, Rows: make([]*engine.EncryptedRow, len(up.Rows))}
+	for i, r := range up.Rows {
+		var ct securejoin.RowCiphertext
+		if err := ct.UnmarshalBinary(r.JoinCiphertext); err != nil {
+			return errResponse(fmt.Errorf("row %d: %w", i, err))
+		}
+		table.Rows[i] = &engine.EncryptedRow{Join: &ct, Payload: r.Payload}
+	}
+	s.mu.Lock()
+	s.eng.Upload(table)
+	s.mu.Unlock()
+	s.logf("uploaded table %q (%d rows)", up.Table, len(up.Rows))
+	return &wire.Response{}
+}
+
+func (s *Server) handleJoin(jr *wire.JoinRequest) *wire.Response {
+	var ta, tb securejoin.Token
+	if err := ta.UnmarshalBinary(jr.TokenA); err != nil {
+		return errResponse(fmt.Errorf("token A: %w", err))
+	}
+	if err := tb.UnmarshalBinary(jr.TokenB); err != nil {
+		return errResponse(fmt.Errorf("token B: %w", err))
+	}
+	q := &securejoin.Query{TokenA: &ta, TokenB: &tb}
+
+	s.mu.Lock()
+	rows, trace, err := s.eng.ExecuteJoin(jr.TableA, jr.TableB, q)
+	s.mu.Unlock()
+	if err != nil {
+		return errResponse(err)
+	}
+	out := &wire.JoinResponse{Rows: make([]wire.JoinedRow, len(rows))}
+	for i, r := range rows {
+		out.Rows[i] = wire.JoinedRow{
+			RowA: r.RowA, RowB: r.RowB,
+			PayloadA: r.PayloadA, PayloadB: r.PayloadB,
+		}
+	}
+	out.RevealedPairs = trace.Pairs.Len()
+	s.logf("join %q x %q: %d result rows, %d revealed pairs", jr.TableA, jr.TableB, len(rows), out.RevealedPairs)
+	return &wire.Response{Join: out}
+}
+
+func errResponse(err error) *wire.Response {
+	return &wire.Response{Err: err.Error()}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}

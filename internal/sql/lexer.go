@@ -1,0 +1,158 @@
+// Package sql implements a small SQL front end for the query form the
+// paper supports (Section 4, Example 4.1):
+//
+//	SELECT * FROM A JOIN B ON A.j = B.j
+//	WHERE A.attr IN ('v1', 'v2') AND B.attr = 'v3'
+//
+// Queries are lexed, parsed into an AST, validated against a catalog of
+// table schemas and planned into the Secure Join engine's Selection
+// predicates. Equality predicates are sugar for one-element IN clauses.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokStar
+	tokDot
+	tokComma
+	tokLParen
+	tokRParen
+	tokEq
+	tokKeyword
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string literal"
+	case tokNumber:
+		return "number"
+	case tokStar:
+		return "'*'"
+	case tokDot:
+		return "'.'"
+	case tokComma:
+		return "','"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokEq:
+		return "'='"
+	case tokKeyword:
+		return "keyword"
+	}
+	return "unknown token"
+}
+
+// keywords recognized by the dialect (case-insensitive).
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "JOIN": true, "ON": true,
+	"WHERE": true, "AND": true, "IN": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string // identifier/keyword text (keywords upper-cased), or literal value
+	pos  int    // byte offset in the input, for error messages
+}
+
+// lexer scans a query string into tokens.
+type lexer struct {
+	input string
+	pos   int
+}
+
+func newLexer(input string) *lexer { return &lexer{input: input} }
+
+// next returns the next token or an error for malformed input.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.input) && unicode.IsSpace(rune(l.input[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.input) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.input[l.pos]
+
+	switch c {
+	case '*':
+		l.pos++
+		return token{kind: tokStar, text: "*", pos: start}, nil
+	case '.':
+		l.pos++
+		return token{kind: tokDot, text: ".", pos: start}, nil
+	case ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case '=':
+		l.pos++
+		return token{kind: tokEq, text: "=", pos: start}, nil
+	case '\'', '"':
+		quote := c
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.input) {
+			if l.input[l.pos] == quote {
+				// Doubled quote is an escaped quote.
+				if l.pos+1 < len(l.input) && l.input[l.pos+1] == quote {
+					sb.WriteByte(quote)
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{kind: tokString, text: sb.String(), pos: start}, nil
+			}
+			sb.WriteByte(l.input[l.pos])
+			l.pos++
+		}
+		return token{}, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+	}
+
+	if isDigit(c) {
+		for l.pos < len(l.input) && (isDigit(l.input[l.pos]) || l.input[l.pos] == '.') {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.input[start:l.pos], pos: start}, nil
+	}
+
+	if isIdentStart(c) {
+		for l.pos < len(l.input) && isIdentPart(l.input[l.pos]) {
+			l.pos++
+		}
+		word := l.input[start:l.pos]
+		upper := strings.ToUpper(word)
+		if keywords[upper] {
+			return token{kind: tokKeyword, text: upper, pos: start}, nil
+		}
+		return token{kind: tokIdent, text: word, pos: start}, nil
+	}
+
+	return token{}, fmt.Errorf("sql: unexpected character %q at offset %d", c, start)
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }

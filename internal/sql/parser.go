@@ -1,0 +1,227 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// JoinQuery is the AST of one supported statement:
+//
+//	SELECT * FROM <TableA> JOIN <TableB> ON <colRef> = <colRef>
+//	[WHERE <predicate> [AND <predicate>]...]
+//
+// where each predicate is <colRef> IN ('v', ...) or <colRef> = 'v'.
+type JoinQuery struct {
+	TableA, TableB string
+	// OnA and OnB are the join column names of the respective tables.
+	OnA, OnB string
+	// Predicates lists the WHERE conjuncts in source order.
+	Predicates []Predicate
+}
+
+// Predicate is one IN (or equality, desugared to a one-element IN)
+// restriction on a named table's column.
+type Predicate struct {
+	Table  string
+	Column string
+	Values []string
+}
+
+// ColRef is a qualified column reference.
+type ColRef struct {
+	Table, Column string
+}
+
+// Parse parses one statement of the supported dialect.
+func Parse(query string) (*JoinQuery, error) {
+	p := &parser{lex: newLexer(query)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	q, err := p.parseJoinQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur.kind != tokEOF {
+		return nil, fmt.Errorf("sql: unexpected %s %q after end of statement", p.cur.kind, p.cur.text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	lex *lexer
+	cur token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.cur = t
+	return nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if p.cur.kind != tokKeyword || p.cur.text != kw {
+		return fmt.Errorf("sql: expected %s, found %s %q at offset %d", kw, p.cur.kind, p.cur.text, p.cur.pos)
+	}
+	return p.advance()
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	if p.cur.kind != kind {
+		return token{}, fmt.Errorf("sql: expected %s, found %s %q at offset %d", kind, p.cur.kind, p.cur.text, p.cur.pos)
+	}
+	t := p.cur
+	return t, p.advance()
+}
+
+func (p *parser) parseJoinQuery() (*JoinQuery, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokStar); err != nil {
+		return nil, fmt.Errorf("sql: only SELECT * is supported: %w", err)
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	tableA, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("JOIN"); err != nil {
+		return nil, err
+	}
+	tableB, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	left, err := p.parseColRef()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokEq); err != nil {
+		return nil, err
+	}
+	right, err := p.parseColRef()
+	if err != nil {
+		return nil, err
+	}
+
+	q := &JoinQuery{TableA: tableA.text, TableB: tableB.text}
+
+	// Resolve which side of the ON condition belongs to which table.
+	switch {
+	case strings.EqualFold(left.Table, q.TableA) && strings.EqualFold(right.Table, q.TableB):
+		q.OnA, q.OnB = left.Column, right.Column
+	case strings.EqualFold(left.Table, q.TableB) && strings.EqualFold(right.Table, q.TableA):
+		q.OnA, q.OnB = right.Column, left.Column
+	default:
+		return nil, fmt.Errorf("sql: ON condition must relate %s and %s, got %s and %s",
+			q.TableA, q.TableB, left.Table, right.Table)
+	}
+
+	if p.cur.kind == tokKeyword && p.cur.text == "WHERE" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for {
+			pred, err := p.parsePredicate()
+			if err != nil {
+				return nil, err
+			}
+			q.Predicates = append(q.Predicates, pred)
+			if p.cur.kind == tokKeyword && p.cur.text == "AND" {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+	}
+	return q, nil
+}
+
+// parseColRef parses Table.Column (the qualified form is mandatory; the
+// dialect has no scoping rules to disambiguate bare columns).
+func (p *parser) parseColRef() (ColRef, error) {
+	table, err := p.expect(tokIdent)
+	if err != nil {
+		return ColRef{}, err
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return ColRef{}, fmt.Errorf("sql: column references must be qualified as Table.Column: %w", err)
+	}
+	col, err := p.expect(tokIdent)
+	if err != nil {
+		return ColRef{}, err
+	}
+	return ColRef{Table: table.text, Column: col.text}, nil
+}
+
+// parsePredicate parses Table.Column IN ('a', 'b') or Table.Column = 'a'.
+func (p *parser) parsePredicate() (Predicate, error) {
+	ref, err := p.parseColRef()
+	if err != nil {
+		return Predicate{}, err
+	}
+	pred := Predicate{Table: ref.Table, Column: ref.Column}
+
+	switch {
+	case p.cur.kind == tokEq:
+		if err := p.advance(); err != nil {
+			return Predicate{}, err
+		}
+		v, err := p.parseLiteral()
+		if err != nil {
+			return Predicate{}, err
+		}
+		pred.Values = []string{v}
+	case p.cur.kind == tokKeyword && p.cur.text == "IN":
+		if err := p.advance(); err != nil {
+			return Predicate{}, err
+		}
+		if _, err := p.expect(tokLParen); err != nil {
+			return Predicate{}, err
+		}
+		for {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return Predicate{}, err
+			}
+			pred.Values = append(pred.Values, v)
+			if p.cur.kind == tokComma {
+				if err := p.advance(); err != nil {
+					return Predicate{}, err
+				}
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return Predicate{}, err
+		}
+	default:
+		return Predicate{}, fmt.Errorf("sql: expected '=' or IN after %s.%s at offset %d",
+			ref.Table, ref.Column, p.cur.pos)
+	}
+	return pred, nil
+}
+
+// parseLiteral accepts string and number literals, returning their text.
+func (p *parser) parseLiteral() (string, error) {
+	switch p.cur.kind {
+	case tokString, tokNumber:
+		v := p.cur.text
+		return v, p.advance()
+	default:
+		return "", fmt.Errorf("sql: expected a literal, found %s %q at offset %d",
+			p.cur.kind, p.cur.text, p.cur.pos)
+	}
+}

@@ -1,0 +1,125 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/securejoin"
+)
+
+// TableSchema declares how a named table maps onto the Secure Join row
+// layout: which column is the join column and, for each filterable
+// column, its attribute index in the encrypted vector.
+type TableSchema struct {
+	Name string
+	// JoinColumn is the column encrypted as the row's join value.
+	JoinColumn string
+	// Attrs maps filterable column names to their attribute index
+	// (0 <= index < Params.M).
+	Attrs map[string]int
+}
+
+// Catalog is the set of known table schemas, keyed case-insensitively.
+type Catalog struct {
+	tables map[string]TableSchema
+}
+
+// NewCatalog builds a catalog from schemas, rejecting duplicates.
+func NewCatalog(schemas ...TableSchema) (*Catalog, error) {
+	c := &Catalog{tables: make(map[string]TableSchema, len(schemas))}
+	for _, s := range schemas {
+		key := strings.ToLower(s.Name)
+		if _, dup := c.tables[key]; dup {
+			return nil, fmt.Errorf("sql: duplicate table %q in catalog", s.Name)
+		}
+		if s.JoinColumn == "" {
+			return nil, fmt.Errorf("sql: table %q has no join column", s.Name)
+		}
+		c.tables[key] = s
+	}
+	return c, nil
+}
+
+// Schema looks up a table schema by name.
+func (c *Catalog) Schema(name string) (TableSchema, error) {
+	s, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return TableSchema{}, fmt.Errorf("sql: unknown table %q", name)
+	}
+	return s, nil
+}
+
+// Plan is a validated, executable query: the two table names and the
+// Selection predicate for each side.
+type Plan struct {
+	TableA, TableB string
+	SelA, SelB     securejoin.Selection
+}
+
+// PlanQuery validates a parsed query against the catalog and compiles
+// the WHERE clause into per-table Selections. Multiple predicates on the
+// same column merge into one IN clause.
+func (c *Catalog) PlanQuery(q *JoinQuery) (*Plan, error) {
+	sa, err := c.Schema(q.TableA)
+	if err != nil {
+		return nil, err
+	}
+	sb, err := c.Schema(q.TableB)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.EqualFold(q.OnA, sa.JoinColumn) {
+		return nil, fmt.Errorf("sql: table %q can only join on its encrypted join column %q, not %q",
+			sa.Name, sa.JoinColumn, q.OnA)
+	}
+	if !strings.EqualFold(q.OnB, sb.JoinColumn) {
+		return nil, fmt.Errorf("sql: table %q can only join on its encrypted join column %q, not %q",
+			sb.Name, sb.JoinColumn, q.OnB)
+	}
+
+	plan := &Plan{
+		TableA: sa.Name, TableB: sb.Name,
+		SelA: securejoin.Selection{}, SelB: securejoin.Selection{},
+	}
+	for _, p := range q.Predicates {
+		var schema TableSchema
+		var sel securejoin.Selection
+		switch {
+		case strings.EqualFold(p.Table, q.TableA):
+			schema, sel = sa, plan.SelA
+		case strings.EqualFold(p.Table, q.TableB):
+			schema, sel = sb, plan.SelB
+		default:
+			return nil, fmt.Errorf("sql: predicate references table %q, which is not part of the join", p.Table)
+		}
+		idx, err := attrIndex(schema, p.Column)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range p.Values {
+			sel[idx] = append(sel[idx], []byte(v))
+		}
+	}
+	return plan, nil
+}
+
+// Compile parses and plans in one step.
+func (c *Catalog) Compile(query string) (*Plan, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return c.PlanQuery(q)
+}
+
+func attrIndex(s TableSchema, column string) (int, error) {
+	for name, idx := range s.Attrs {
+		if strings.EqualFold(name, column) {
+			return idx, nil
+		}
+	}
+	if strings.EqualFold(column, s.JoinColumn) {
+		return 0, fmt.Errorf("sql: column %q of table %q is the join column; it cannot carry a WHERE predicate", column, s.Name)
+	}
+	return 0, fmt.Errorf("sql: table %q has no filterable column %q", s.Name, column)
+}

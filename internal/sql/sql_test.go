@@ -1,0 +1,180 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFullQuery(t *testing.T) {
+	q, err := Parse(`SELECT * FROM Employees JOIN Teams ON Employees.Team = Teams.Key
+		WHERE Teams.Name = 'Web Application' AND Employees.Role IN ('Tester', 'Programmer')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.TableA != "Employees" || q.TableB != "Teams" {
+		t.Fatalf("tables = %s, %s", q.TableA, q.TableB)
+	}
+	if q.OnA != "Team" || q.OnB != "Key" {
+		t.Fatalf("on = %s, %s", q.OnA, q.OnB)
+	}
+	if len(q.Predicates) != 2 {
+		t.Fatalf("%d predicates", len(q.Predicates))
+	}
+	if q.Predicates[0].Table != "Teams" || q.Predicates[0].Values[0] != "Web Application" {
+		t.Fatalf("predicate 0 = %+v", q.Predicates[0])
+	}
+	if len(q.Predicates[1].Values) != 2 {
+		t.Fatalf("IN clause parsed as %v", q.Predicates[1].Values)
+	}
+}
+
+func TestParseReversedOnCondition(t *testing.T) {
+	q, err := Parse(`SELECT * FROM A JOIN B ON B.y = A.x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.OnA != "x" || q.OnB != "y" {
+		t.Fatalf("on = %s, %s; reversal not normalized", q.OnA, q.OnB)
+	}
+}
+
+func TestParseNoWhere(t *testing.T) {
+	q, err := Parse(`SELECT * FROM A JOIN B ON A.k = B.k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Predicates) != 0 {
+		t.Fatal("unexpected predicates")
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse(`select * from A join B on A.k = B.k where A.c = 'v'`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	q, err := Parse(`SELECT * FROM A JOIN B ON A.k = B.k WHERE A.c = 'it''s'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Predicates[0].Values[0] != "it's" {
+		t.Fatalf("escape handling: %q", q.Predicates[0].Values[0])
+	}
+}
+
+func TestParseNumberLiteral(t *testing.T) {
+	q, err := Parse(`SELECT * FROM A JOIN B ON A.k = B.k WHERE A.c IN (1, 2.5)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Predicates[0].Values[0] != "1" || q.Predicates[0].Values[1] != "2.5" {
+		t.Fatalf("number literals: %v", q.Predicates[0].Values)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`SELECT a FROM A JOIN B ON A.k = B.k`,          // projection list unsupported
+		`SELECT * FROM A`,                              // missing JOIN
+		`SELECT * FROM A JOIN B ON A.k = C.k`,          // ON references foreign table
+		`SELECT * FROM A JOIN B ON k = B.k`,            // unqualified column
+		`SELECT * FROM A JOIN B ON A.k = B.k WHERE`,    // dangling WHERE
+		`SELECT * FROM A JOIN B ON A.k = B.k trailing`, // trailing garbage
+		`SELECT * FROM A JOIN B ON A.k = B.k WHERE A.c IN ()`,
+		`SELECT * FROM A JOIN B ON A.k = B.k WHERE A.c = 'unterminated`,
+		`SELECT * FROM A JOIN B ON A.k = B.k WHERE A.c LIKE 'x'`,
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("accepted malformed query %q", c)
+		}
+	}
+}
+
+func testCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	cat, err := NewCatalog(
+		TableSchema{Name: "Teams", JoinColumn: "Key", Attrs: map[string]int{"Name": 0}},
+		TableSchema{Name: "Employees", JoinColumn: "Team", Attrs: map[string]int{"Role": 0}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestPlanQuery(t *testing.T) {
+	cat := testCatalog(t)
+	plan, err := cat.Compile(`SELECT * FROM Teams JOIN Employees ON Teams.Key = Employees.Team
+		WHERE Teams.Name = 'Web Application' AND Employees.Role = 'Tester'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TableA != "Teams" || plan.TableB != "Employees" {
+		t.Fatalf("plan tables: %s, %s", plan.TableA, plan.TableB)
+	}
+	if got := plan.SelA[0]; len(got) != 1 || string(got[0]) != "Web Application" {
+		t.Fatalf("SelA = %v", plan.SelA)
+	}
+	if got := plan.SelB[0]; len(got) != 1 || string(got[0]) != "Tester" {
+		t.Fatalf("SelB = %v", plan.SelB)
+	}
+}
+
+func TestPlanMergesPredicatesOnSameColumn(t *testing.T) {
+	cat := testCatalog(t)
+	plan, err := cat.Compile(`SELECT * FROM Teams JOIN Employees ON Teams.Key = Employees.Team
+		WHERE Employees.Role = 'Tester' AND Employees.Role IN ('Programmer')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.SelB[0]; len(got) != 2 {
+		t.Fatalf("merged IN clause = %v", got)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	cat := testCatalog(t)
+	cases := []struct {
+		query, wantErr string
+	}{
+		{`SELECT * FROM Nope JOIN Employees ON Nope.Key = Employees.Team`, "unknown table"},
+		{`SELECT * FROM Teams JOIN Employees ON Teams.Name = Employees.Team`, "join column"},
+		{`SELECT * FROM Teams JOIN Employees ON Teams.Key = Employees.Team WHERE Teams.Nope = 'x'`, "no filterable column"},
+		{`SELECT * FROM Teams JOIN Employees ON Teams.Key = Employees.Team WHERE Teams.Key = 'x'`, "join column"},
+	}
+	for _, c := range cases {
+		_, err := cat.Compile(c.query)
+		if err == nil {
+			t.Errorf("accepted %q", c.query)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("error for %q = %v, want substring %q", c.query, err, c.wantErr)
+		}
+	}
+}
+
+func TestCatalogValidation(t *testing.T) {
+	if _, err := NewCatalog(
+		TableSchema{Name: "T", JoinColumn: "k"},
+		TableSchema{Name: "t", JoinColumn: "k"},
+	); err == nil {
+		t.Fatal("duplicate (case-insensitive) table accepted")
+	}
+	if _, err := NewCatalog(TableSchema{Name: "T"}); err == nil {
+		t.Fatal("schema without join column accepted")
+	}
+}
+
+func TestPlanPredicateOnForeignTable(t *testing.T) {
+	cat := testCatalog(t)
+	_, err := cat.Compile(`SELECT * FROM Teams JOIN Employees ON Teams.Key = Employees.Team
+		WHERE Other.Col = 'x'`)
+	if err == nil || !strings.Contains(err.Error(), "not part of the join") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,85 @@
+package sse
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Wire encoding of an Index: a count followed by length-prefixed
+// (token, sealed posting list) pairs, sorted by token so the encoding
+// is deterministic.
+
+// MarshalBinary encodes the index.
+func (idx *Index) MarshalBinary() ([]byte, error) {
+	keys := make([]string, 0, len(idx.postings))
+	for k := range idx.postings {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var out []byte
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(keys)))
+	out = append(out, n[:]...)
+	for _, k := range keys {
+		v := idx.postings[k]
+		binary.BigEndian.PutUint32(n[:], uint32(len(k)))
+		out = append(out, n[:]...)
+		out = append(out, k...)
+		binary.BigEndian.PutUint32(n[:], uint32(len(v)))
+		out = append(out, n[:]...)
+		out = append(out, v...)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes an index produced by MarshalBinary.
+func (idx *Index) UnmarshalBinary(data []byte) error {
+	readUint := func() (uint32, error) {
+		if len(data) < 4 {
+			return 0, fmt.Errorf("sse: truncated index encoding")
+		}
+		v := binary.BigEndian.Uint32(data)
+		data = data[4:]
+		return v, nil
+	}
+	readBytes := func(n uint32) ([]byte, error) {
+		if uint32(len(data)) < n {
+			return nil, fmt.Errorf("sse: truncated index encoding")
+		}
+		b := data[:n]
+		data = data[n:]
+		return b, nil
+	}
+
+	count, err := readUint()
+	if err != nil {
+		return err
+	}
+	postings := make(map[string][]byte, count)
+	for i := uint32(0); i < count; i++ {
+		klen, err := readUint()
+		if err != nil {
+			return err
+		}
+		k, err := readBytes(klen)
+		if err != nil {
+			return err
+		}
+		vlen, err := readUint()
+		if err != nil {
+			return err
+		}
+		v, err := readBytes(vlen)
+		if err != nil {
+			return err
+		}
+		postings[string(k)] = append([]byte(nil), v...)
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("sse: %d trailing bytes in index encoding", len(data))
+	}
+	idx.postings = postings
+	return nil
+}

@@ -1,0 +1,62 @@
+package sse
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestIndexCodecRoundTrip(t *testing.T) {
+	c, idx := buildTestIndex(t)
+	data, err := idx.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx2 Index
+	if err := idx2.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	// The reloaded index must answer searches identically.
+	for _, value := range []string{"red", "blue", "green", "absent"} {
+		st := c.Tokenize(0, []byte(value))
+		a, err := idx.Search(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := idx2.Search(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("value %q: %v vs %v", value, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("value %q: %v vs %v", value, a, b)
+			}
+		}
+	}
+
+	// Deterministic encoding.
+	data2, err := idx.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("encoding not deterministic")
+	}
+}
+
+func TestIndexCodecRejectsMalformed(t *testing.T) {
+	var idx Index
+	if err := idx.UnmarshalBinary([]byte{0, 0}); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	if err := idx.UnmarshalBinary([]byte{0, 0, 0, 1, 0, 0, 0, 5, 'a'}); err == nil {
+		t.Fatal("truncated key accepted")
+	}
+	// Trailing garbage.
+	good, _ := (&Index{postings: map[string][]byte{"k": {1}}}).MarshalBinary()
+	if err := idx.UnmarshalBinary(append(good, 0xff)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}

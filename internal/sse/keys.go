@@ -1,0 +1,25 @@
+package sse
+
+import "fmt"
+
+// Key persistence for the index client.
+
+// MarshalKeys serializes the client's key material (64 bytes: token key
+// followed by posting key). The output is secret.
+func (c *Client) MarshalKeys() ([]byte, error) {
+	out := make([]byte, 0, 64)
+	out = append(out, c.tokenKey...)
+	out = append(out, c.postingKey...)
+	return out, nil
+}
+
+// LoadClientKeys reconstructs a client from MarshalKeys output.
+func LoadClientKeys(data []byte) (*Client, error) {
+	if len(data) != 64 {
+		return nil, fmt.Errorf("sse: key encoding has %d bytes, want 64", len(data))
+	}
+	return &Client{
+		tokenKey:   append([]byte(nil), data[:32]...),
+		postingKey: append([]byte(nil), data[32:]...),
+	}, nil
+}

@@ -1,0 +1,138 @@
+package sse
+
+import "testing"
+
+func buildTestIndex(t *testing.T) (*Client, *Index) {
+	t.Helper()
+	c, err := NewClient(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 rows, attribute 0 = color, attribute 1 = size.
+	rows := [][][]byte{
+		{[]byte("red"), []byte("L")},
+		{[]byte("blue"), []byte("L")},
+		{[]byte("red"), []byte("S")},
+		{[]byte("green"), []byte("M")},
+		{[]byte("red"), []byte("L")},
+	}
+	idx, err := c.BuildIndex(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, idx
+}
+
+func TestSearch(t *testing.T) {
+	c, idx := buildTestIndex(t)
+	rows, err := idx.Search(c.Tokenize(0, []byte("red")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("red matches %v", rows)
+	}
+	rows, err = idx.Search(c.Tokenize(0, []byte("purple")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != nil {
+		t.Fatalf("absent value matched %v", rows)
+	}
+	// Attribute position matters: "red" as attribute 1 is absent.
+	rows, err = idx.Search(c.Tokenize(1, []byte("red")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != nil {
+		t.Fatalf("cross-attribute match %v", rows)
+	}
+}
+
+func TestSearchUnion(t *testing.T) {
+	c, idx := buildTestIndex(t)
+	rows, err := idx.SearchUnion([]SearchToken{
+		c.Tokenize(0, []byte("red")),
+		c.Tokenize(0, []byte("green")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 2, 3, 4}
+	if len(rows) != len(want) {
+		t.Fatalf("union = %v", rows)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("union = %v, want %v", rows, want)
+		}
+	}
+}
+
+func TestIntersectSorted(t *testing.T) {
+	got := IntersectSorted([]int{0, 2, 3, 4}, []int{1, 2, 4, 9})
+	if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("intersection = %v", got)
+	}
+	if IntersectSorted(nil, []int{1}) != nil {
+		t.Fatal("empty intersection should be nil")
+	}
+}
+
+// TestConjunctiveFilter mirrors engine usage: rows matching color=red
+// AND size=L.
+func TestConjunctiveFilter(t *testing.T) {
+	c, idx := buildTestIndex(t)
+	reds, err := idx.SearchUnion([]SearchToken{c.Tokenize(0, []byte("red"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	larges, err := idx.SearchUnion([]SearchToken{c.Tokenize(1, []byte("L"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both := IntersectSorted(reds, larges)
+	if len(both) != 2 || both[0] != 0 || both[1] != 4 {
+		t.Fatalf("red AND L = %v", both)
+	}
+}
+
+func TestForeignTokenUseless(t *testing.T) {
+	_, idx := buildTestIndex(t)
+	other, err := NewClient(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := idx.Search(other.Tokenize(0, []byte("red")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != nil {
+		t.Fatal("token from a different client matched")
+	}
+}
+
+func TestWrongPostingKeyDetected(t *testing.T) {
+	c, idx := buildTestIndex(t)
+	st := c.Tokenize(0, []byte("red"))
+	st.Key = make([]byte, 32) // zero key
+	if _, err := idx.Search(st); err == nil {
+		t.Fatal("posting list opened with a wrong key")
+	}
+}
+
+func TestIndexHidesContents(t *testing.T) {
+	c, err := NewClient(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := c.BuildIndex([][][]byte{{[]byte("secret-value")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tok, sealed := range idx.postings {
+		if string(sealed) == "secret-value" || tok == "secret-value" {
+			t.Fatal("plaintext visible in index")
+		}
+	}
+}

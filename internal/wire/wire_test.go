@@ -1,0 +1,74 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+func roundTrip[T any](t *testing.T, in T, out *T) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewDecoder(&buf).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	in := Request{
+		Upload: &UploadRequest{
+			Table: "T",
+			Rows: []UploadRow{
+				{JoinCiphertext: []byte{1, 2, 3}, Payload: []byte{4, 5}},
+			},
+		},
+	}
+	var out Request
+	roundTrip(t, in, &out)
+	if out.Upload == nil || out.Upload.Table != "T" || len(out.Upload.Rows) != 1 {
+		t.Fatalf("round trip lost data: %+v", out)
+	}
+	if !bytes.Equal(out.Upload.Rows[0].JoinCiphertext, []byte{1, 2, 3}) {
+		t.Fatal("ciphertext bytes differ")
+	}
+}
+
+func TestJoinRequestRoundTrip(t *testing.T) {
+	in := Request{Join: &JoinRequest{
+		TableA: "A", TableB: "B",
+		TokenA: []byte{9}, TokenB: []byte{8},
+	}}
+	var out Request
+	roundTrip(t, in, &out)
+	if out.Join == nil || out.Join.TableA != "A" || out.Join.TokenB[0] != 8 {
+		t.Fatalf("round trip lost data: %+v", out)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	in := Response{
+		Join: &JoinResponse{
+			Rows: []JoinedRow{
+				{RowA: 1, RowB: 2, PayloadA: []byte("a"), PayloadB: []byte("b")},
+			},
+			RevealedPairs: 3,
+		},
+	}
+	var out Response
+	roundTrip(t, in, &out)
+	if out.Join == nil || out.Join.RevealedPairs != 3 || out.Join.Rows[0].RowB != 2 {
+		t.Fatalf("round trip lost data: %+v", out)
+	}
+}
+
+func TestErrorResponse(t *testing.T) {
+	in := Response{Err: "boom"}
+	var out Response
+	roundTrip(t, in, &out)
+	if out.Err != "boom" || out.Join != nil {
+		t.Fatalf("round trip lost data: %+v", out)
+	}
+}
