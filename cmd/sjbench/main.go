@@ -5,6 +5,7 @@
 //	sjbench -fig 3            # Fig. 3: join runtime vs TPC-H scale factor
 //	sjbench -fig 4            # Fig. 4: join runtime vs IN-clause size
 //	sjbench -fig comparison   # Sec. 6.5: Secure Join vs Hahn et al.
+//	sjbench -fig concurrent   # engine throughput under concurrent joins
 //	sjbench -fig all
 //
 // The pure-Go pairing is slower than the authors' C library, so by
@@ -16,9 +17,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/engine"
+	"repro/internal/securejoin"
 	"repro/internal/tpch"
 )
 
@@ -39,11 +43,15 @@ func main() {
 		err = fig4(*scaleDiv, *seed)
 	case "comparison":
 		err = comparison(*scaleDiv, *seed)
+	case "concurrent":
+		err = concurrent()
 	case "all":
 		if err = fig2(*reps); err == nil {
 			if err = fig3(*scaleDiv, *seed); err == nil {
 				if err = fig4(*scaleDiv, *seed); err == nil {
-					err = comparison(*scaleDiv, *seed)
+					if err = comparison(*scaleDiv, *seed); err == nil {
+						err = concurrent()
+					}
 				}
 			}
 		}
@@ -152,6 +160,75 @@ func comparison(scaleDiv float64, seed int64) error {
 	hahn2 := hw.RunServerJoin(tpch.Sel100)
 	fmt.Printf("second query: secure_join %.3fs (unlinkable), hahn %.3fs (reuses unwrapped tags, linkable)\n",
 		ours2.ServerTime.Seconds(), hahn2.ServerTime.Seconds())
+	fmt.Println()
+	return nil
+}
+
+// concurrent measures engine.Server join throughput as the number of
+// concurrently querying clients grows. The table store takes only a
+// read lock per query and leakage recording its own short lock, so
+// throughput should scale until the cores are saturated.
+func concurrent() error {
+	fmt.Println("== Concurrent joins: engine throughput vs concurrent clients ==")
+	cli, err := engine.NewClient(securejoin.Params{M: 1, T: 1}, nil)
+	if err != nil {
+		return err
+	}
+	srv := engine.NewServer()
+	const rows = 16
+	mk := func(n int) []engine.PlainRow {
+		out := make([]engine.PlainRow, n)
+		for i := range out {
+			out[i] = engine.PlainRow{
+				JoinValue: []byte(fmt.Sprintf("k-%d", i)),
+				Attrs:     [][]byte{[]byte("x")},
+				Payload:   []byte(fmt.Sprintf("row-%d", i)),
+			}
+		}
+		return out
+	}
+	for _, name := range []string{"L", "R"} {
+		t, err := cli.EncryptTable(name, mk(rows))
+		if err != nil {
+			return err
+		}
+		srv.Upload(t)
+	}
+
+	fmt.Println("clients  joins  seconds  joins_per_sec")
+	for _, clients := range []int{1, 2, 4, 8} {
+		const joinsPerClient = 2
+		var wg sync.WaitGroup
+		errs := make(chan error, clients)
+		start := time.Now()
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < joinsPerClient; j++ {
+					q, err := cli.NewQuery(securejoin.Selection{}, securejoin.Selection{})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if _, _, err := srv.ExecuteJoin("L", "R", q); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		select {
+		case err := <-errs:
+			return err
+		default:
+		}
+		elapsed := time.Since(start)
+		total := clients * joinsPerClient
+		fmt.Printf("%7d  %5d  %7.3f  %13.2f\n",
+			clients, total, elapsed.Seconds(), float64(total)/elapsed.Seconds())
+	}
 	fmt.Println()
 	return nil
 }

@@ -15,6 +15,7 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -154,18 +155,33 @@ func cmdJoin(args []string) error {
 	}
 	defer cli.Close()
 
-	results, revealed, err := cli.Join(plan.TableA, plan.TableB, plan.SelA, plan.SelB)
+	// Stream the result: rows print as the server's batches arrive
+	// instead of waiting for the full result set.
+	stream, err := cli.JoinQuery(plan.TableA, plan.TableB, plan.SelA, plan.SelB)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%d rows (%d equality pairs observed by server)\n", len(results), revealed)
-	for i, r := range results {
-		if i >= *maxRows {
-			fmt.Printf("... %d more\n", len(results)-*maxRows)
+	printed, total := 0, 0
+	for {
+		batch, err := stream.Next()
+		if err == io.EOF {
 			break
 		}
-		fmt.Printf("  %s | %s\n", r.PayloadA, r.PayloadB)
+		if err != nil {
+			return err
+		}
+		for _, r := range batch {
+			if printed < *maxRows {
+				fmt.Printf("  %s | %s\n", r.PayloadA, r.PayloadB)
+				printed++
+			}
+		}
+		total += len(batch)
 	}
+	if total > printed {
+		fmt.Printf("... %d more\n", total-printed)
+	}
+	fmt.Printf("%d rows (%d equality pairs observed by server)\n", total, stream.RevealedPairs())
 	return nil
 }
 

@@ -16,6 +16,7 @@ import (
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7788", "address to listen on")
 	quiet := flag.Bool("quiet", false, "disable request logging")
+	batch := flag.Int("batch", 0, "joined rows per response frame (0 = protocol default)")
 	flag.Parse()
 
 	var logger *log.Logger
@@ -23,6 +24,7 @@ func main() {
 		logger = log.New(os.Stderr, "[sjserver] ", log.LstdFlags)
 	}
 	srv := newServer(logger)
+	srv.SetBatchSize(*batch)
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sjserver:", err)

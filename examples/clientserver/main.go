@@ -1,14 +1,17 @@
 // Client/server example: runs the DBMS server on a loopback TCP port and
-// drives it with the protocol client — the full database-as-a-service
+// drives it with the v2 protocol client — the full database-as-a-service
 // deployment of Section 2 in one process. The server sees only
 // ciphertexts and tokens; all keys stay on the client side of the
-// socket.
+// socket. Results stream back in bounded batches, and one connection
+// pipelines concurrent queries issued from separate goroutines.
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"sync"
 
 	"repro/internal/client"
 	"repro/internal/engine"
@@ -18,12 +21,13 @@ import (
 
 func main() {
 	srv := server.New(log.New(os.Stderr, "[server] ", 0))
+	srv.SetBatchSize(2) // tiny batches so the streaming is visible
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	fmt.Printf("server listening on %s\n", addr)
+	fmt.Printf("server listening on %s (protocol v2)\n", addr)
 
 	cli, err := client.Dial(addr, securejoin.Params{M: 1, T: 2})
 	if err != nil {
@@ -53,16 +57,50 @@ func main() {
 	fmt.Println("uploaded encrypted tables Patients and Insurers")
 
 	// SELECT * FROM Patients JOIN Insurers ON insurer
-	// WHERE Patients.dept IN ('oncology') AND Insurers.plan IN ('gold')
-	results, revealed, err := cli.Join("Patients", "Insurers",
+	// WHERE Patients.dept IN ('oncology') AND Insurers.plan IN ('gold') —
+	// drained batch by batch as the server streams SJ.Match output.
+	stream, err := cli.JoinQuery("Patients", "Insurers",
 		securejoin.Selection{0: [][]byte{[]byte("oncology")}},
 		securejoin.Selection{0: [][]byte{[]byte("gold")}},
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("join returned %d rows; server observed %d equality pairs\n", len(results), revealed)
-	for _, r := range results {
-		fmt.Printf("  %s  <->  %s\n", r.PayloadA, r.PayloadB)
+	rows := 0
+	for {
+		batch, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range batch {
+			fmt.Printf("  %s  <->  %s\n", r.PayloadA, r.PayloadB)
+		}
+		rows += len(batch)
 	}
+	fmt.Printf("streamed join returned %d rows; server observed %d equality pairs\n",
+		rows, stream.RevealedPairs())
+
+	// The client is safe for concurrent use: these two queries pipeline
+	// over the same connection, and the server executes them in
+	// parallel, interleaving their response frames.
+	var wg sync.WaitGroup
+	for _, dept := range []string{"cardiology", "oncology"} {
+		wg.Add(1)
+		go func(dept string) {
+			defer wg.Done()
+			results, revealed, err := cli.Join("Patients", "Insurers",
+				securejoin.Selection{0: [][]byte{[]byte(dept)}},
+				securejoin.Selection{},
+			)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("concurrent query dept=%s: %d rows (%d pairs revealed)\n",
+				dept, len(results), revealed)
+		}(dept)
+	}
+	wg.Wait()
 }

@@ -3,26 +3,98 @@
 // the payload AEAD key, encrypts tables before upload, issues per-query
 // tokens and decrypts result payloads. The server never receives any key
 // material.
+//
+// A Client speaks the wire v2 protocol and is safe for concurrent use:
+// requests carry unique IDs, responses are demultiplexed by a reader
+// goroutine, and concurrent Join/Upload/Ping calls from multiple
+// goroutines pipeline over the single connection. Join results can be
+// consumed incrementally through JoinStream as the server streams
+// batches, or all at once with Join.
 package client
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/securejoin"
 	"repro/internal/wire"
 )
 
+// ErrClosed is returned by calls on a client whose connection has been
+// closed.
+var ErrClosed = errors.New("client: connection closed")
+
+// pending is one in-flight request's response queue. The reader
+// goroutine pushes every frame carrying the request's ID and closes
+// the queue after the terminal frame, or when the connection dies.
+// The queue is unbounded so a stream consumed later than its neighbors
+// never blocks the demultiplexer (and so can never deadlock a caller
+// that drains two concurrent streams sequentially); its memory is
+// bounded by the results the caller asked for but has not yet read.
+type pending struct {
+	id uint64
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*wire.Frame
+	closed bool
+}
+
+func newPending() *pending {
+	p := &pending{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// push enqueues one frame for the consumer.
+func (p *pending) push(f *wire.Frame) {
+	p.mu.Lock()
+	p.queue = append(p.queue, f)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// closeQ marks the queue complete; pop drains what is buffered, then
+// returns nil.
+func (p *pending) closeQ() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// pop blocks for the next frame; nil means the queue is closed (after
+// the terminal frame, or because the connection died before it).
+func (p *pending) pop() *wire.Frame {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.queue) == 0 && !p.closed {
+		p.cond.Wait()
+	}
+	if len(p.queue) == 0 {
+		return nil
+	}
+	f := p.queue[0]
+	p.queue = p.queue[1:]
+	return f
+}
+
 // Client is a connected protocol client.
 type Client struct {
 	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-
+	wc   *wire.Conn
 	keys *engine.Client
+
+	writeMu sync.Mutex // serializes frames of concurrent senders
+
+	mu      sync.Mutex // guards the demux state below
+	nextID  uint64
+	calls   map[uint64]*pending
+	readErr error // terminal receive error; set once
 }
 
 // Dial connects to a server and provisions fresh key material for the
@@ -43,53 +115,173 @@ func DialWithKeys(addr string, keys *engine.Client) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
-	return &Client{
-		conn: conn,
-		enc:  gob.NewEncoder(conn),
-		dec:  gob.NewDecoder(conn),
-		keys: keys,
-	}, nil
+	wc := wire.NewConn(conn)
+	if err := wire.ClientHandshake(wc); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c := &Client{
+		conn:  conn,
+		wc:    wc,
+		keys:  keys,
+		calls: make(map[uint64]*pending),
+	}
+	go c.readLoop()
+	return c, nil
 }
 
 // Keys returns the client's key material, e.g. for ExportKeys.
 func (c *Client) Keys() *engine.Client { return c.keys }
 
-// Close terminates the connection.
+// Close terminates the connection. In-flight calls fail with ErrClosed.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// Ping round-trips an empty request.
-func (c *Client) Ping() error {
-	resp, err := c.roundTrip(&wire.Request{Ping: true})
-	if err != nil {
-		return err
+// readLoop demultiplexes response frames to in-flight requests by ID.
+// Every pending queue is unbounded, so the loop never blocks on a slow
+// consumer and frames of interleaved streams cannot head-of-line block
+// each other.
+func (c *Client) readLoop() {
+	for {
+		f := new(wire.Frame)
+		if err := c.wc.Recv(f); err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		p := c.calls[f.ID]
+		if f.Terminal() {
+			delete(c.calls, f.ID)
+		}
+		c.mu.Unlock()
+		if p == nil {
+			continue // response to an abandoned request
+		}
+		p.push(f)
+		if f.Terminal() {
+			p.closeQ()
+		}
 	}
-	if resp.Err != "" {
-		return errors.New(resp.Err)
+}
+
+// fail delivers a terminal receive error to every in-flight call by
+// closing its queue.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	calls := c.calls
+	c.calls = make(map[uint64]*pending)
+	c.mu.Unlock()
+	for _, p := range calls {
+		p.closeQ()
+	}
+}
+
+// connErr renders the terminal connection error of a dead client.
+func (c *Client) connErr() error {
+	c.mu.Lock()
+	err := c.readErr
+	c.mu.Unlock()
+	if err == nil || err == io.EOF || errors.Is(err, net.ErrClosed) {
+		return ErrClosed
+	}
+	return fmt.Errorf("client: receive: %w", err)
+}
+
+// send registers a pending call, stamps the request with a fresh ID and
+// writes it.
+func (c *Client) send(req *wire.Request) (*pending, error) {
+	p := newPending()
+	c.mu.Lock()
+	if c.readErr != nil {
+		c.mu.Unlock()
+		return nil, c.connErr()
+	}
+	c.nextID++
+	id := c.nextID
+	req.ID = id
+	p.id = id
+	c.calls[id] = p
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := c.wc.Send(req)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.calls, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("client: send: %w", err)
+	}
+	return p, nil
+}
+
+// ack waits for a request's single terminal frame (Ok or Err).
+func (c *Client) ack(p *pending, op string) error {
+	f := p.pop()
+	if f == nil {
+		return c.connErr()
+	}
+	if f.Err != "" {
+		return fmt.Errorf("client: %s rejected: %s", op, f.Err)
+	}
+	if !f.Ok {
+		return fmt.Errorf("client: unexpected %s response frame", op)
 	}
 	return nil
 }
 
+// Ping round-trips an empty request.
+func (c *Client) Ping() error {
+	p, err := c.send(&wire.Request{Ping: true})
+	if err != nil {
+		return err
+	}
+	return c.ack(p, "ping")
+}
+
 // Upload encrypts a plaintext table and stores it on the server under
-// the given name.
+// the given name. Tables whose encoding exceeds the protocol's frame
+// budget are sent as a staged chunk sequence the server installs
+// atomically on the final (Commit) chunk, so upload size is unbounded
+// and joins never see a partial table; do not upload the same table
+// name concurrently.
 func (c *Client) Upload(name string, rows []engine.PlainRow) error {
 	table, err := c.keys.EncryptTable(name, rows)
 	if err != nil {
 		return err
 	}
-	req := &wire.UploadRequest{Table: name, Rows: make([]wire.UploadRow, len(table.Rows))}
-	for i, r := range table.Rows {
+	var chunks [][]wire.UploadRow
+	var chunk []wire.UploadRow
+	bytes := 0
+	for _, r := range table.Rows {
 		jc, err := r.Join.MarshalBinary()
 		if err != nil {
 			return err
 		}
-		req.Rows[i] = wire.UploadRow{JoinCiphertext: jc, Payload: r.Payload}
+		rowBytes := len(jc) + len(r.Payload) + 64
+		if len(chunk) > 0 && bytes+rowBytes > wire.FrameByteBudget {
+			chunks = append(chunks, chunk)
+			chunk, bytes = nil, 0
+		}
+		chunk = append(chunk, wire.UploadRow{JoinCiphertext: jc, Payload: r.Payload})
+		bytes += rowBytes
 	}
-	resp, err := c.roundTrip(&wire.Request{Upload: req})
-	if err != nil {
-		return err
-	}
-	if resp.Err != "" {
-		return fmt.Errorf("client: upload rejected: %s", resp.Err)
+	chunks = append(chunks, chunk) // final chunk; sole (empty) one for an empty table
+	for i, rows := range chunks {
+		p, err := c.send(&wire.Request{Upload: &wire.UploadRequest{
+			Table:  name,
+			Rows:   rows,
+			Append: i > 0,
+			Commit: i == len(chunks)-1,
+		}})
+		if err != nil {
+			return err
+		}
+		if err := c.ack(p, "upload"); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -100,56 +292,139 @@ type JoinResult struct {
 	PayloadA, PayloadB []byte
 }
 
-// Join executes SELECT * FROM tableA JOIN tableB ON joinA = joinB WHERE
-// selA AND selB. A fresh query key is drawn, so repeated identical calls
-// are unlinkable at the server.
-func (c *Client) Join(tableA, tableB string, selA, selB securejoin.Selection) ([]JoinResult, int, error) {
+// JoinStream consumes one join query's results batch by batch as the
+// server streams them. Drain it until Next returns io.EOF, or release
+// it with Close so the server stops producing; an unreleased stream
+// merely buffers its remaining frames client-side.
+type JoinStream struct {
+	c        *Client
+	p        *pending
+	revealed int
+	done     bool
+	err      error
+}
+
+// Next returns the next batch of decrypted results. It returns io.EOF
+// after the final batch, at which point RevealedPairs is valid.
+func (s *JoinStream) Next() ([]JoinResult, error) {
+	if s.done {
+		if s.err != nil {
+			return nil, s.err
+		}
+		return nil, io.EOF
+	}
+	f := s.p.pop()
+	if f == nil {
+		s.done = true
+		s.err = s.c.connErr()
+		return nil, s.err
+	}
+	switch {
+	case f.Err != "":
+		s.done = true
+		s.err = fmt.Errorf("client: join rejected: %s", f.Err)
+		return nil, s.err
+	case f.Summary != nil:
+		s.done = true
+		s.revealed = f.Summary.RevealedPairs
+		return nil, io.EOF
+	case f.Batch != nil:
+		out := make([]JoinResult, len(f.Batch.Rows))
+		for i, r := range f.Batch.Rows {
+			pa, err := s.c.keys.OpenPayload(r.PayloadA)
+			if err != nil {
+				s.err = fmt.Errorf("client: opening payload A of result %d: %w", i, err)
+				s.abort()
+				return nil, s.err
+			}
+			pb, err := s.c.keys.OpenPayload(r.PayloadB)
+			if err != nil {
+				s.err = fmt.Errorf("client: opening payload B of result %d: %w", i, err)
+				s.abort()
+				return nil, s.err
+			}
+			out[i] = JoinResult{RowA: r.RowA, RowB: r.RowB, PayloadA: pa, PayloadB: pb}
+		}
+		return out, nil
+	default:
+		s.err = errors.New("client: malformed join frame")
+		s.abort()
+		return nil, s.err
+	}
+}
+
+// RevealedPairs is the size of the query's leakage trace sigma(q),
+// valid once Next has returned io.EOF.
+func (s *JoinStream) RevealedPairs() int { return s.revealed }
+
+// Close releases a stream that will not be drained: the server is told
+// to cancel the query's remaining work, and the frames already in
+// flight are discarded in the background so pipelined requests keep
+// flowing.
+func (s *JoinStream) Close() error {
+	if !s.done {
+		s.abort()
+	}
+	return nil
+}
+
+// abort marks the stream terminal (preserving any error already set),
+// asks the server to stop, and drains the remaining frames.
+func (s *JoinStream) abort() {
+	s.done = true
+	if s.err == nil {
+		s.err = errors.New("client: join stream closed")
+	}
+	// Fire-and-forget cancel: its ack is cleaned up by the demux, and
+	// a cancel racing the stream's natural end is ignored server-side.
+	// Remaining frames just sit in the (unbounded) queue until the
+	// terminal frame closes it and the queue is dropped.
+	go s.c.send(&wire.Request{Cancel: s.p.id})
+}
+
+// JoinQuery starts SELECT * FROM tableA JOIN tableB ON joinA = joinB
+// WHERE selA AND selB and returns a stream of result batches. A fresh
+// query key is drawn, so repeated identical calls are unlinkable at the
+// server.
+func (c *Client) JoinQuery(tableA, tableB string, selA, selB securejoin.Selection) (*JoinStream, error) {
 	q, err := c.keys.NewQuery(selA, selB)
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
 	tka, err := q.TokenA.MarshalBinary()
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
 	tkb, err := q.TokenB.MarshalBinary()
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
-	resp, err := c.roundTrip(&wire.Request{Join: &wire.JoinRequest{
+	p, err := c.send(&wire.Request{Join: &wire.JoinRequest{
 		TableA: tableA, TableB: tableB, TokenA: tka, TokenB: tkb,
 	}})
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
-	if resp.Err != "" {
-		return nil, 0, fmt.Errorf("client: join rejected: %s", resp.Err)
-	}
-	if resp.Join == nil {
-		return nil, 0, errors.New("client: server returned no join payload")
-	}
-	out := make([]JoinResult, len(resp.Join.Rows))
-	for i, r := range resp.Join.Rows {
-		pa, err := c.keys.OpenPayload(r.PayloadA)
-		if err != nil {
-			return nil, 0, fmt.Errorf("client: opening payload A of result %d: %w", i, err)
-		}
-		pb, err := c.keys.OpenPayload(r.PayloadB)
-		if err != nil {
-			return nil, 0, fmt.Errorf("client: opening payload B of result %d: %w", i, err)
-		}
-		out[i] = JoinResult{RowA: r.RowA, RowB: r.RowB, PayloadA: pa, PayloadB: pb}
-	}
-	return out, resp.Join.RevealedPairs, nil
+	return &JoinStream{c: c, p: p}, nil
 }
 
-func (c *Client) roundTrip(req *wire.Request) (*wire.Response, error) {
-	if err := c.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("client: send: %w", err)
+// Join executes a join query and drains its stream, returning all
+// decrypted results and the revealed-pair count.
+func (c *Client) Join(tableA, tableB string, selA, selB securejoin.Selection) ([]JoinResult, int, error) {
+	stream, err := c.JoinQuery(tableA, tableB, selA, selB)
+	if err != nil {
+		return nil, 0, err
 	}
-	var resp wire.Response
-	if err := c.dec.Decode(&resp); err != nil {
-		return nil, fmt.Errorf("client: receive: %w", err)
+	var out []JoinResult
+	for {
+		batch, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, batch...)
 	}
-	return &resp, nil
+	return out, stream.RevealedPairs(), nil
 }

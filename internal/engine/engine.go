@@ -6,6 +6,16 @@
 // join results) are protected with client-side AES-GCM, so the server
 // handles them only as opaque blobs.
 //
+// The Server is safe for concurrent use: the table store is guarded by
+// an RWMutex (uploads take the write lock, queries only a brief read
+// lock to snapshot the immutable tables), and leakage traces are
+// recorded under a separate lock, so joins — thousands of pairing
+// operations each — run truly in parallel. Join results are produced
+// incrementally through JoinStream, whose Next method yields bounded
+// batches as SJ.Match progresses instead of materializing the whole
+// result set; ExecuteJoin remains as a convenience that drains a
+// stream.
+//
 // The server additionally records, per query, the equality pairs its
 // execution observed — the sigma(q) trace of Section 5.2 — so examples
 // and tests can audit the leakage of a series of queries.
@@ -18,11 +28,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/leakage"
 	"repro/internal/securejoin"
 	"repro/internal/sse"
 )
+
+// ErrPayloadAuth is returned by OpenPayload when a sealed payload fails
+// AEAD authentication — the blob was sealed under a different key or
+// tampered with in transit.
+var ErrPayloadAuth = errors.New("engine: payload authentication failed")
 
 // PlainRow is one client-side row: the join value, the filterable
 // attribute values (in scheme attribute order) and an arbitrary payload
@@ -41,7 +57,9 @@ type EncryptedRow struct {
 
 // EncryptedTable is an uploaded table. Index is the optional SSE
 // pre-filter index (see prefilter.go); it is nil for tables uploaded
-// with EncryptTable.
+// with EncryptTable. Once uploaded, a table is immutable — re-uploads
+// replace the whole table — which is what lets queries snapshot it
+// under a brief read lock.
 type EncryptedTable struct {
 	Name  string
 	Rows  []*EncryptedRow
@@ -55,10 +73,15 @@ type Client struct {
 	payloadAEAD cipher.AEAD
 	payloadKey  []byte
 	sse         *sse.Client
+	rng         io.Reader
 }
 
 // NewClient creates a client for tables with the given Secure Join
-// parameters. If rng is nil crypto/rand is used.
+// parameters. If rng is nil crypto/rand is used. The rng supplies ALL
+// client randomness — keys and the AES-GCM payload nonces — so a
+// deterministic rng is for reproducible tests only: reusing one across
+// clients, or re-running it against the same key, repeats (key, nonce)
+// pairs, which breaks GCM entirely.
 func NewClient(params securejoin.Params, rng io.Reader) (*Client, error) {
 	scheme, err := securejoin.Setup(params, rng)
 	if err != nil {
@@ -83,7 +106,7 @@ func NewClient(params securejoin.Params, rng io.Reader) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{scheme: scheme, payloadAEAD: aead, payloadKey: key, sse: sseClient}, nil
+	return &Client{scheme: scheme, payloadAEAD: aead, payloadKey: key, sse: sseClient, rng: rng}, nil
 }
 
 // Params returns the scheme parameters of the client.
@@ -111,19 +134,24 @@ func (c *Client) NewQuery(selA, selB securejoin.Selection) (*securejoin.Query, e
 	return c.scheme.NewQuery(selA, selB)
 }
 
-// OpenPayload decrypts a payload blob from a join result.
+// OpenPayload decrypts a payload blob from a join result. A blob that
+// fails authentication yields an error wrapping ErrPayloadAuth.
 func (c *Client) OpenPayload(sealed []byte) ([]byte, error) {
 	ns := c.payloadAEAD.NonceSize()
 	if len(sealed) < ns {
-		return nil, errors.New("engine: sealed payload shorter than nonce")
+		return nil, fmt.Errorf("%w: sealed payload shorter than nonce", ErrPayloadAuth)
 	}
-	return c.payloadAEAD.Open(nil, sealed[:ns], sealed[ns:], nil)
+	pt, err := c.payloadAEAD.Open(nil, sealed[:ns], sealed[ns:], nil)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrPayloadAuth, err)
+	}
+	return pt, nil
 }
 
 func (c *Client) sealPayload(pt []byte) ([]byte, error) {
 	nonce := make([]byte, c.payloadAEAD.NonceSize())
-	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
-		return nil, err
+	if _, err := io.ReadFull(c.rng, nonce); err != nil {
+		return nil, fmt.Errorf("engine: sampling payload nonce: %w", err)
 	}
 	return c.payloadAEAD.Seal(nonce, nonce, pt, nil), nil
 }
@@ -143,12 +171,18 @@ type QueryTrace struct {
 }
 
 // Server stores encrypted tables and executes join queries. It holds no
-// key material.
+// key material and is safe for concurrent use.
 type Server struct {
-	tables map[string]*EncryptedTable
+	// tablesMu guards the table map only. Uploaded tables themselves
+	// are immutable, so queries hold the read lock just long enough to
+	// snapshot the two *EncryptedTable pointers.
+	tablesMu sync.RWMutex
+	tables   map[string]*EncryptedTable
 
-	// cumulative is everything the server has observed across queries,
-	// for leakage auditing.
+	// traceMu guards the leakage records, separately from the table
+	// store so concurrent joins serialize only on the cheap trace
+	// append, never on the pairing-heavy execution.
+	traceMu    sync.Mutex
 	cumulative leakage.PairSet
 	perQuery   []leakage.PairSet
 }
@@ -160,81 +194,246 @@ func NewServer() *Server {
 
 // Upload stores an encrypted table, replacing any previous version.
 func (s *Server) Upload(t *EncryptedTable) {
+	s.tablesMu.Lock()
 	s.tables[t.Name] = t
+	s.tablesMu.Unlock()
 }
 
 // Table returns an uploaded table.
 func (s *Server) Table(name string) (*EncryptedTable, error) {
+	s.tablesMu.RLock()
 	t, ok := s.tables[name]
+	s.tablesMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown table %q", name)
 	}
 	return t, nil
 }
 
-// ExecuteJoin runs one equi-join query: SJ.Dec over both tables followed
-// by a hash-based SJ.Match. It returns the joined row payloads and
-// records the query's observed leakage.
-func (s *Server) ExecuteJoin(tableA, tableB string, q *securejoin.Query) ([]JoinedRow, *QueryTrace, error) {
-	ta, err := s.Table(tableA)
-	if err != nil {
-		return nil, nil, err
+// snapshot resolves both join operands under one read-lock acquisition.
+func (s *Server) snapshot(tableA, tableB string) (ta, tb *EncryptedTable, err error) {
+	s.tablesMu.RLock()
+	ta, okA := s.tables[tableA]
+	tb, okB := s.tables[tableB]
+	s.tablesMu.RUnlock()
+	if !okA {
+		return nil, nil, fmt.Errorf("engine: unknown table %q", tableA)
 	}
-	tb, err := s.Table(tableB)
-	if err != nil {
-		return nil, nil, err
+	if !okB {
+		return nil, nil, fmt.Errorf("engine: unknown table %q", tableB)
 	}
+	return ta, tb, nil
+}
 
+// recordTrace appends one query's leakage to the audit log.
+func (s *Server) recordTrace(trace *QueryTrace) {
+	s.traceMu.Lock()
+	s.perQuery = append(s.perQuery, trace.Pairs)
+	s.cumulative.AddAll(trace.Pairs)
+	s.traceMu.Unlock()
+}
+
+// DefaultBatchSize is the number of rows per JoinStream batch when the
+// caller does not choose one; the protocol layer inherits it as the
+// default response-frame bound.
+const DefaultBatchSize = 256
+
+// JoinStream produces the results of one equi-join query in bounded
+// batches. The stream snapshots its tables when opened, decrypts and
+// indexes side A eagerly, then decrypts side B in batch-sized chunks:
+// each Next call probes one chunk against the hash index and returns
+// the matches it produced, so peak memory is independent of the result
+// cardinality. Once the stream terminates — exhausted, failed, or
+// released early with Close — the leakage observed up to that point
+// has been recorded and Trace/RevealedPairs report it.
+type JoinStream struct {
+	srv            *Server
+	tableA, tableB string
+	ta, tb         *EncryptedTable
+	tokenB         *securejoin.Token
+	batch          int
+
+	index    map[string][]int // D value of A -> rows, the build side
+	bucketsB map[string][]int // D value of B -> rows seen so far (intra-B pairs)
+	pairs    leakage.PairSet  // leakage accumulated as matching progresses
+	next     int              // next row of B to decrypt
+	trace    *QueryTrace
+	done     bool
+	err      error // sticky terminal error, re-returned by Next
+}
+
+// OpenJoin starts one equi-join query: SJ.Dec over table A up front,
+// then SJ.Dec + SJ.Match over table B incrementally as the stream is
+// drained. batch is the maximum number of probe rows per Next call;
+// batch <= 0 selects a default.
+func (s *Server) OpenJoin(tableA, tableB string, q *securejoin.Query, batch int) (*JoinStream, error) {
+	ta, tb, err := s.snapshot(tableA, tableB)
+	if err != nil {
+		return nil, err
+	}
 	das, err := decryptAll(q.TokenA, ta)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	dbs, err := decryptAll(q.TokenB, tb)
-	if err != nil {
-		return nil, nil, err
+	index := make(map[string][]int, len(das))
+	for i, d := range das {
+		index[string(d)] = append(index[string(d)], i)
 	}
-
-	pairs := securejoin.HashJoin(das, dbs)
-	result := make([]JoinedRow, len(pairs))
-	for i, p := range pairs {
-		result[i] = JoinedRow{
-			RowA:     p.RowA,
-			RowB:     p.RowB,
-			PayloadA: ta.Rows[p.RowA].Payload,
-			PayloadB: tb.Rows[p.RowB].Payload,
-		}
+	if batch <= 0 {
+		batch = DefaultBatchSize
 	}
-
-	trace := &QueryTrace{Pairs: leakage.NewPairSet()}
-	for _, p := range pairs {
-		trace.Pairs.Add(leakage.Pair{
-			A: leakage.RowRef{Table: tableA, Row: p.RowA},
-			B: leakage.RowRef{Table: tableB, Row: p.RowB},
-		})
-	}
+	// The intra-A pairs were observed the moment side A was decrypted;
+	// seed the trace with them so even a stream closed before the first
+	// probe audits honestly. (das itself need not be retained.)
+	pairs := leakage.NewPairSet()
 	for _, sp := range securejoin.SelfPairs(das) {
-		trace.Pairs.Add(leakage.Pair{
+		pairs.Add(leakage.Pair{
 			A: leakage.RowRef{Table: tableA, Row: sp[0]},
 			B: leakage.RowRef{Table: tableA, Row: sp[1]},
 		})
 	}
-	for _, sp := range securejoin.SelfPairs(dbs) {
-		trace.Pairs.Add(leakage.Pair{
-			A: leakage.RowRef{Table: tableB, Row: sp[0]},
-			B: leakage.RowRef{Table: tableB, Row: sp[1]},
-		})
-	}
-	s.perQuery = append(s.perQuery, trace.Pairs)
-	s.cumulative.AddAll(trace.Pairs)
+	return &JoinStream{
+		srv:    s,
+		tableA: tableA, tableB: tableB,
+		ta: ta, tb: tb,
+		tokenB: q.TokenB,
+		batch:  batch,
+		index:  index,
+		bucketsB: make(map[string][]int),
+		pairs:    pairs,
+	}, nil
+}
 
-	return result, trace, nil
+// Next returns the joined rows produced by the next batch of probe-side
+// rows. A batch may be empty of matches yet non-terminal; the stream is
+// exhausted when Next returns io.EOF, at which point the query trace
+// has been recorded.
+func (st *JoinStream) Next() ([]JoinedRow, error) {
+	if st.done {
+		if st.err != nil {
+			return nil, st.err
+		}
+		return nil, io.EOF
+	}
+	if st.next >= len(st.tb.Rows) {
+		st.finish()
+		return nil, io.EOF
+	}
+	end := st.next + st.batch
+	if end > len(st.tb.Rows) {
+		end = len(st.tb.Rows)
+	}
+	cts := make([]*securejoin.RowCiphertext, end-st.next)
+	for i := st.next; i < end; i++ {
+		cts[i-st.next] = st.tb.Rows[i].Join
+	}
+	chunk, err := securejoin.DecryptTable(st.tokenB, cts)
+	if err != nil {
+		st.err = err
+		st.finish() // the pairs observed before the failure still leaked
+		return nil, err
+	}
+	var out []JoinedRow
+	for j, db := range chunk {
+		rowB := st.next + j
+		key := string(db)
+		for _, rowA := range st.index[key] {
+			out = append(out, JoinedRow{
+				RowA:     rowA,
+				RowB:     rowB,
+				PayloadA: st.ta.Rows[rowA].Payload,
+				PayloadB: st.tb.Rows[rowB].Payload,
+			})
+			st.pairs.Add(leakage.Pair{
+				A: leakage.RowRef{Table: st.tableA, Row: rowA},
+				B: leakage.RowRef{Table: st.tableB, Row: rowB},
+			})
+		}
+		// Intra-B equalities: this row pairs with every earlier B row
+		// sharing its D value — the incremental form of SelfPairs, so
+		// neither the D values nor a second match pass is needed.
+		for _, prior := range st.bucketsB[key] {
+			st.pairs.Add(leakage.Pair{
+				A: leakage.RowRef{Table: st.tableB, Row: prior},
+				B: leakage.RowRef{Table: st.tableB, Row: rowB},
+			})
+		}
+		st.bucketsB[key] = append(st.bucketsB[key], rowB)
+	}
+	st.next = end
+	return out, nil
+}
+
+// finish records the leakage accumulated so far — the full sigma(q)
+// when the stream is drained, a prefix when it failed or was released
+// early. Idempotent.
+func (st *JoinStream) finish() {
+	if st.done {
+		return
+	}
+	st.done = true
+	st.trace = &QueryTrace{Pairs: st.pairs}
+	st.srv.recordTrace(st.trace)
+}
+
+// Close releases a stream without draining it. The leakage observed up
+// to this point is recorded — a client hanging up mid-stream must not
+// erase pairs the server already saw from the audit log. Idempotent;
+// draining to io.EOF makes it a no-op.
+func (st *JoinStream) Close() {
+	st.finish()
+}
+
+// Trace returns the query's leakage trace. It is non-nil only once the
+// stream has terminated (drained, failed, or closed).
+func (st *JoinStream) Trace() *QueryTrace { return st.trace }
+
+// RevealedPairs is the size of the query's sigma(q) trace; valid after
+// the stream is exhausted.
+func (st *JoinStream) RevealedPairs() int {
+	if st.trace == nil {
+		return 0
+	}
+	return st.trace.Pairs.Len()
+}
+
+// ExecuteJoin runs one equi-join query to completion: SJ.Dec over both
+// tables followed by a hash-based SJ.Match. It returns the joined row
+// payloads and records the query's observed leakage. It is a
+// convenience wrapper that drains a JoinStream; servers streaming
+// results to clients use OpenJoin directly.
+func (s *Server) ExecuteJoin(tableA, tableB string, q *securejoin.Query) ([]JoinedRow, *QueryTrace, error) {
+	st, err := s.OpenJoin(tableA, tableB, q, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	var result []JoinedRow
+	for {
+		rows, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		result = append(result, rows...)
+	}
+	return result, st.Trace(), nil
 }
 
 // ObservedLeakage returns the per-query traces recorded so far and the
 // transitive closure of their union — by Corollary 5.2.2 this closure is
 // everything a semi-honest server can derive from the whole series.
 func (s *Server) ObservedLeakage() (perQuery []leakage.PairSet, closure leakage.PairSet) {
-	return s.perQuery, s.cumulative.TransitiveClosure()
+	// Snapshot under the lock, compute the (potentially expensive)
+	// closure outside it so auditing never stalls concurrent joins'
+	// trace recording.
+	s.traceMu.Lock()
+	perQuery = append([]leakage.PairSet(nil), s.perQuery...)
+	cumulative := leakage.NewPairSet()
+	cumulative.AddAll(s.cumulative)
+	s.traceMu.Unlock()
+	return perQuery, cumulative.TransitiveClosure()
 }
 
 func decryptAll(tk *securejoin.Token, t *EncryptedTable) ([]securejoin.DValue, error) {

@@ -3,6 +3,7 @@ package engine
 import (
 	"crypto/aes"
 	"crypto/cipher"
+	"crypto/rand"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -70,5 +71,6 @@ func LoadClientKeys(r io.Reader) (*Client, error) {
 		payloadAEAD: aead,
 		payloadKey:  f.Payload,
 		sse:         sseClient,
+		rng:         rand.Reader,
 	}, nil
 }

@@ -84,11 +84,7 @@ func (c *Client) sseTokens(sel securejoin.Selection) map[int][]sse.SearchToken {
 // SJ.Dec only for candidate rows. Tables uploaded without an index are
 // processed in full.
 func (s *Server) ExecuteJoinPrefiltered(tableA, tableB string, q *PrefilterQuery) ([]JoinedRow, *QueryTrace, error) {
-	ta, err := s.Table(tableA)
-	if err != nil {
-		return nil, nil, err
-	}
-	tb, err := s.Table(tableB)
+	ta, tb, err := s.snapshot(tableA, tableB)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -138,8 +134,7 @@ func (s *Server) ExecuteJoinPrefiltered(tableA, tableB string, q *PrefilterQuery
 			B: leakage.RowRef{Table: tableB, Row: candB[sp[1]]},
 		})
 	}
-	s.perQuery = append(s.perQuery, trace.Pairs)
-	s.cumulative.AddAll(trace.Pairs)
+	s.recordTrace(trace)
 	return result, trace, nil
 }
 

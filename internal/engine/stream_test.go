@@ -1,0 +1,255 @@
+package engine
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/securejoin"
+)
+
+// TestJoinStreamMatchesExecuteJoin drains a stream with batch size 1
+// and checks it produces exactly the rows and trace of the one-shot
+// path.
+func TestJoinStreamMatchesExecuteJoin(t *testing.T) {
+	client, server := setup(t)
+	sel := securejoin.Selection{}
+
+	q1, err := client.NewQuery(sel, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantTrace, err := server.ExecuteJoin("Teams", "Employees", q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q2, err := client.NewQuery(sel, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := server.OpenJoin("Teams", "Employees", q2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.Trace() != nil {
+		t.Fatal("trace available before stream exhausted")
+	}
+	var got []JoinedRow
+	batches := 0
+	for {
+		rows, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) > 1 {
+			t.Fatalf("batch of %d rows exceeds batch size 1", len(rows))
+		}
+		batches++
+		got = append(got, rows...)
+	}
+	if batches < len(got) {
+		t.Fatalf("%d rows arrived in %d batches; want at least one batch per probe row", len(got), batches)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stream produced %d rows, ExecuteJoin %d", len(got), len(want))
+	}
+	match := make(map[string]bool, len(want))
+	for _, r := range want {
+		match[fmt.Sprintf("%d/%d", r.RowA, r.RowB)] = true
+	}
+	for _, r := range got {
+		if !match[fmt.Sprintf("%d/%d", r.RowA, r.RowB)] {
+			t.Fatalf("stream produced unexpected pair (%d,%d)", r.RowA, r.RowB)
+		}
+	}
+	if stream.RevealedPairs() != wantTrace.Pairs.Len() {
+		t.Fatalf("stream trace %d pairs, ExecuteJoin trace %d", stream.RevealedPairs(), wantTrace.Pairs.Len())
+	}
+	// Exhausted stream keeps returning EOF.
+	if _, err := stream.Next(); err != io.EOF {
+		t.Fatalf("Next after EOF: %v", err)
+	}
+}
+
+// TestJoinStreamCloseRecordsPartialLeakage: a stream released before
+// being drained must still contribute the pairs the server already
+// observed to the audit log.
+func TestJoinStreamCloseRecordsPartialLeakage(t *testing.T) {
+	client, server := setup(t)
+	q, err := client.NewQuery(securejoin.Selection{}, securejoin.Selection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := server.OpenJoin("Teams", "Employees", q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := st.Next() // one probe row: employee 0 matches team 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("first batch has %d rows, want 1", len(rows))
+	}
+	st.Close()
+	if st.Trace() == nil {
+		t.Fatal("closed stream has no trace")
+	}
+	if st.RevealedPairs() != 1 {
+		t.Fatalf("partial trace has %d pairs, want 1", st.RevealedPairs())
+	}
+	perQuery, _ := server.ObservedLeakage()
+	if len(perQuery) != 1 || perQuery[0].Len() != 1 {
+		t.Fatalf("audit log = %v, want one 1-pair trace", perQuery)
+	}
+	// Close is idempotent and does not double-record.
+	st.Close()
+	if perQuery, _ := server.ObservedLeakage(); len(perQuery) != 1 {
+		t.Fatalf("second Close appended a trace: %d entries", len(perQuery))
+	}
+}
+
+// TestConcurrentExecuteJoin runs joins from many goroutines against
+// shared read-only tables plus concurrent uploads of fresh tables; with
+// -race this validates the RWMutex table store and the separate trace
+// lock.
+func TestConcurrentExecuteJoin(t *testing.T) {
+	client, server := setup(t)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines+1)
+
+	// Concurrent writer: re-upload a table under a new name repeatedly.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		teams, _ := exampleTables()
+		for i := 0; i < 4; i++ {
+			enc, err := client.EncryptTable(fmt.Sprintf("Scratch-%d", i), teams)
+			if err != nil {
+				errs <- err
+				return
+			}
+			server.Upload(enc)
+		}
+	}()
+
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q, err := client.NewQuery(securejoin.Selection{}, securejoin.Selection{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			rows, trace, err := server.ExecuteJoin("Teams", "Employees", q)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(rows) != 4 {
+				errs <- fmt.Errorf("concurrent join: %d rows, want 4", len(rows))
+				return
+			}
+			if trace.Pairs.Len() == 0 {
+				errs <- errors.New("concurrent join recorded empty trace")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	perQuery, _ := server.ObservedLeakage()
+	if len(perQuery) != goroutines {
+		t.Fatalf("recorded %d traces, want %d", len(perQuery), goroutines)
+	}
+}
+
+// TestOpenPayloadAuthError: tampered or foreign payloads yield the
+// typed ErrPayloadAuth.
+func TestOpenPayloadAuthError(t *testing.T) {
+	client, err := NewClient(securejoin.Params{M: 1, T: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := client.sealPayload([]byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round trip works.
+	pt, err := client.OpenPayload(sealed)
+	if err != nil || string(pt) != "secret" {
+		t.Fatalf("open: %q, %v", pt, err)
+	}
+	// Tampered ciphertext fails with the typed error.
+	tampered := append([]byte{}, sealed...)
+	tampered[len(tampered)-1] ^= 1
+	if _, err := client.OpenPayload(tampered); !errors.Is(err, ErrPayloadAuth) {
+		t.Fatalf("tampered payload: got %v, want ErrPayloadAuth", err)
+	}
+	// Too-short blob fails with the typed error too.
+	if _, err := client.OpenPayload([]byte{1, 2}); !errors.Is(err, ErrPayloadAuth) {
+		t.Fatalf("short payload: got %v, want ErrPayloadAuth", err)
+	}
+	// A different client's key cannot open it.
+	other, err := NewClient(securejoin.Params{M: 1, T: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.OpenPayload(sealed); !errors.Is(err, ErrPayloadAuth) {
+		t.Fatalf("foreign key: got %v, want ErrPayloadAuth", err)
+	}
+}
+
+// TestSealPayloadUsesClientRNG: with a deterministic rng the nonce —
+// and therefore the whole sealed blob — is reproducible, proving
+// sealPayload draws from the configured rng rather than crypto/rand.
+func TestSealPayloadUsesClientRNG(t *testing.T) {
+	block, err := aes.NewCipher(make([]byte, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Client{payloadAEAD: aead, rng: zeroReader{}}
+	s1, err := c.sealPayload([]byte("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.sealPayload([]byte("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Fatal("sealPayload ignored the client's deterministic rng")
+	}
+	ns := aead.NonceSize()
+	if !bytes.Equal(s1[:ns], make([]byte, ns)) {
+		t.Fatal("nonce not drawn from the configured rng")
+	}
+}
+
+// zeroReader yields an endless stream of zero bytes.
+type zeroReader struct{}
+
+func (zeroReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0
+	}
+	return len(p), nil
+}

@@ -1,38 +1,74 @@
 // Package server implements the DBMS-provider side of the
-// database-as-a-service model over TCP. The protocol is length-prefixed
-// gob: the client uploads encrypted tables and issues join-query tokens;
-// the server — which never sees key material — executes SJ.Dec and the
-// hash-based SJ.Match and streams back the sealed payloads of matching
-// row pairs.
+// database-as-a-service model over TCP, speaking the wire v2 protocol:
+// a version handshake followed by length-prefixed gob frames. Every
+// request on a connection is dispatched on its own goroutine keyed by
+// the client-chosen request ID, so clients can pipeline uploads and
+// joins; join results are streamed back as bounded JoinBatch frames —
+// interleaved with the frames of other in-flight requests — and
+// terminated by a summary frame. The server never sees key material:
+// it executes SJ.Dec and the hash-based SJ.Match over opaque
+// ciphertexts and returns sealed payloads.
 package server
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/securejoin"
 	"repro/internal/wire"
 )
 
+// closeGrace bounds how long Close waits for in-flight requests to
+// finish writing before force-closing their connections — without it a
+// peer that stops reading could block a handler's write, and Close's
+// WaitGroup, forever.
+var closeGrace = 30 * time.Second
+
 // Server is a TCP front end over an engine.Server.
 type Server struct {
-	mu     sync.Mutex
 	eng    *engine.Server
-	ln     net.Listener
-	done   chan struct{}
 	logger *log.Logger
+	batch  int
+
+	done      chan struct{}
+	closeOnce sync.Once
+	ln        net.Listener
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup // accept loop + live connections
 }
 
 // New returns a server with an empty table store. logger may be nil to
 // disable logging.
 func New(logger *log.Logger) *Server {
-	return &Server{eng: engine.NewServer(), done: make(chan struct{}), logger: logger}
+	return &Server{
+		eng:    engine.NewServer(),
+		logger: logger,
+		batch:  engine.DefaultBatchSize,
+		done:   make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
+	}
 }
+
+// SetBatchSize bounds the number of joined rows per response frame.
+// Call before Listen; n <= 0 restores the default.
+func (s *Server) SetBatchSize(n int) {
+	if n <= 0 {
+		n = engine.DefaultBatchSize
+	}
+	s.batch = n
+}
+
+// Engine exposes the underlying engine, e.g. for leakage audits in
+// tests and examples.
+func (s *Server) Engine() *engine.Server { return s.eng }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
 // returns the bound address. Serving happens on background goroutines
@@ -42,22 +78,62 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("server: listen: %w", err)
 	}
-	s.ln = ln
-	go s.acceptLoop()
+	s.Serve(ln)
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener. In-flight connections finish their current
-// request.
-func (s *Server) Close() error {
-	close(s.done)
-	if s.ln != nil {
-		return s.ln.Close()
-	}
-	return nil
+// Serve starts accepting on a caller-provided listener; it returns
+// immediately, serving on background goroutines until Close.
+func (s *Server) Serve(ln net.Listener) {
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
 }
 
+// Close stops the listener, lets in-flight requests finish writing
+// their responses, and waits for all connection goroutines to exit.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.done)
+		if s.ln != nil {
+			err = s.ln.Close()
+		}
+		// Half-close live connections: the read side unblocks the
+		// request reader, while the write side stays open so in-flight
+		// requests can still deliver their terminal frames.
+		s.connMu.Lock()
+		for c := range s.conns {
+			if tc, ok := c.(*net.TCPConn); ok {
+				tc.CloseRead()
+			} else {
+				c.Close()
+			}
+		}
+		s.connMu.Unlock()
+		// If a peer stops reading, its handler's write never finishes;
+		// after the grace period force-close whatever is left so Wait
+		// cannot hang forever.
+		force := time.AfterFunc(closeGrace, func() {
+			s.connMu.Lock()
+			for c := range s.conns {
+				c.Close()
+			}
+			s.connMu.Unlock()
+		})
+		s.wg.Wait()
+		force.Stop()
+	})
+	return err
+}
+
+// acceptLoop accepts until the listener closes. Transient Accept
+// errors (e.g. EMFILE) back off exponentially instead of killing the
+// listener.
 func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	backoff := 5 * time.Millisecond
+	const maxBackoff = time.Second
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
@@ -66,89 +142,301 @@ func (s *Server) acceptLoop() {
 				return
 			default:
 			}
-			s.logf("accept error: %v", err)
-			return
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.logf("accept error (retrying in %v): %v", backoff, err)
+			select {
+			case <-time.After(backoff):
+			case <-s.done:
+				return
+			}
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+			continue
 		}
+		backoff = 5 * time.Millisecond
+		if !s.track(conn) {
+			continue
+		}
+		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
 }
 
+// track registers a connection for Close's shutdown sweep. A
+// connection accepted concurrently with Close (after the sweep already
+// ran) is closed immediately instead of escaping it.
+func (s *Server) track(conn net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	select {
+	case <-s.done:
+		conn.Close()
+		return false
+	default:
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+// maxInFlight caps the concurrently executing requests per connection;
+// joins cost thousands of pairings each, so an unbounded pipeline
+// would let one client occupy arbitrary CPU and memory. When the cap
+// is reached the connection's request reader blocks, backpressuring
+// the client through TCP.
+const maxInFlight = 32
+
+// session is the per-connection state: the framed conn, a write lock
+// serializing frames of concurrently executing requests, a wait group
+// and semaphore tracking those requests, the staging area of chunked
+// uploads, and the cancellation channels of in-flight joins.
+type session struct {
+	srv     *Server
+	conn    *wire.Conn
+	writeMu sync.Mutex
+	reqs    sync.WaitGroup
+	sem     chan struct{}
+
+	// staging is touched only by the connection's read loop (uploads
+	// run inline there for ordering), so it needs no lock.
+	staging map[string][]*engine.EncryptedRow
+
+	cancelMu sync.Mutex
+	cancels  map[uint64]chan struct{}
+}
+
+// registerCancel creates the cancellation channel for a request. It
+// runs on the read loop before the request is dispatched, so a Cancel
+// arriving later on the same connection always finds it.
+func (ss *session) registerCancel(id uint64) {
+	ss.cancelMu.Lock()
+	ss.cancels[id] = make(chan struct{})
+	ss.cancelMu.Unlock()
+}
+
+// cancel closes a request's cancellation channel if the request is
+// still in flight; cancels for finished or unknown IDs are ignored.
+func (ss *session) cancel(id uint64) {
+	ss.cancelMu.Lock()
+	if ch, ok := ss.cancels[id]; ok {
+		select {
+		case <-ch: // already cancelled
+		default:
+			close(ch)
+		}
+	}
+	ss.cancelMu.Unlock()
+}
+
+// cancelled returns the request's cancellation channel (nil for
+// requests that never registered one).
+func (ss *session) cancelled(id uint64) <-chan struct{} {
+	ss.cancelMu.Lock()
+	defer ss.cancelMu.Unlock()
+	return ss.cancels[id]
+}
+
+// clearCancel removes a finished request's cancellation channel.
+func (ss *session) clearCancel(id uint64) {
+	ss.cancelMu.Lock()
+	delete(ss.cancels, id)
+	ss.cancelMu.Unlock()
+}
+
+func (ss *session) send(f *wire.Frame) error {
+	ss.writeMu.Lock()
+	defer ss.writeMu.Unlock()
+	return ss.conn.Send(f)
+}
+
 func (s *Server) serveConn(conn net.Conn) {
-	defer conn.Close()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	defer s.wg.Done()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		conn.Close()
+	}()
+
+	wc := wire.NewConn(conn)
+	if err := wire.ServerHandshake(wc); err != nil {
+		s.logf("handshake with %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	ss := &session{
+		srv:     s,
+		conn:    wc,
+		sem:     make(chan struct{}, maxInFlight),
+		staging: make(map[string][]*engine.EncryptedRow),
+		cancels: make(map[uint64]chan struct{}),
+	}
 	for {
 		var req wire.Request
-		if err := dec.Decode(&req); err != nil {
-			return // client hung up
+		if err := wc.Recv(&req); err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.logf("read from %s: %v", conn.RemoteAddr(), err)
+			}
+			break
 		}
-		resp := s.handle(&req)
-		if err := enc.Encode(resp); err != nil {
-			s.logf("encode response: %v", err)
-			return
+		// Cancels are handled on the read loop itself — they must not
+		// queue behind the heavy requests they are trying to cancel —
+		// and so is their ack, keeping a cancel flood bounded by the
+		// same TCP backpressure as everything else.
+		if req.Cancel != 0 {
+			ss.cancel(req.Cancel)
+			ss.send(&wire.Frame{ID: req.ID, Ok: true})
+			continue
 		}
+		// Uploads run inline too: chunks of one staged upload sequence
+		// are order-dependent, and read-loop execution is the ordering
+		// guarantee (they are cheap — no pairings — unlike joins).
+		if req.Upload != nil {
+			if err := ss.handleUpload(req.ID, req.Upload); err != nil {
+				s.logf("request %d: writing response: %v", req.ID, err)
+			}
+			continue
+		}
+		if req.Join != nil {
+			ss.registerCancel(req.ID)
+		}
+		ss.sem <- struct{}{}
+		ss.reqs.Add(1)
+		go func(req wire.Request) {
+			defer func() {
+				<-ss.sem
+				ss.reqs.Done()
+			}()
+			ss.handle(&req)
+		}(req)
 	}
+	// Let pipelined requests finish writing before the conn closes.
+	ss.reqs.Wait()
 }
 
-func (s *Server) handle(req *wire.Request) *wire.Response {
+// handle dispatches the request kinds that run on their own goroutine
+// (uploads and cancels are handled on the read loop, see serveConn).
+func (ss *session) handle(req *wire.Request) {
+	var err error
 	switch {
-	case req.Upload != nil:
-		return s.handleUpload(req.Upload)
 	case req.Join != nil:
-		return s.handleJoin(req.Join)
+		err = ss.handleJoin(req.ID, req.Join)
 	case req.Ping:
-		return &wire.Response{}
+		err = ss.send(&wire.Frame{ID: req.ID, Ok: true})
 	default:
-		return errResponse(errors.New("server: empty request"))
+		err = ss.sendErr(req.ID, errors.New("server: empty request"))
+	}
+	if err != nil {
+		ss.srv.logf("request %d: writing response: %v", req.ID, err)
 	}
 }
 
-func (s *Server) handleUpload(up *wire.UploadRequest) *wire.Response {
-	table := &engine.EncryptedTable{Name: up.Table, Rows: make([]*engine.EncryptedRow, len(up.Rows))}
+func (ss *session) sendErr(id uint64, err error) error {
+	return ss.send(&wire.Frame{ID: id, Err: err.Error()})
+}
+
+// handleUpload stages each chunk of an upload sequence and installs
+// the table atomically on the Commit chunk, so a sequence that fails
+// or is abandoned mid-way never leaves a truncated table visible.
+func (ss *session) handleUpload(id uint64, up *wire.UploadRequest) error {
+	rows := make([]*engine.EncryptedRow, len(up.Rows))
 	for i, r := range up.Rows {
 		var ct securejoin.RowCiphertext
 		if err := ct.UnmarshalBinary(r.JoinCiphertext); err != nil {
-			return errResponse(fmt.Errorf("row %d: %w", i, err))
+			// A failed chunk aborts the sequence; free whatever it
+			// staged instead of pinning it for the connection's life.
+			delete(ss.staging, up.Table)
+			return ss.sendErr(id, fmt.Errorf("row %d: %w", i, err))
 		}
-		table.Rows[i] = &engine.EncryptedRow{Join: &ct, Payload: r.Payload}
+		rows[i] = &engine.EncryptedRow{Join: &ct, Payload: r.Payload}
 	}
-	s.mu.Lock()
-	s.eng.Upload(table)
-	s.mu.Unlock()
-	s.logf("uploaded table %q (%d rows)", up.Table, len(up.Rows))
-	return &wire.Response{}
+	if !up.Append {
+		// First chunk of a sequence discards any stale staging left by
+		// an earlier abandoned upload of the same table.
+		delete(ss.staging, up.Table)
+	}
+	staged := append(ss.staging[up.Table], rows...)
+	if up.Commit {
+		delete(ss.staging, up.Table)
+	} else {
+		ss.staging[up.Table] = staged
+	}
+	if up.Commit {
+		ss.srv.eng.Upload(&engine.EncryptedTable{Name: up.Table, Rows: staged})
+		ss.srv.logf("uploaded table %q (%d rows)", up.Table, len(staged))
+	} else {
+		ss.srv.logf("staged %d rows for table %q", len(rows), up.Table)
+	}
+	return ss.send(&wire.Frame{ID: id, Ok: true})
 }
 
-func (s *Server) handleJoin(jr *wire.JoinRequest) *wire.Response {
+func (ss *session) handleJoin(id uint64, jr *wire.JoinRequest) error {
+	defer ss.clearCancel(id)
 	var ta, tb securejoin.Token
 	if err := ta.UnmarshalBinary(jr.TokenA); err != nil {
-		return errResponse(fmt.Errorf("token A: %w", err))
+		return ss.sendErr(id, fmt.Errorf("token A: %w", err))
 	}
 	if err := tb.UnmarshalBinary(jr.TokenB); err != nil {
-		return errResponse(fmt.Errorf("token B: %w", err))
+		return ss.sendErr(id, fmt.Errorf("token B: %w", err))
 	}
 	q := &securejoin.Query{TokenA: &ta, TokenB: &tb}
 
-	s.mu.Lock()
-	rows, trace, err := s.eng.ExecuteJoin(jr.TableA, jr.TableB, q)
-	s.mu.Unlock()
+	stream, err := ss.srv.eng.OpenJoin(jr.TableA, jr.TableB, q, ss.srv.batch)
 	if err != nil {
-		return errResponse(err)
+		return ss.sendErr(id, err)
 	}
-	out := &wire.JoinResponse{Rows: make([]wire.JoinedRow, len(rows))}
-	for i, r := range rows {
-		out.Rows[i] = wire.JoinedRow{
-			RowA: r.RowA, RowB: r.RowB,
-			PayloadA: r.PayloadA, PayloadB: r.PayloadB,
+	// Whatever ends this request — drain, cancel, engine error, dead
+	// peer — the leakage observed so far must reach the audit log.
+	defer stream.Close()
+	cancelled := ss.cancelled(id)
+	sent := 0
+	for {
+		select {
+		case <-cancelled:
+			ss.srv.logf("join %q x %q cancelled after %d rows", jr.TableA, jr.TableB, sent)
+			return ss.sendErr(id, errors.New("join cancelled"))
+		default:
+		}
+		rows, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return ss.sendErr(id, err)
+		}
+		// Re-split what the engine produced: its batch bounds probe-side
+		// rows, but duplicate join keys can multiply the output (skewed
+		// keys turn 2 probe rows into thousands of matches), and sealed
+		// payloads can be large — so frames are bounded by both the
+		// configured row count and a byte budget.
+		for len(rows) > 0 {
+			n, bytes := 0, 0
+			for n < len(rows) && (n == 0 || (n < ss.srv.batch && bytes < wire.FrameByteBudget)) {
+				bytes += len(rows[n].PayloadA) + len(rows[n].PayloadB) + 64
+				n++
+			}
+			batch := &wire.JoinBatch{Rows: make([]wire.JoinedRow, n)}
+			for i, r := range rows[:n] {
+				batch.Rows[i] = wire.JoinedRow{
+					RowA: r.RowA, RowB: r.RowB,
+					PayloadA: r.PayloadA, PayloadB: r.PayloadB,
+				}
+			}
+			sent += n
+			if err := ss.send(&wire.Frame{ID: id, Batch: batch}); err != nil {
+				// Best effort: if the conn is still alive (e.g. a
+				// single row overflowed the frame limit) the client
+				// must still get a terminal frame.
+				ss.sendErr(id, fmt.Errorf("streaming result: %v", err))
+				return err
+			}
+			rows = rows[n:]
 		}
 	}
-	out.RevealedPairs = trace.Pairs.Len()
-	s.logf("join %q x %q: %d result rows, %d revealed pairs", jr.TableA, jr.TableB, len(rows), out.RevealedPairs)
-	return &wire.Response{Join: out}
-}
-
-func errResponse(err error) *wire.Response {
-	return &wire.Response{Err: err.Error()}
+	revealed := stream.RevealedPairs()
+	ss.srv.logf("join %q x %q: %d result rows, %d revealed pairs", jr.TableA, jr.TableB, sent, revealed)
+	return ss.send(&wire.Frame{ID: id, Summary: &wire.JoinSummary{RevealedPairs: revealed}})
 }
 
 func (s *Server) logf(format string, args ...any) {

@@ -2,23 +2,45 @@ package wire
 
 import (
 	"bytes"
-	"encoding/gob"
+	"errors"
+	"io"
+	"net"
 	"testing"
 )
 
-func roundTrip[T any](t *testing.T, in T, out *T) {
+// pipeConn is an in-memory ReadWriter: writes go to out, reads come
+// from in.
+type pipeConn struct {
+	in  *bytes.Buffer
+	out *bytes.Buffer
+}
+
+func (p *pipeConn) Read(b []byte) (int, error)  { return p.in.Read(b) }
+func (p *pipeConn) Write(b []byte) (int, error) { return p.out.Write(b) }
+
+// loopback returns a Conn whose sends can be read back by a second
+// Conn.
+func loopback() (send, recv *Conn, transit *bytes.Buffer) {
+	transit = &bytes.Buffer{}
+	send = NewConn(&pipeConn{in: &bytes.Buffer{}, out: transit})
+	recv = NewConn(&pipeConn{in: transit, out: &bytes.Buffer{}})
+	return
+}
+
+func frameTrip[T any](t *testing.T, in T, out *T) {
 	t.Helper()
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+	send, recv, _ := loopback()
+	if err := send.Send(in); err != nil {
 		t.Fatal(err)
 	}
-	if err := gob.NewDecoder(&buf).Decode(out); err != nil {
+	if err := recv.Recv(out); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRequestRoundTrip(t *testing.T) {
 	in := Request{
+		ID: 7,
 		Upload: &UploadRequest{
 			Table: "T",
 			Rows: []UploadRow{
@@ -27,8 +49,8 @@ func TestRequestRoundTrip(t *testing.T) {
 		},
 	}
 	var out Request
-	roundTrip(t, in, &out)
-	if out.Upload == nil || out.Upload.Table != "T" || len(out.Upload.Rows) != 1 {
+	frameTrip(t, in, &out)
+	if out.ID != 7 || out.Upload == nil || out.Upload.Table != "T" || len(out.Upload.Rows) != 1 {
 		t.Fatalf("round trip lost data: %+v", out)
 	}
 	if !bytes.Equal(out.Upload.Rows[0].JoinCiphertext, []byte{1, 2, 3}) {
@@ -37,38 +59,129 @@ func TestRequestRoundTrip(t *testing.T) {
 }
 
 func TestJoinRequestRoundTrip(t *testing.T) {
-	in := Request{Join: &JoinRequest{
+	in := Request{ID: 1, Join: &JoinRequest{
 		TableA: "A", TableB: "B",
 		TokenA: []byte{9}, TokenB: []byte{8},
 	}}
 	var out Request
-	roundTrip(t, in, &out)
+	frameTrip(t, in, &out)
 	if out.Join == nil || out.Join.TableA != "A" || out.Join.TokenB[0] != 8 {
 		t.Fatalf("round trip lost data: %+v", out)
 	}
 }
 
-func TestResponseRoundTrip(t *testing.T) {
-	in := Response{
-		Join: &JoinResponse{
-			Rows: []JoinedRow{
-				{RowA: 1, RowB: 2, PayloadA: []byte("a"), PayloadB: []byte("b")},
-			},
-			RevealedPairs: 3,
-		},
+func TestBatchAndSummaryFrames(t *testing.T) {
+	send, recv, _ := loopback()
+	frames := []Frame{
+		{ID: 3, Batch: &JoinBatch{Rows: []JoinedRow{
+			{RowA: 1, RowB: 2, PayloadA: []byte("a"), PayloadB: []byte("b")},
+		}}},
+		{ID: 3, Summary: &JoinSummary{RevealedPairs: 5}},
 	}
-	var out Response
-	roundTrip(t, in, &out)
-	if out.Join == nil || out.Join.RevealedPairs != 3 || out.Join.Rows[0].RowB != 2 {
+	for i := range frames {
+		if err := send.Send(&frames[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var batch Frame
+	if err := recv.Recv(&batch); err != nil {
+		t.Fatal(err)
+	}
+	if batch.ID != 3 || batch.Batch == nil || batch.Terminal() {
+		t.Fatalf("batch frame: %+v", batch)
+	}
+	if batch.Batch.Rows[0].RowB != 2 || !bytes.Equal(batch.Batch.Rows[0].PayloadA, []byte("a")) {
+		t.Fatalf("batch rows lost data: %+v", batch.Batch.Rows)
+	}
+	var sum Frame
+	if err := recv.Recv(&sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Summary == nil || sum.Summary.RevealedPairs != 5 || !sum.Terminal() {
+		t.Fatalf("summary frame: %+v", sum)
+	}
+}
+
+func TestErrorFrame(t *testing.T) {
+	in := Frame{ID: 9, Err: "boom"}
+	var out Frame
+	frameTrip(t, in, &out)
+	if out.ID != 9 || out.Err != "boom" || !out.Terminal() {
 		t.Fatalf("round trip lost data: %+v", out)
 	}
 }
 
-func TestErrorResponse(t *testing.T) {
-	in := Response{Err: "boom"}
-	var out Response
-	roundTrip(t, in, &out)
-	if out.Err != "boom" || out.Join != nil {
-		t.Fatalf("round trip lost data: %+v", out)
+func TestTruncatedFrame(t *testing.T) {
+	send, _, transit := loopback()
+	if err := send.Send(&Frame{ID: 1, Ok: true}); err != nil {
+		t.Fatal(err)
+	}
+	full := transit.Bytes()
+	// Cut mid-payload and mid-header.
+	for _, cut := range []int{len(full) - 3, 2} {
+		trunc := NewConn(&pipeConn{in: bytes.NewBuffer(append([]byte{}, full[:cut]...)), out: &bytes.Buffer{}})
+		var f Frame
+		err := trunc.Recv(&f)
+		if !errors.Is(err, ErrTruncatedFrame) {
+			t.Fatalf("cut at %d: got %v, want ErrTruncatedFrame", cut, err)
+		}
+	}
+}
+
+func TestRecvCleanEOF(t *testing.T) {
+	empty := NewConn(&pipeConn{in: &bytes.Buffer{}, out: &bytes.Buffer{}})
+	var f Frame
+	if err := empty.Recv(&f); err != io.EOF {
+		t.Fatalf("empty stream: got %v, want io.EOF", err)
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	raw := &bytes.Buffer{}
+	raw.Write([]byte{0xff, 0xff, 0xff, 0xff}) // 4 GiB announced
+	c := NewConn(&pipeConn{in: raw, out: &bytes.Buffer{}})
+	var f Frame
+	if err := c.Recv(&f); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestHandshake(t *testing.T) {
+	cliSide, srvSide := net.Pipe()
+	defer cliSide.Close()
+	defer srvSide.Close()
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- ServerHandshake(NewConn(srvSide)) }()
+	if err := ClientHandshake(NewConn(cliSide)); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-srvErr; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandshakeVersionMismatch(t *testing.T) {
+	cliSide, srvSide := net.Pipe()
+	defer cliSide.Close()
+	defer srvSide.Close()
+
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- ServerHandshake(NewConn(srvSide)) }()
+
+	// A v1 (or future) client announcing the wrong version is rejected
+	// with a descriptive ack, and the server reports the mismatch.
+	cli := NewConn(cliSide)
+	if err := cli.Send(&Hello{Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var ack HelloAck
+	if err := cli.Recv(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Err == "" || ack.Version != Version {
+		t.Fatalf("ack = %+v, want rejection naming v%d", ack, Version)
+	}
+	if err := <-srvErr; !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("server handshake: got %v, want ErrVersionMismatch", err)
 	}
 }
