@@ -393,7 +393,7 @@ func BenchmarkJoinStreamVsMaterialize(b *testing.B) {
 	b.Run("stream", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			st, err := srv.OpenJoin("L", "R", q, 4)
+			st, err := srv.OpenJoin("L", "R", engine.JoinSpec{Query: q, Batch: 4})
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -6,6 +6,7 @@
 //	sjbench -fig 4            # Fig. 4: join runtime vs IN-clause size
 //	sjbench -fig comparison   # Sec. 6.5: Secure Join vs Hahn et al.
 //	sjbench -fig concurrent   # engine throughput under concurrent joins
+//	sjbench -fig prefilter    # full-scan vs SSE-prefiltered vs parallel, over the wire
 //	sjbench -fig all
 //
 // The pure-Go pairing is slower than the authors' C library, so by
@@ -17,20 +18,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/client"
 	"repro/internal/engine"
 	"repro/internal/securejoin"
+	"repro/internal/server"
 	"repro/internal/tpch"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, comparison, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, comparison, concurrent, prefilter, all")
 	scaleDiv := flag.Float64("scalediv", 100, "divide the paper's TPC-H scale factors by this factor")
 	reps := flag.Int("reps", 3, "repetitions per Figure 2 measurement")
 	seed := flag.Int64("seed", 42, "dataset generator seed")
+	rows := flag.Int("rows", 200, "rows per table for -fig prefilter")
 	flag.Parse()
 
 	var err error
@@ -45,12 +50,16 @@ func main() {
 		err = comparison(*scaleDiv, *seed)
 	case "concurrent":
 		err = concurrent()
+	case "prefilter":
+		err = prefilterWire(*rows)
 	case "all":
 		if err = fig2(*reps); err == nil {
 			if err = fig3(*scaleDiv, *seed); err == nil {
 				if err = fig4(*scaleDiv, *seed); err == nil {
 					if err = comparison(*scaleDiv, *seed); err == nil {
-						err = concurrent()
+						if err = concurrent(); err == nil {
+							err = prefilterWire(*rows)
+						}
 					}
 				}
 			}
@@ -228,6 +237,84 @@ func concurrent() error {
 		total := clients * joinsPerClient
 		fmt.Printf("%7d  %5d  %7.3f  %13.2f\n",
 			clients, total, elapsed.Seconds(), float64(total)/elapsed.Seconds())
+	}
+	fmt.Println()
+	return nil
+}
+
+// prefilterWire measures the Section 4.3 fast path end-to-end over the
+// v2 wire protocol: a loopback server, indexed uploads, and one join
+// per selectivity executed three ways — full scan, SSE-prefiltered,
+// and prefiltered with the server's parallel SJ.Dec worker pool.
+func prefilterWire(rows int) error {
+	fmt.Printf("== Prefiltered joins over the wire (%d rows per table, %d cores) ==\n",
+		rows, runtime.GOMAXPROCS(0))
+
+	srv := server.New(nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	cli, err := client.Dial(addr, securejoin.Params{M: 1, T: 1})
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+
+	// Selectivity classes: 1% of rows carry "c1", 10% carry "c10", the
+	// rest "bulk"; an unrestricted query touches 100%.
+	mk := func(n int) []engine.PlainRow {
+		out := make([]engine.PlainRow, n)
+		for i := range out {
+			attr := "bulk"
+			switch {
+			case i < n/100:
+				attr = "c1"
+			case i < n/100+n/10:
+				attr = "c10"
+			}
+			out[i] = engine.PlainRow{
+				JoinValue: []byte(fmt.Sprintf("k-%d", i)),
+				Attrs:     [][]byte{[]byte(attr)},
+				Payload:   []byte(fmt.Sprintf("row-%d", i)),
+			}
+		}
+		return out
+	}
+	for _, name := range []string{"L", "R"} {
+		if err := cli.UploadIndexed(name, mk(rows)); err != nil {
+			return err
+		}
+	}
+
+	sels := []struct {
+		label string
+		sel   securejoin.Selection
+	}{
+		{"1%", securejoin.Selection{0: [][]byte{[]byte("c1")}}},
+		{"10%", securejoin.Selection{0: [][]byte{[]byte("c10")}}},
+		{"100%", securejoin.Selection{}},
+	}
+	modes := []struct {
+		label string
+		opts  client.JoinOpts
+	}{
+		{"full_scan", client.JoinOpts{Workers: 1}},
+		{"prefiltered", client.JoinOpts{Prefilter: true, Workers: 1}},
+		{"prefiltered_parallel", client.JoinOpts{Prefilter: true, Workers: runtime.GOMAXPROCS(0)}},
+	}
+	fmt.Println("selectivity  mode                  seconds  matches  revealed_pairs")
+	for _, sc := range sels {
+		for _, mode := range modes {
+			start := time.Now()
+			results, revealed, err := cli.JoinWith("L", "R", sc.sel, sc.sel, mode.opts)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%11s  %-20s  %7.3f  %7d  %14d\n",
+				sc.label, mode.label, time.Since(start).Seconds(), len(results), revealed)
+		}
 	}
 	fmt.Println()
 	return nil

@@ -4,11 +4,17 @@
 //
 //	sjclient keygen -keys client.key -m 1 -t 10
 //	sjclient upload -keys client.key -addr 127.0.0.1:7788 \
-//	    -table Customers -csv customers.csv -join custkey -attrs selectivity
-//	sjclient join -keys client.key -addr 127.0.0.1:7788 \
+//	    -table Customers -csv customers.csv -join custkey -attrs selectivity -index
+//	sjclient join -keys client.key -addr 127.0.0.1:7788 -prefilter \
 //	    -catalog "Customers:custkey:selectivity;Orders:custkey:selectivity" \
 //	    -query "SELECT * FROM Orders JOIN Customers ON Orders.custkey = Customers.custkey
 //	            WHERE Customers.selectivity = '1/100'"
+//
+// upload -index additionally builds the table's SSE pre-filter index;
+// join -prefilter then resolves WHERE predicates through those indexes
+// so the server runs SJ.Dec only over candidate rows (at the cost of
+// per-attribute access-pattern leakage), and -workers hints the
+// server-side SJ.Dec parallelism.
 package main
 
 import (
@@ -96,6 +102,7 @@ func cmdUpload(args []string) error {
 	csvPath := fs.String("csv", "", "CSV file with a header row")
 	joinCol := fs.String("join", "", "name of the join column")
 	attrCols := fs.String("attrs", "", "comma-separated filterable columns (in attribute order)")
+	index := fs.Bool("index", false, "also build and upload the SSE pre-filter index (enables join -prefilter)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -116,6 +123,13 @@ func cmdUpload(args []string) error {
 		return err
 	}
 	defer cli.Close()
+	if *index {
+		if err := cli.UploadIndexed(*table, rows); err != nil {
+			return err
+		}
+		fmt.Printf("uploaded %d encrypted rows as table %s (with SSE pre-filter index)\n", len(rows), *table)
+		return nil
+	}
 	if err := cli.Upload(*table, rows); err != nil {
 		return err
 	}
@@ -130,6 +144,8 @@ func cmdJoin(args []string) error {
 	catalogSpec := fs.String("catalog", "", "schemas as Name:joincol:attr1,attr2;Name2:...")
 	query := fs.String("query", "", "SQL query")
 	maxRows := fs.Int("maxrows", 20, "result rows to print")
+	prefilter := fs.Bool("prefilter", false, "resolve selections via the tables' SSE indexes first (tables must be uploaded with -index; reveals per-attribute access patterns)")
+	workers := fs.Int("workers", 0, "SJ.Dec worker hint for the server (0 = server default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -157,7 +173,8 @@ func cmdJoin(args []string) error {
 
 	// Stream the result: rows print as the server's batches arrive
 	// instead of waiting for the full result set.
-	stream, err := cli.JoinQuery(plan.TableA, plan.TableB, plan.SelA, plan.SelB)
+	stream, err := cli.JoinQueryOpts(plan.TableA, plan.TableB, plan.SelA, plan.SelB,
+		client.JoinOpts{Prefilter: *prefilter, Workers: *workers})
 	if err != nil {
 		return err
 	}

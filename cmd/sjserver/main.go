@@ -11,6 +11,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
 )
 
 func main() {
@@ -32,9 +33,18 @@ func main() {
 	}
 	fmt.Printf("sjserver listening on %s\n", addr)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	fmt.Println("shutting down")
+	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, let in-flight
+	// joins finish writing their terminal frames, then exit. A second
+	// signal while draining aborts immediately.
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("received %s, draining in-flight requests (signal again to abort)\n", s)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "sjserver: forced shutdown")
+		os.Exit(1)
+	}()
 	srv.Close()
+	fmt.Println("shutdown complete")
 }

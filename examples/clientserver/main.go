@@ -48,13 +48,16 @@ func main() {
 		{JoinValue: []byte("insurer-B"), Attrs: [][]byte{[]byte("basic")}, Payload: []byte("Insurer B (basic plan)")},
 	}
 
-	if err := cli.Upload("Patients", patients); err != nil {
+	// Indexed uploads: alongside the Secure Join ciphertexts each table
+	// carries its SSE pre-filter index, so prefiltered joins below can
+	// skip SJ.Dec for rows outside the selection.
+	if err := cli.UploadIndexed("Patients", patients); err != nil {
 		log.Fatal(err)
 	}
-	if err := cli.Upload("Insurers", insurers); err != nil {
+	if err := cli.UploadIndexed("Insurers", insurers); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("uploaded encrypted tables Patients and Insurers")
+	fmt.Println("uploaded encrypted tables Patients and Insurers (with SSE indexes)")
 
 	// SELECT * FROM Patients JOIN Insurers ON insurer
 	// WHERE Patients.dept IN ('oncology') AND Insurers.plan IN ('gold') —
@@ -82,6 +85,23 @@ func main() {
 	}
 	fmt.Printf("streamed join returned %d rows; server observed %d equality pairs\n",
 		rows, stream.RevealedPairs())
+
+	// The same query through the Section 4.3 fast path: the request
+	// additionally carries SSE search tokens, so the server resolves
+	// the WHERE predicates through the uploaded indexes and pays
+	// SJ.Dec pairings only for the candidate rows — results and
+	// revealed-pair counts are identical, but the server additionally
+	// learns which rows match each individual attribute predicate.
+	preResults, preRevealed, err := cli.JoinWith("Patients", "Insurers",
+		securejoin.Selection{0: [][]byte{[]byte("oncology")}},
+		securejoin.Selection{0: [][]byte{[]byte("gold")}},
+		client.JoinOpts{Prefilter: true},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prefiltered join returned %d rows (%d pairs revealed) touching only SSE candidates\n",
+		len(preResults), preRevealed)
 
 	// The client is safe for concurrent use: these two queries pipeline
 	// over the same connection, and the server executes them in

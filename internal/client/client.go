@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/securejoin"
+	"repro/internal/sse"
 	"repro/internal/wire"
 )
 
@@ -252,6 +253,26 @@ func (c *Client) Upload(name string, rows []engine.PlainRow) error {
 	if err != nil {
 		return err
 	}
+	return c.uploadTable(table)
+}
+
+// UploadIndexed encrypts a table like Upload and additionally builds
+// and uploads its SSE pre-filter index, so the server can execute
+// prefiltered joins (JoinOpts.Prefilter) against it. The index reveals
+// nothing at rest; searching it discloses which rows match each
+// individual attribute predicate — see the Section 4.3 trade-off in
+// internal/engine/prefilter.go.
+func (c *Client) UploadIndexed(name string, rows []engine.PlainRow) error {
+	table, err := c.keys.EncryptTableIndexed(name, rows)
+	if err != nil {
+		return err
+	}
+	return c.uploadTable(table)
+}
+
+// uploadTable ships an encrypted table as a staged chunk sequence; the
+// index (if any) rides on the Commit chunk.
+func (c *Client) uploadTable(table *engine.EncryptedTable) error {
 	var chunks [][]wire.UploadRow
 	var chunk []wire.UploadRow
 	bytes := 0
@@ -269,13 +290,33 @@ func (c *Client) Upload(name string, rows []engine.PlainRow) error {
 		bytes += rowBytes
 	}
 	chunks = append(chunks, chunk) // final chunk; sole (empty) one for an empty table
+	var index []byte
+	if table.Index != nil {
+		var err error
+		if index, err = table.Index.MarshalBinary(); err != nil {
+			return err
+		}
+		// The index must respect the same frame budget as the rows it
+		// rides with: if it would not fit alongside the final row chunk,
+		// ship it on its own empty Commit chunk instead of overflowing
+		// the frame (an index larger than a whole frame still fails,
+		// loudly, at Send).
+		if len(index) > 0 && bytes+len(index) > wire.FrameByteBudget {
+			chunks = append(chunks, nil)
+		}
+	}
 	for i, rows := range chunks {
-		p, err := c.send(&wire.Request{Upload: &wire.UploadRequest{
-			Table:  name,
+		commit := i == len(chunks)-1
+		req := &wire.UploadRequest{
+			Table:  table.Name,
 			Rows:   rows,
 			Append: i > 0,
-			Commit: i == len(chunks)-1,
-		}})
+			Commit: commit,
+		}
+		if commit {
+			req.Index = index
+		}
+		p, err := c.send(&wire.Request{Upload: req})
 		if err != nil {
 			return err
 		}
@@ -382,26 +423,60 @@ func (s *JoinStream) abort() {
 	go s.c.send(&wire.Request{Cancel: s.p.id})
 }
 
+// JoinOpts tunes how the server executes one join query.
+type JoinOpts struct {
+	// Prefilter asks the server to resolve the selection predicates
+	// through the tables' SSE indexes first, paying SJ.Dec pairings
+	// only for candidate rows (the Section 4.3 fast path). Both tables
+	// must have been uploaded with UploadIndexed; a table without an
+	// index falls back to a full scan. The speedup costs extra SSE
+	// access-pattern leakage: the server additionally learns which
+	// rows match each individual attribute predicate.
+	Prefilter bool
+	// Workers hints how many SJ.Dec workers the server should spread
+	// this query's pairings over; 0 keeps the server default, and the
+	// server clamps the hint to its core count.
+	Workers int
+}
+
 // JoinQuery starts SELECT * FROM tableA JOIN tableB ON joinA = joinB
 // WHERE selA AND selB and returns a stream of result batches. A fresh
 // query key is drawn, so repeated identical calls are unlinkable at the
 // server.
 func (c *Client) JoinQuery(tableA, tableB string, selA, selB securejoin.Selection) (*JoinStream, error) {
-	q, err := c.keys.NewQuery(selA, selB)
-	if err != nil {
+	return c.JoinQueryOpts(tableA, tableB, selA, selB, JoinOpts{})
+}
+
+// JoinQueryOpts starts a join query with explicit execution options.
+func (c *Client) JoinQueryOpts(tableA, tableB string, selA, selB securejoin.Selection, opts JoinOpts) (*JoinStream, error) {
+	req := &wire.JoinRequest{TableA: tableA, TableB: tableB, Workers: opts.Workers}
+	var q *securejoin.Query
+	if opts.Prefilter {
+		pq, err := c.keys.NewPrefilterQuery(selA, selB)
+		if err != nil {
+			return nil, err
+		}
+		if req.PrefilterA, err = sse.MarshalTokenMap(pq.TokensA); err != nil {
+			return nil, err
+		}
+		if req.PrefilterB, err = sse.MarshalTokenMap(pq.TokensB); err != nil {
+			return nil, err
+		}
+		q = pq.Join
+	} else {
+		var err error
+		if q, err = c.keys.NewQuery(selA, selB); err != nil {
+			return nil, err
+		}
+	}
+	var err error
+	if req.TokenA, err = q.TokenA.MarshalBinary(); err != nil {
 		return nil, err
 	}
-	tka, err := q.TokenA.MarshalBinary()
-	if err != nil {
+	if req.TokenB, err = q.TokenB.MarshalBinary(); err != nil {
 		return nil, err
 	}
-	tkb, err := q.TokenB.MarshalBinary()
-	if err != nil {
-		return nil, err
-	}
-	p, err := c.send(&wire.Request{Join: &wire.JoinRequest{
-		TableA: tableA, TableB: tableB, TokenA: tka, TokenB: tkb,
-	}})
+	p, err := c.send(&wire.Request{Join: req})
 	if err != nil {
 		return nil, err
 	}
@@ -411,7 +486,13 @@ func (c *Client) JoinQuery(tableA, tableB string, selA, selB securejoin.Selectio
 // Join executes a join query and drains its stream, returning all
 // decrypted results and the revealed-pair count.
 func (c *Client) Join(tableA, tableB string, selA, selB securejoin.Selection) ([]JoinResult, int, error) {
-	stream, err := c.JoinQuery(tableA, tableB, selA, selB)
+	return c.JoinWith(tableA, tableB, selA, selB, JoinOpts{})
+}
+
+// JoinWith executes a join query with explicit execution options and
+// drains its stream.
+func (c *Client) JoinWith(tableA, tableB string, selA, selB securejoin.Selection, opts JoinOpts) ([]JoinResult, int, error) {
+	stream, err := c.JoinQueryOpts(tableA, tableB, selA, selB, opts)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -238,47 +238,111 @@ func (s *Server) recordTrace(trace *QueryTrace) {
 // default response-frame bound.
 const DefaultBatchSize = 256
 
+// JoinSpec is the plan of one join execution. Every join — library
+// one-shot, streamed over the wire, pre-filtered or full scan — is
+// described by a spec and executed by the one pipeline behind OpenJoin:
+//
+//	candidate selection -> parallel SJ.Dec (build side) ->
+//	incremental SJ.Dec + hash-match (probe side) ->
+//	leakage accounting -> bounded batches
+type JoinSpec struct {
+	// Query holds the two per-query join tokens. It may be left nil
+	// when Prefilter is set (Prefilter.Join is used then).
+	Query *securejoin.Query
+	// Prefilter optionally carries the SSE search tokens of the
+	// query's selections; candidate selection then resolves them
+	// against the tables' indexes so SJ.Dec runs only over matching
+	// rows. Nil means full scan (the paper's exact leakage profile).
+	Prefilter *PrefilterQuery
+	// Batch bounds the probe-side rows per Next call; <= 0 selects
+	// DefaultBatchSize.
+	Batch int
+	// Workers bounds the SJ.Dec worker pool per decrypt phase;
+	// <= 0 uses GOMAXPROCS, 1 forces sequential decryption.
+	Workers int
+}
+
+// query resolves the join tokens of a spec.
+func (spec *JoinSpec) query() (*securejoin.Query, error) {
+	q := spec.Query
+	if q == nil && spec.Prefilter != nil {
+		q = spec.Prefilter.Join
+	}
+	if q == nil || q.TokenA == nil || q.TokenB == nil {
+		return nil, errors.New("engine: join spec carries no query tokens")
+	}
+	return q, nil
+}
+
 // JoinStream produces the results of one equi-join query in bounded
-// batches. The stream snapshots its tables when opened, decrypts and
-// indexes side A eagerly, then decrypts side B in batch-sized chunks:
-// each Next call probes one chunk against the hash index and returns
-// the matches it produced, so peak memory is independent of the result
-// cardinality. Once the stream terminates — exhausted, failed, or
-// released early with Close — the leakage observed up to that point
-// has been recorded and Trace/RevealedPairs report it.
+// batches. Opening the stream runs the front of the pipeline: the
+// tables are snapshotted, candidate rows are resolved (via the SSE
+// pre-filter when the spec carries one), and the build side is
+// decrypted by a parallel SJ.Dec worker pool and indexed. Each Next
+// call then decrypts one batch of probe-side candidates, probes the
+// hash index and returns the matches it produced, so peak memory is
+// independent of the result cardinality. Once the stream terminates —
+// exhausted, failed, or released early with Close — the leakage
+// observed up to that point has been recorded and Trace/RevealedPairs
+// report it.
 type JoinStream struct {
 	srv            *Server
 	tableA, tableB string
 	ta, tb         *EncryptedTable
 	tokenB         *securejoin.Token
 	batch          int
+	workers        int
 
 	index    map[string][]int // D value of A -> rows, the build side
+	probe    []int            // candidate rows of B, ascending; nil = every row
 	bucketsB map[string][]int // D value of B -> rows seen so far (intra-B pairs)
 	pairs    leakage.PairSet  // leakage accumulated as matching progresses
-	next     int              // next row of B to decrypt
+	next     int              // next entry of probe to decrypt
 	trace    *QueryTrace
 	done     bool
 	err      error // sticky terminal error, re-returned by Next
 }
 
-// OpenJoin starts one equi-join query: SJ.Dec over table A up front,
-// then SJ.Dec + SJ.Match over table B incrementally as the stream is
-// drained. batch is the maximum number of probe rows per Next call;
-// batch <= 0 selects a default.
-func (s *Server) OpenJoin(tableA, tableB string, q *securejoin.Query, batch int) (*JoinStream, error) {
+// OpenJoin starts one planned equi-join query: candidate selection and
+// the parallel SJ.Dec + index build over table A happen up front, then
+// SJ.Dec + SJ.Match run over table B's candidates incrementally as the
+// stream is drained.
+func (s *Server) OpenJoin(tableA, tableB string, spec JoinSpec) (*JoinStream, error) {
+	q, err := spec.query()
+	if err != nil {
+		return nil, err
+	}
 	ta, tb, err := s.snapshot(tableA, tableB)
 	if err != nil {
 		return nil, err
 	}
-	das, err := decryptAll(q.TokenA, ta)
+
+	// Candidate selection: with a pre-filter, SSE resolves each side's
+	// selection to the matching rows; otherwise every row is probed.
+	var tokensA, tokensB map[int][]sse.SearchToken
+	if spec.Prefilter != nil {
+		tokensA, tokensB = spec.Prefilter.TokensA, spec.Prefilter.TokensB
+	}
+	candA, err := candidates(ta, tokensA)
+	if err != nil {
+		return nil, err
+	}
+	candB, err := candidates(tb, tokensB)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build side: parallel SJ.Dec over A's candidates, indexed by D
+	// value under the original row numbers.
+	das, err := decryptRows(q.TokenA, ta, candA, spec.Workers)
 	if err != nil {
 		return nil, err
 	}
 	index := make(map[string][]int, len(das))
 	for i, d := range das {
-		index[string(d)] = append(index[string(d)], i)
+		index[string(d)] = append(index[string(d)], candRow(candA, i))
 	}
+	batch := spec.Batch
 	if batch <= 0 {
 		batch = DefaultBatchSize
 	}
@@ -288,20 +352,29 @@ func (s *Server) OpenJoin(tableA, tableB string, q *securejoin.Query, batch int)
 	pairs := leakage.NewPairSet()
 	for _, sp := range securejoin.SelfPairs(das) {
 		pairs.Add(leakage.Pair{
-			A: leakage.RowRef{Table: tableA, Row: sp[0]},
-			B: leakage.RowRef{Table: tableA, Row: sp[1]},
+			A: leakage.RowRef{Table: tableA, Row: candRow(candA, sp[0])},
+			B: leakage.RowRef{Table: tableA, Row: candRow(candA, sp[1])},
 		})
 	}
 	return &JoinStream{
 		srv:    s,
 		tableA: tableA, tableB: tableB,
 		ta: ta, tb: tb,
-		tokenB: q.TokenB,
-		batch:  batch,
-		index:  index,
+		tokenB:   q.TokenB,
+		batch:    batch,
+		workers:  spec.Workers,
+		index:    index,
+		probe:    candB,
 		bucketsB: make(map[string][]int),
 		pairs:    pairs,
 	}, nil
+}
+
+// OpenJoinQuery starts a full-scan join with the pre-plan signature —
+// a thin wrapper over the spec pipeline kept for callers that predate
+// JoinSpec.
+func (s *Server) OpenJoinQuery(tableA, tableB string, q *securejoin.Query, batch int) (*JoinStream, error) {
+	return s.OpenJoin(tableA, tableB, JoinSpec{Query: q, Batch: batch})
 }
 
 // Next returns the joined rows produced by the next batch of probe-side
@@ -315,19 +388,20 @@ func (st *JoinStream) Next() ([]JoinedRow, error) {
 		}
 		return nil, io.EOF
 	}
-	if st.next >= len(st.tb.Rows) {
+	total := candCount(st.probe, len(st.tb.Rows))
+	if st.next >= total {
 		st.finish()
 		return nil, io.EOF
 	}
 	end := st.next + st.batch
-	if end > len(st.tb.Rows) {
-		end = len(st.tb.Rows)
+	if end > total {
+		end = total
 	}
 	cts := make([]*securejoin.RowCiphertext, end-st.next)
-	for i := st.next; i < end; i++ {
-		cts[i-st.next] = st.tb.Rows[i].Join
+	for i := range cts {
+		cts[i] = st.tb.Rows[candRow(st.probe, st.next+i)].Join
 	}
-	chunk, err := securejoin.DecryptTable(st.tokenB, cts)
+	chunk, err := securejoin.DecryptTableParallel(st.tokenB, cts, st.workers)
 	if err != nil {
 		st.err = err
 		st.finish() // the pairs observed before the failure still leaked
@@ -335,7 +409,7 @@ func (st *JoinStream) Next() ([]JoinedRow, error) {
 	}
 	var out []JoinedRow
 	for j, db := range chunk {
-		rowB := st.next + j
+		rowB := candRow(st.probe, st.next+j)
 		key := string(db)
 		for _, rowA := range st.index[key] {
 			out = append(out, JoinedRow{
@@ -403,10 +477,16 @@ func (st *JoinStream) RevealedPairs() int {
 // convenience wrapper that drains a JoinStream; servers streaming
 // results to clients use OpenJoin directly.
 func (s *Server) ExecuteJoin(tableA, tableB string, q *securejoin.Query) ([]JoinedRow, *QueryTrace, error) {
-	st, err := s.OpenJoin(tableA, tableB, q, 0)
+	st, err := s.OpenJoin(tableA, tableB, JoinSpec{Query: q})
 	if err != nil {
 		return nil, nil, err
 	}
+	return drain(st)
+}
+
+// drain pulls a stream to exhaustion and returns the accumulated rows
+// with the recorded trace — the shared tail of the one-shot wrappers.
+func drain(st *JoinStream) ([]JoinedRow, *QueryTrace, error) {
 	var result []JoinedRow
 	for {
 		rows, err := st.Next()
@@ -434,12 +514,4 @@ func (s *Server) ObservedLeakage() (perQuery []leakage.PairSet, closure leakage.
 	cumulative.AddAll(s.cumulative)
 	s.traceMu.Unlock()
 	return perQuery, cumulative.TransitiveClosure()
-}
-
-func decryptAll(tk *securejoin.Token, t *EncryptedTable) ([]securejoin.DValue, error) {
-	cts := make([]*securejoin.RowCiphertext, len(t.Rows))
-	for i, r := range t.Rows {
-		cts[i] = r.Join
-	}
-	return securejoin.DecryptTable(tk, cts)
 }

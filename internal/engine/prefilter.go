@@ -2,8 +2,8 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 
-	"repro/internal/leakage"
 	"repro/internal/securejoin"
 	"repro/internal/sse"
 )
@@ -82,79 +82,37 @@ func (c *Client) sseTokens(sel securejoin.Selection) map[int][]sse.SearchToken {
 // ExecuteJoinPrefiltered runs a join like ExecuteJoin but resolves the
 // selection predicates through each table's SSE index first, paying
 // SJ.Dec only for candidate rows. Tables uploaded without an index are
-// processed in full.
+// processed in full. It is a thin wrapper draining the same planned
+// pipeline behind OpenJoin that serves full scans.
 func (s *Server) ExecuteJoinPrefiltered(tableA, tableB string, q *PrefilterQuery) ([]JoinedRow, *QueryTrace, error) {
-	ta, tb, err := s.snapshot(tableA, tableB)
+	st, err := s.OpenJoin(tableA, tableB, JoinSpec{Prefilter: q})
 	if err != nil {
 		return nil, nil, err
 	}
-
-	candA, err := candidates(ta, q.TokensA)
-	if err != nil {
-		return nil, nil, err
-	}
-	candB, err := candidates(tb, q.TokensB)
-	if err != nil {
-		return nil, nil, err
-	}
-
-	das, err := decryptRows(q.Join.TokenA, ta, candA)
-	if err != nil {
-		return nil, nil, err
-	}
-	dbs, err := decryptRows(q.Join.TokenB, tb, candB)
-	if err != nil {
-		return nil, nil, err
-	}
-
-	pairs := securejoin.HashJoin(das, dbs)
-	result := make([]JoinedRow, len(pairs))
-	trace := &QueryTrace{Pairs: leakage.NewPairSet()}
-	for i, p := range pairs {
-		ra, rb := candA[p.RowA], candB[p.RowB]
-		result[i] = JoinedRow{
-			RowA: ra, RowB: rb,
-			PayloadA: ta.Rows[ra].Payload,
-			PayloadB: tb.Rows[rb].Payload,
-		}
-		trace.Pairs.Add(leakage.Pair{
-			A: leakage.RowRef{Table: tableA, Row: ra},
-			B: leakage.RowRef{Table: tableB, Row: rb},
-		})
-	}
-	for _, sp := range securejoin.SelfPairs(das) {
-		trace.Pairs.Add(leakage.Pair{
-			A: leakage.RowRef{Table: tableA, Row: candA[sp[0]]},
-			B: leakage.RowRef{Table: tableA, Row: candA[sp[1]]},
-		})
-	}
-	for _, sp := range securejoin.SelfPairs(dbs) {
-		trace.Pairs.Add(leakage.Pair{
-			A: leakage.RowRef{Table: tableB, Row: candB[sp[0]]},
-			B: leakage.RowRef{Table: tableB, Row: candB[sp[1]]},
-		})
-	}
-	s.recordTrace(trace)
-	return result, trace, nil
+	return drain(st)
 }
 
 // candidates resolves a table's pre-filter: the intersection over
 // restricted attributes of the union over each attribute's values.
-// With no index or no restrictions, every row is a candidate.
+// With no index or no restrictions it returns the nil sentinel meaning
+// "every row" — full scans never materialize an all-rows index slice.
 func candidates(t *EncryptedTable, tokens map[int][]sse.SearchToken) ([]int, error) {
 	if t.Index == nil || len(tokens) == 0 {
-		all := make([]int, len(t.Rows))
-		for i := range all {
-			all[i] = i
-		}
-		return all, nil
+		return nil, nil
 	}
-	var cand []int
+	cand := []int{} // non-nil: an empty pre-filter result means no rows
 	first := true
 	for _, toks := range tokens {
 		rows, err := t.Index.SearchUnion(toks)
 		if err != nil {
 			return nil, err
+		}
+		// IntersectSorted silently drops rows on unsorted input, so an
+		// index implementation that stops sorting would turn into wrong
+		// (not slow) results; sort defensively when the invariant is
+		// violated.
+		if !sortedUnique(rows) {
+			rows = sortUnique(rows)
 		}
 		if first {
 			cand = rows
@@ -163,17 +121,74 @@ func candidates(t *EncryptedTable, tokens map[int][]sse.SearchToken) ([]int, err
 		}
 		cand = sse.IntersectSorted(cand, rows)
 	}
+	if cand == nil {
+		// IntersectSorted returns nil for an empty intersection; keep
+		// the no-rows result distinct from the nil "every row" sentinel.
+		cand = []int{}
+	}
 	return cand, nil
 }
 
-// decryptRows runs SJ.Dec over the selected row subset only.
-func decryptRows(tk *securejoin.Token, t *EncryptedTable, rows []int) ([]securejoin.DValue, error) {
-	cts := make([]*securejoin.RowCiphertext, len(rows))
-	for i, r := range rows {
-		if r < 0 || r >= len(t.Rows) {
-			return nil, fmt.Errorf("engine: candidate row %d out of range", r)
+// sortedUnique reports whether xs is strictly ascending.
+func sortedUnique(xs []int) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return false
 		}
-		cts[i] = t.Rows[r].Join
 	}
-	return securejoin.DecryptTable(tk, cts)
+	return true
+}
+
+// sortUnique returns xs sorted ascending with duplicates removed.
+func sortUnique(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	n := 0
+	for i, x := range out {
+		if i == 0 || x != out[n-1] {
+			out[n] = x
+			n++
+		}
+	}
+	return out[:n]
+}
+
+// decryptRows runs SJ.Dec over the selected row subset (nil = every
+// row), spreading the pairings over a worker pool (workers <= 0 uses
+// GOMAXPROCS).
+func decryptRows(tk *securejoin.Token, t *EncryptedTable, rows []int, workers int) ([]securejoin.DValue, error) {
+	var cts []*securejoin.RowCiphertext
+	if rows == nil {
+		cts = make([]*securejoin.RowCiphertext, len(t.Rows))
+		for i, r := range t.Rows {
+			cts[i] = r.Join
+		}
+	} else {
+		cts = make([]*securejoin.RowCiphertext, len(rows))
+		for i, r := range rows {
+			if r < 0 || r >= len(t.Rows) {
+				return nil, fmt.Errorf("engine: candidate row %d out of range", r)
+			}
+			cts[i] = t.Rows[r].Join
+		}
+	}
+	return securejoin.DecryptTableParallel(tk, cts, workers)
+}
+
+// candRow maps an index into a candidate list back to the original row
+// number; the nil sentinel means the identity mapping (full scan).
+func candRow(cand []int, i int) int {
+	if cand == nil {
+		return i
+	}
+	return cand[i]
+}
+
+// candCount is the number of candidate rows (nil sentinel = the whole
+// table).
+func candCount(cand []int, tableRows int) int {
+	if cand == nil {
+		return tableRows
+	}
+	return len(cand)
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"io"
 	"testing"
 
 	"repro/internal/securejoin"
@@ -163,5 +164,133 @@ func TestPrefilterNoMatches(t *testing.T) {
 	// the cross join is empty — exactly the paper's leakage definition.
 	if trace.Pairs.Len() != 2 {
 		t.Fatalf("expected the 2 intra-Employees pairs, got %d", trace.Pairs.Len())
+	}
+}
+
+// TestPrefilteredStreamMatchesOneShot drains the planned pipeline with
+// a tiny batch size and checks it yields exactly the rows and trace of
+// the one-shot wrapper — the two paths are the same code, but this
+// pins the stream plumbing (candidate ordering, row-id mapping).
+func TestPrefilteredStreamMatchesOneShot(t *testing.T) {
+	client, server := setupIndexed(t)
+	selA := securejoin.Selection{0: [][]byte{[]byte("Web Application"), []byte("Database")}}
+	selB := securejoin.Selection{0: [][]byte{[]byte("Tester")}}
+
+	pq, err := client.NewPrefilterQuery(selA, selB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantTrace, err := server.ExecuteJoinPrefiltered("Teams", "Employees", pq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pq2, err := client.NewPrefilterQuery(selA, selB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := server.OpenJoin("Teams", "Employees", JoinSpec{Prefilter: pq2, Batch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []JoinedRow
+	for {
+		rows, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) > 1 {
+			t.Fatalf("batch of %d rows exceeds batch size 1", len(rows))
+		}
+		got = append(got, rows...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stream produced %d rows, one-shot %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].RowA != want[i].RowA || got[i].RowB != want[i].RowB {
+			t.Fatalf("row %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if st.RevealedPairs() != wantTrace.Pairs.Len() {
+		t.Fatalf("stream trace %d pairs, one-shot trace %d", st.RevealedPairs(), wantTrace.Pairs.Len())
+	}
+}
+
+// TestPrefilteredStreamCloseRecordsPrefix: a prefiltered stream
+// released before the first probe must still audit the intra-A pairs
+// observed when the build side was decrypted.
+func TestPrefilteredStreamCloseRecordsPrefix(t *testing.T) {
+	client, server := setupIndexed(t)
+	// Employees as the build side: its four rows pair up by join value
+	// ((hans,kaily) on "1", (john,sally) on "2"), so decrypting side A
+	// alone already leaks two intra-table pairs.
+	pq, err := client.NewPrefilterQuery(securejoin.Selection{}, securejoin.Selection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := server.OpenJoin("Employees", "Teams", JoinSpec{Prefilter: pq, Batch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close() // before any Next: only the build side has leaked
+	if st.Trace() == nil {
+		t.Fatal("closed stream has no trace")
+	}
+	// Employees rows (1,2) and (3,4) share join values: 2 intra-A pairs.
+	if st.RevealedPairs() != 2 {
+		t.Fatalf("prefix trace has %d pairs, want the 2 intra-A pairs", st.RevealedPairs())
+	}
+	perQuery, _ := server.ObservedLeakage()
+	if len(perQuery) != 1 || perQuery[0].Len() != 2 {
+		t.Fatalf("audit log = %v, want one 2-pair trace", perQuery)
+	}
+}
+
+// TestJoinSpecWorkersMatchesSequential: the worker count is a pure
+// performance knob — any value must produce identical rows and traces.
+func TestJoinSpecWorkersMatchesSequential(t *testing.T) {
+	client, server := setupIndexed(t)
+	selB := securejoin.Selection{0: [][]byte{[]byte("Tester")}}
+	var baseRows []JoinedRow
+	var basePairs int
+	for i, workers := range []int{1, 0, 4} {
+		pq, err := client.NewPrefilterQuery(securejoin.Selection{}, selB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := server.OpenJoin("Teams", "Employees", JoinSpec{Prefilter: pq, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, _, err := drain(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			baseRows, basePairs = rows, st.RevealedPairs()
+			continue
+		}
+		if len(rows) != len(baseRows) || st.RevealedPairs() != basePairs {
+			t.Fatalf("workers=%d: %d rows/%d pairs, want %d/%d",
+				workers, len(rows), st.RevealedPairs(), len(baseRows), basePairs)
+		}
+		for j := range rows {
+			if rows[j].RowA != baseRows[j].RowA || rows[j].RowB != baseRows[j].RowB {
+				t.Fatalf("workers=%d: row %d differs", workers, j)
+			}
+		}
+	}
+}
+
+// TestJoinSpecWithoutTokens: a spec carrying neither Query nor
+// Prefilter fails loudly instead of dereferencing nil.
+func TestJoinSpecWithoutTokens(t *testing.T) {
+	_, server := setupIndexed(t)
+	if _, err := server.OpenJoin("Teams", "Employees", JoinSpec{}); err == nil {
+		t.Fatal("empty spec accepted")
 	}
 }

@@ -33,7 +33,7 @@ func TestJoinStreamMatchesExecuteJoin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stream, err := server.OpenJoin("Teams", "Employees", q2, 1)
+	stream, err := server.OpenJoinQuery("Teams", "Employees", q2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestJoinStreamCloseRecordsPartialLeakage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := server.OpenJoin("Teams", "Employees", q, 1)
+	st, err := server.OpenJoinQuery("Teams", "Employees", q, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package securejoin
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -75,5 +76,92 @@ func TestDecryptTableParallelPropagatesErrors(t *testing.T) {
 	cts := []*RowCiphertext{ct, {C: &short}, ct, ct}
 	if _, err := DecryptTableParallel(q.TokenA, cts, 3); err == nil {
 		t.Fatal("error in one row was swallowed")
+	}
+}
+
+// TestDecryptTableParallelConcurrentCallers runs several parallel
+// decryptions of the same table at once — the engine does exactly this
+// when concurrent queries each spin up a worker pool — and checks every
+// caller still matches the sequential result. Meaningful under -race.
+func TestDecryptTableParallelConcurrentCallers(t *testing.T) {
+	s := newTestScheme(t, 1, 1)
+	rows := make([]Row, 12)
+	for i := range rows {
+		rows[i] = Row{
+			JoinValue: []byte(fmt.Sprintf("j-%d", i%3)),
+			Attrs:     [][]byte{[]byte("a")},
+		}
+	}
+	cts, err := s.EncryptTable(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := s.NewQuery(Selection{}, Selection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := DecryptTable(q.TokenA, cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const callers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			par, err := DecryptTableParallel(q.TokenA, cts, 3)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := range seq {
+				if !Match(seq[i], par[i]) {
+					errs <- fmt.Errorf("caller %d: row %d differs from sequential", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// BenchmarkDecryptParallel measures SJ.Dec over one table as the worker
+// count grows; per-row pairings are independent, so speedup should
+// track cores until memory bandwidth saturates.
+func BenchmarkDecryptParallel(b *testing.B) {
+	s, err := Setup(Params{M: 1, T: 1}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := make([]Row, 32)
+	for i := range rows {
+		rows[i] = Row{
+			JoinValue: []byte(fmt.Sprintf("j-%d", i%8)),
+			Attrs:     [][]byte{[]byte("a")},
+		}
+	}
+	cts, err := s.EncryptTable(rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := s.NewQuery(Selection{}, Selection{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := DecryptTableParallel(q.TokenA, cts, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

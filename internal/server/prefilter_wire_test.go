@@ -1,0 +1,199 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/engine"
+	"repro/internal/securejoin"
+)
+
+// uploadIndexedTestTables ships the canonical Teams/Employees pair with
+// SSE indexes over one connection.
+func uploadIndexedTestTables(t testing.TB, c *client.Client) {
+	t.Helper()
+	teams := []engine.PlainRow{
+		{JoinValue: []byte("1"), Attrs: [][]byte{[]byte("Web Application")}, Payload: []byte("team-web")},
+		{JoinValue: []byte("2"), Attrs: [][]byte{[]byte("Database")}, Payload: []byte("team-db")},
+	}
+	employees := []engine.PlainRow{
+		{JoinValue: []byte("1"), Attrs: [][]byte{[]byte("Programmer")}, Payload: []byte("hans")},
+		{JoinValue: []byte("1"), Attrs: [][]byte{[]byte("Tester")}, Payload: []byte("kaily")},
+		{JoinValue: []byte("2"), Attrs: [][]byte{[]byte("Programmer")}, Payload: []byte("john")},
+		{JoinValue: []byte("2"), Attrs: [][]byte{[]byte("Tester")}, Payload: []byte("sally")},
+	}
+	if err := c.UploadIndexed("Teams", teams); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.UploadIndexed("Employees", employees); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrefilteredJoinOverTCP runs one query three ways — full scan over
+// the wire, prefiltered over the wire, and prefiltered through the
+// library path against the same engine — and requires identical result
+// rows and revealed-pair counts from all three.
+func TestPrefilteredJoinOverTCP(t *testing.T) {
+	srv := New(nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := client.Dial(addr, securejoin.Params{M: 1, T: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	uploadIndexedTestTables(t, c)
+
+	selA := securejoin.Selection{0: [][]byte{[]byte("Web Application")}}
+	selB := securejoin.Selection{0: [][]byte{[]byte("Tester")}}
+
+	full, fullRevealed, err := c.Join("Teams", "Employees", selA, selB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, preRevealed, err := c.JoinWith("Teams", "Employees", selA, selB,
+		client.JoinOpts{Prefilter: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Library path against the very same server engine, with the same
+	// key material the wire client used.
+	pq, err := c.Keys().NewPrefilterQuery(selA, selB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, libTrace, err := srv.Engine().ExecuteJoinPrefiltered("Teams", "Employees", pq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(pre) != len(lib) || len(pre) != len(full) {
+		t.Fatalf("result rows: wire-prefiltered %d, wire-full %d, library %d",
+			len(pre), len(full), len(lib))
+	}
+	for i := range pre {
+		if pre[i].RowA != lib[i].RowA || pre[i].RowB != lib[i].RowB {
+			t.Fatalf("row %d: wire (%d,%d) vs library (%d,%d)",
+				i, pre[i].RowA, pre[i].RowB, lib[i].RowA, lib[i].RowB)
+		}
+		libPayloadA, err := c.Keys().OpenPayload(lib[i].PayloadA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(pre[i].PayloadA, libPayloadA) {
+			t.Fatalf("row %d payload A differs", i)
+		}
+	}
+	if preRevealed != libTrace.Pairs.Len() {
+		t.Fatalf("revealed pairs: wire-prefiltered %d, library %d", preRevealed, libTrace.Pairs.Len())
+	}
+	if preRevealed != fullRevealed {
+		t.Fatalf("revealed pairs: prefiltered %d, full scan %d", preRevealed, fullRevealed)
+	}
+	if len(pre) != 1 || !bytes.Equal(pre[0].PayloadA, []byte("team-web")) || !bytes.Equal(pre[0].PayloadB, []byte("kaily")) {
+		t.Fatalf("unexpected prefiltered result %v", pre)
+	}
+}
+
+// TestPrefilteredJoinUnindexedTableOverTCP: a prefiltered request
+// against tables uploaded without indexes falls back to a full scan
+// instead of failing.
+func TestPrefilteredJoinUnindexedTableOverTCP(t *testing.T) {
+	addr := startServer(t)
+	c := dial(t, addr)
+	rows := []engine.PlainRow{
+		{JoinValue: []byte("k"), Attrs: [][]byte{[]byte("a")}, Payload: []byte("x")},
+	}
+	if err := c.Upload("L", rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Upload("R", rows); err != nil {
+		t.Fatal(err)
+	}
+	results, revealed, err := c.JoinWith("L", "R",
+		securejoin.Selection{0: [][]byte{[]byte("a")}},
+		securejoin.Selection{},
+		client.JoinOpts{Prefilter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || revealed != 1 {
+		t.Fatalf("fallback join: %d rows, %d pairs; want 1, 1", len(results), revealed)
+	}
+}
+
+// BenchmarkPrefilteredJoinWire measures one join per iteration over a
+// loopback connection at three selectivities, full-scan vs prefiltered:
+// the prefiltered server pays SJ.Dec only for the candidate rows, so
+// the gap should track selectivity.
+func BenchmarkPrefilteredJoinWire(b *testing.B) {
+	const n = 100 // rows per table; 1% selectivity = 1 candidate row
+	srv := New(nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := client.Dial(addr, securejoin.Params{M: 1, T: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	mk := func() []engine.PlainRow {
+		out := make([]engine.PlainRow, n)
+		for i := range out {
+			attr := "bulk"
+			switch {
+			case i < n/100:
+				attr = "c1"
+			case i < n/100+n/10:
+				attr = "c10"
+			}
+			out[i] = engine.PlainRow{
+				JoinValue: []byte(fmt.Sprintf("k-%d", i)),
+				Attrs:     [][]byte{[]byte(attr)},
+				Payload:   []byte(fmt.Sprintf("row-%d", i)),
+			}
+		}
+		return out
+	}
+	for _, name := range []string{"L", "R"} {
+		if err := c.UploadIndexed(name, mk()); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	sels := []struct {
+		label string
+		sel   securejoin.Selection
+	}{
+		{"sel=1%", securejoin.Selection{0: [][]byte{[]byte("c1")}}},
+		{"sel=10%", securejoin.Selection{0: [][]byte{[]byte("c10")}}},
+		{"sel=100%", securejoin.Selection{}},
+	}
+	for _, sc := range sels {
+		for _, mode := range []struct {
+			label string
+			opts  client.JoinOpts
+		}{
+			{"full", client.JoinOpts{Workers: 1}},
+			{"prefiltered", client.JoinOpts{Prefilter: true, Workers: 1}},
+		} {
+			b.Run(sc.label+"/"+mode.label, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := c.JoinWith("L", "R", sc.sel, sc.sel, mode.opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -16,11 +16,13 @@ import (
 	"io"
 	"log"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/securejoin"
+	"repro/internal/sse"
 	"repro/internal/wire"
 )
 
@@ -336,6 +338,20 @@ func (ss *session) sendErr(id uint64, err error) error {
 	return ss.send(&wire.Frame{ID: id, Err: err.Error()})
 }
 
+// clampWorkers bounds a client's SJ.Dec worker hint: the hint cannot
+// commandeer more goroutines than the server has cores, and 0 (or a
+// negative value, including from clients that predate the field) keeps
+// the engine default.
+func clampWorkers(hint int) int {
+	if hint < 0 {
+		return 0
+	}
+	if max := runtime.GOMAXPROCS(0); hint > max {
+		return max
+	}
+	return hint
+}
+
 // handleUpload stages each chunk of an upload sequence and installs
 // the table atomically on the Commit chunk, so a sequence that fails
 // or is abandoned mid-way never leaves a truncated table visible.
@@ -363,8 +379,16 @@ func (ss *session) handleUpload(id uint64, up *wire.UploadRequest) error {
 		ss.staging[up.Table] = staged
 	}
 	if up.Commit {
-		ss.srv.eng.Upload(&engine.EncryptedTable{Name: up.Table, Rows: staged})
-		ss.srv.logf("uploaded table %q (%d rows)", up.Table, len(staged))
+		table := &engine.EncryptedTable{Name: up.Table, Rows: staged}
+		if len(up.Index) > 0 {
+			idx := &sse.Index{}
+			if err := idx.UnmarshalBinary(up.Index); err != nil {
+				return ss.sendErr(id, fmt.Errorf("index: %w", err))
+			}
+			table.Index = idx
+		}
+		ss.srv.eng.Upload(table)
+		ss.srv.logf("uploaded table %q (%d rows, indexed=%v)", up.Table, len(staged), table.Index != nil)
 	} else {
 		ss.srv.logf("staged %d rows for table %q", len(rows), up.Table)
 	}
@@ -382,7 +406,27 @@ func (ss *session) handleJoin(id uint64, jr *wire.JoinRequest) error {
 	}
 	q := &securejoin.Query{TokenA: &ta, TokenB: &tb}
 
-	stream, err := ss.srv.eng.OpenJoin(jr.TableA, jr.TableB, q, ss.srv.batch)
+	spec := engine.JoinSpec{Query: q, Batch: ss.srv.batch, Workers: clampWorkers(jr.Workers)}
+	if len(jr.PrefilterA) > 0 || len(jr.PrefilterB) > 0 {
+		pf := &engine.PrefilterQuery{Join: q}
+		if len(jr.PrefilterA) > 0 {
+			toks, err := sse.UnmarshalTokenMap(jr.PrefilterA)
+			if err != nil {
+				return ss.sendErr(id, fmt.Errorf("prefilter A: %w", err))
+			}
+			pf.TokensA = toks
+		}
+		if len(jr.PrefilterB) > 0 {
+			toks, err := sse.UnmarshalTokenMap(jr.PrefilterB)
+			if err != nil {
+				return ss.sendErr(id, fmt.Errorf("prefilter B: %w", err))
+			}
+			pf.TokensB = toks
+		}
+		spec.Prefilter = pf
+	}
+
+	stream, err := ss.srv.eng.OpenJoin(jr.TableA, jr.TableB, spec)
 	if err != nil {
 		return ss.sendErr(id, err)
 	}

@@ -6,9 +6,10 @@ import (
 	"sort"
 )
 
-// Wire encoding of an Index: a count followed by length-prefixed
-// (token, sealed posting list) pairs, sorted by token so the encoding
-// is deterministic.
+// Wire encodings for the SSE pre-filter: the Index (uploaded alongside
+// a table) and per-attribute search-token lists (carried by prefiltered
+// join requests). Both are counted sequences of length-prefixed byte
+// strings, sorted so the encodings are deterministic.
 
 // MarshalBinary encodes the index.
 func (idx *Index) MarshalBinary() ([]byte, error) {
@@ -82,4 +83,106 @@ func (idx *Index) UnmarshalBinary(data []byte) error {
 	}
 	idx.postings = postings
 	return nil
+}
+
+// MarshalTokenMap encodes one table's prefilter tokens — for each
+// restricted attribute, the search tokens of its IN-clause values —
+// for transport inside a join request. Attributes are sorted so the
+// encoding is deterministic.
+func MarshalTokenMap(tokens map[int][]SearchToken) ([]byte, error) {
+	attrs := make([]int, 0, len(tokens))
+	for a := range tokens {
+		if a < 0 {
+			return nil, fmt.Errorf("sse: negative attribute %d in token map", a)
+		}
+		attrs = append(attrs, a)
+	}
+	sort.Ints(attrs)
+
+	var out []byte
+	var n [4]byte
+	putUint := func(v uint32) {
+		binary.BigEndian.PutUint32(n[:], v)
+		out = append(out, n[:]...)
+	}
+	putBytes := func(b []byte) {
+		putUint(uint32(len(b)))
+		out = append(out, b...)
+	}
+	putUint(uint32(len(attrs)))
+	for _, a := range attrs {
+		putUint(uint32(a))
+		putUint(uint32(len(tokens[a])))
+		for _, st := range tokens[a] {
+			putBytes(st.Token)
+			putBytes(st.Key)
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalTokenMap decodes MarshalTokenMap output.
+func UnmarshalTokenMap(data []byte) (map[int][]SearchToken, error) {
+	readUint := func() (uint32, error) {
+		if len(data) < 4 {
+			return 0, fmt.Errorf("sse: truncated token map encoding")
+		}
+		v := binary.BigEndian.Uint32(data)
+		data = data[4:]
+		return v, nil
+	}
+	readBytes := func() ([]byte, error) {
+		n, err := readUint()
+		if err != nil {
+			return nil, err
+		}
+		if uint32(len(data)) < n {
+			return nil, fmt.Errorf("sse: truncated token map encoding")
+		}
+		b := append([]byte(nil), data[:n]...)
+		data = data[n:]
+		return b, nil
+	}
+
+	nattrs, err := readUint()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int][]SearchToken, nattrs)
+	for i := uint32(0); i < nattrs; i++ {
+		attr, err := readUint()
+		if err != nil {
+			return nil, err
+		}
+		ntoks, err := readUint()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := out[int(attr)]; dup {
+			return nil, fmt.Errorf("sse: duplicate attribute %d in token map", attr)
+		}
+		// Each token costs at least 8 encoded bytes, so the remaining
+		// input bounds the preallocation against a hostile count.
+		capHint := ntoks
+		if max := uint32(len(data) / 8); capHint > max {
+			capHint = max
+		}
+		toks := make([]SearchToken, 0, capHint)
+		for j := uint32(0); j < ntoks; j++ {
+			tok, err := readBytes()
+			if err != nil {
+				return nil, err
+			}
+			key, err := readBytes()
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, SearchToken{Token: tok, Key: key})
+		}
+		out[int(attr)] = toks
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("sse: %d trailing bytes in token map encoding", len(data))
+	}
+	return out, nil
 }

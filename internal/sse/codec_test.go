@@ -60,3 +60,70 @@ func TestIndexCodecRejectsMalformed(t *testing.T) {
 		t.Fatal("trailing bytes accepted")
 	}
 }
+
+func TestTokenMapCodecRoundTrip(t *testing.T) {
+	c, _ := buildTestIndex(t)
+	m := map[int][]SearchToken{
+		0: {c.Tokenize(0, []byte("red")), c.Tokenize(0, []byte("blue"))},
+		1: {c.Tokenize(1, []byte("L"))},
+		7: {},
+	}
+	data, err := MarshalTokenMap(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalTokenMap(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(m) {
+		t.Fatalf("decoded %d attributes, want %d", len(got), len(m))
+	}
+	for attr, toks := range m {
+		g := got[attr]
+		if len(g) != len(toks) {
+			t.Fatalf("attr %d: %d tokens, want %d", attr, len(g), len(toks))
+		}
+		for i := range toks {
+			if !bytes.Equal(g[i].Token, toks[i].Token) || !bytes.Equal(g[i].Key, toks[i].Key) {
+				t.Fatalf("attr %d token %d differs after round trip", attr, i)
+			}
+		}
+	}
+	// Deterministic encoding.
+	data2, err := MarshalTokenMap(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("token map encoding is not deterministic")
+	}
+	// Empty map round-trips to empty map.
+	none, err := MarshalTokenMap(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2, err := UnmarshalTokenMap(none); err != nil || len(m2) != 0 {
+		t.Fatalf("empty map round trip: %v, %v", m2, err)
+	}
+}
+
+func TestTokenMapCodecRejectsCorrupt(t *testing.T) {
+	c, _ := buildTestIndex(t)
+	data, err := MarshalTokenMap(map[int][]SearchToken{0: {c.Tokenize(0, []byte("x"))}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]byte{
+		data[:3],                              // truncated header
+		data[:len(data)-2],                    // truncated token
+		append(data[:len(data):len(data)], 0), // trailing byte
+	} {
+		if _, err := UnmarshalTokenMap(bad); err == nil {
+			t.Fatalf("corrupt encoding of %d bytes accepted", len(bad))
+		}
+	}
+	if _, err := MarshalTokenMap(map[int][]SearchToken{-1: nil}); err == nil {
+		t.Fatal("negative attribute accepted")
+	}
+}

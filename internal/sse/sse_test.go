@@ -136,3 +136,37 @@ func TestIndexHidesContents(t *testing.T) {
 		}
 	}
 }
+
+// TestSearchUnionSortedDeduped pins the SearchUnion contract the
+// engine's pre-filter depends on: IntersectSorted silently drops rows
+// when its inputs are unsorted or carry duplicates, so SearchUnion must
+// return every posting list union strictly ascending with no repeats —
+// including when several tokens of one IN clause hit overlapping rows.
+func TestSearchUnionSortedDeduped(t *testing.T) {
+	c, idx := buildTestIndex(t)
+	// "red" matches rows {0,2,4}, "L" (attr 1) is a different attribute;
+	// use overlapping color tokens: red {0,2,4} and blue {1} and red
+	// again (duplicate token) to force potential repeats.
+	rows, err := idx.SearchUnion([]SearchToken{
+		c.Tokenize(0, []byte("red")),
+		c.Tokenize(0, []byte("blue")),
+		c.Tokenize(0, []byte("red")), // duplicate token: same posting list twice
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 4}
+	if len(rows) != len(want) {
+		t.Fatalf("union = %v, want %v", rows, want)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("union = %v, want %v (sorted, deduped)", rows, want)
+		}
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i] <= rows[i-1] {
+			t.Fatalf("union %v is not strictly ascending", rows)
+		}
+	}
+}
