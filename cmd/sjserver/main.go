@@ -1,8 +1,11 @@
 // Command sjserver runs the encrypted-DBMS provider: a TCP server that
-// stores uploaded ciphertext tables in memory and executes Secure Join
-// queries against them. It holds no key material.
+// stores uploaded ciphertext tables and executes Secure Join queries
+// against them. It holds no key material. With -data the table store is
+// durable: committed uploads (and their SSE indexes) are persisted to
+// the directory and recovered on the next start, so a restart loses
+// nothing; without it tables live in memory only.
 //
-//	sjserver -listen 127.0.0.1:7788
+//	sjserver -listen 127.0.0.1:7788 -data /var/lib/sjserver
 package main
 
 import (
@@ -18,13 +21,18 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7788", "address to listen on")
 	quiet := flag.Bool("quiet", false, "disable request logging")
 	batch := flag.Int("batch", 0, "joined rows per response frame (0 = protocol default)")
+	data := flag.String("data", "", "directory for the durable table store (empty = in-memory only)")
 	flag.Parse()
 
 	var logger *log.Logger
 	if !*quiet {
 		logger = log.New(os.Stderr, "[sjserver] ", log.LstdFlags)
 	}
-	srv := newServer(logger)
+	srv, err := newServer(logger, *data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sjserver:", err)
+		os.Exit(1)
+	}
 	srv.SetBatchSize(*batch)
 	addr, err := srv.Listen(*listen)
 	if err != nil {

@@ -1,13 +1,34 @@
 package main
 
 import (
+	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 // newServer wraps the internal server package; kept in its own file so
-// the binary's wiring stays separate from flag handling.
-func newServer(logger *log.Logger) *server.Server {
-	return server.New(logger)
+// the binary's wiring stays separate from flag handling. An empty
+// dataDir keeps the table store in memory (lost on exit); otherwise the
+// directory is opened — created on first use — and every durable table
+// it holds is recovered before the server starts listening.
+func newServer(logger *log.Logger, dataDir string) (*server.Server, error) {
+	if dataDir == "" {
+		return server.New(logger), nil
+	}
+	st, err := store.Open(dataDir)
+	if err != nil {
+		return nil, fmt.Errorf("opening data dir %s: %w", dataDir, err)
+	}
+	// Damage is survivable — the broken tables are skipped, the rest
+	// recovered — but the operator must hear about it regardless of
+	// -quiet.
+	for _, d := range st.Damaged() {
+		fmt.Fprintf(os.Stderr, "sjserver: data dir damage: %s\n", d)
+	}
+	fmt.Printf("recovered %d tables from %s (%d damaged)\n",
+		len(st.Tables()), st.Dir(), len(st.Damaged()))
+	return server.NewWithStore(logger, st), nil
 }

@@ -170,9 +170,28 @@ type QueryTrace struct {
 	Pairs leakage.PairSet
 }
 
+// TableStore is the optional durability hook of a Server: when set,
+// RegisterTable persists each table version (and DropTable each
+// deletion) through it before the in-memory map changes, so a table is
+// never acknowledged that a restart would lose. internal/store
+// implements it over a snapshot-plus-manifest data directory.
+type TableStore interface {
+	// Commit makes one table version durable, atomically replacing any
+	// previous version of the same name.
+	Commit(t *EncryptedTable) error
+	// Delete durably removes a table.
+	Delete(name string) error
+}
+
 // Server stores encrypted tables and executes join queries. It holds no
 // key material and is safe for concurrent use.
 type Server struct {
+	// registerMu serializes persist+install sequences (RegisterTable,
+	// DropTable) so the durable log and the in-memory map apply table
+	// versions in the same order.
+	registerMu sync.Mutex
+	store      TableStore
+
 	// tablesMu guards the table map only. Uploaded tables themselves
 	// are immutable, so queries hold the read lock just long enough to
 	// snapshot the two *EncryptedTable pointers.
@@ -185,18 +204,79 @@ type Server struct {
 	traceMu    sync.Mutex
 	cumulative leakage.PairSet
 	perQuery   []leakage.PairSet
+	leakCounts map[string]uint64
 }
 
 // NewServer returns an empty server.
 func NewServer() *Server {
-	return &Server{tables: make(map[string]*EncryptedTable), cumulative: leakage.NewPairSet()}
+	return &Server{
+		tables:     make(map[string]*EncryptedTable),
+		cumulative: leakage.NewPairSet(),
+		leakCounts: make(map[string]uint64),
+	}
 }
 
-// Upload stores an encrypted table, replacing any previous version.
+// SetStore attaches the durability hook. Call it before serving
+// requests — typically right after restoring the store's tables with
+// Upload — so every subsequent RegisterTable persists.
+func (s *Server) SetStore(st TableStore) {
+	s.registerMu.Lock()
+	s.store = st
+	s.registerMu.Unlock()
+}
+
+// Upload installs a table in memory only, replacing any previous
+// version. It is the right call for keyless in-process demos and for
+// restoring already-durable tables at recovery; a server with a
+// TableStore attached registers client uploads with RegisterTable so
+// they persist before being acknowledged.
 func (s *Server) Upload(t *EncryptedTable) {
 	s.tablesMu.Lock()
 	s.tables[t.Name] = t
 	s.tablesMu.Unlock()
+}
+
+// RegisterTable stores an encrypted table, replacing any previous
+// version of the same name. With a TableStore attached the version is
+// persisted first and an error leaves the in-memory map — and hence
+// every concurrent query — still on the previous version; without one
+// it is equivalent to Upload. Replacement is atomic for readers: a
+// query snapshots either the old table (with its old SSE index) or the
+// new one, never a mix.
+func (s *Server) RegisterTable(t *EncryptedTable) error {
+	s.registerMu.Lock()
+	defer s.registerMu.Unlock()
+	if s.store != nil {
+		if err := s.store.Commit(t); err != nil {
+			return fmt.Errorf("engine: persisting table %q: %w", t.Name, err)
+		}
+	}
+	s.tablesMu.Lock()
+	s.tables[t.Name] = t
+	s.tablesMu.Unlock()
+	return nil
+}
+
+// DropTable removes a table, persisting the deletion first when a
+// TableStore is attached.
+func (s *Server) DropTable(name string) error {
+	s.registerMu.Lock()
+	defer s.registerMu.Unlock()
+	s.tablesMu.RLock()
+	_, ok := s.tables[name]
+	s.tablesMu.RUnlock()
+	if !ok {
+		return fmt.Errorf("engine: unknown table %q", name)
+	}
+	if s.store != nil {
+		if err := s.store.Delete(name); err != nil {
+			return fmt.Errorf("engine: deleting table %q: %w", name, err)
+		}
+	}
+	s.tablesMu.Lock()
+	delete(s.tables, name)
+	s.tablesMu.Unlock()
+	return nil
 }
 
 // Table returns an uploaded table.
@@ -225,11 +305,43 @@ func (s *Server) snapshot(tableA, tableB string) (ta, tb *EncryptedTable, err er
 	return ta, tb, nil
 }
 
-// recordTrace appends one query's leakage to the audit log.
+// recordTrace appends one query's leakage to the audit log and bumps
+// the per-table revealed-pair counters.
 func (s *Server) recordTrace(trace *QueryTrace) {
 	s.traceMu.Lock()
 	s.perQuery = append(s.perQuery, trace.Pairs)
 	s.cumulative.AddAll(trace.Pairs)
+	for p := range trace.Pairs {
+		s.leakCounts[p.A.Table]++
+		if p.B.Table != p.A.Table {
+			s.leakCounts[p.B.Table]++
+		}
+	}
+	s.traceMu.Unlock()
+}
+
+// LeakageCounters returns, per table, how many revealed equality pairs
+// recorded so far touch that table (an intra-table pair counts once).
+// Unlike the full PairSet traces these counters are cheap to persist,
+// so a durable server checkpoints them across restarts.
+func (s *Server) LeakageCounters() map[string]uint64 {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	out := make(map[string]uint64, len(s.leakCounts))
+	for k, v := range s.leakCounts {
+		out[k] = v
+	}
+	return out
+}
+
+// SeedLeakageCounters restores per-table counters checkpointed by an
+// earlier process (see LeakageCounters), replacing the current values
+// of the named tables. Call it at recovery, before serving queries.
+func (s *Server) SeedLeakageCounters(counters map[string]uint64) {
+	s.traceMu.Lock()
+	for k, v := range counters {
+		s.leakCounts[k] = v
+	}
 	s.traceMu.Unlock()
 }
 

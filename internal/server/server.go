@@ -23,6 +23,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/securejoin"
 	"repro/internal/sse"
+	"repro/internal/store"
 	"repro/internal/wire"
 )
 
@@ -37,6 +38,13 @@ type Server struct {
 	eng    *engine.Server
 	logger *log.Logger
 	batch  int
+	store  *store.Store
+
+	// countersMu makes each leakage-counter checkpoint a consistent
+	// read-then-append: without it two finishing joins could write
+	// their snapshots to the manifest in the opposite order they read
+	// them, leaving the older one as the durable tail.
+	countersMu sync.Mutex
 
 	done      chan struct{}
 	closeOnce sync.Once
@@ -47,16 +55,40 @@ type Server struct {
 	wg     sync.WaitGroup // accept loop + live connections
 }
 
-// New returns a server with an empty table store. logger may be nil to
-// disable logging.
+// New returns a server with an empty in-memory table store. logger may
+// be nil to disable logging.
 func New(logger *log.Logger) *Server {
-	return &Server{
+	return NewWithStore(logger, nil)
+}
+
+// NewWithStore returns a server backed by a durable table store: every
+// table the store recovered is re-registered (with its SSE index) and
+// the persisted leakage counters are restored, then uploads committed
+// over the wire persist through the store before they are acked. st may
+// be nil for the in-memory behavior of New. The server owns the store
+// from here on: Close closes it.
+func NewWithStore(logger *log.Logger, st *store.Store) *Server {
+	s := &Server{
 		eng:    engine.NewServer(),
 		logger: logger,
 		batch:  engine.DefaultBatchSize,
+		store:  st,
 		done:   make(chan struct{}),
 		conns:  make(map[net.Conn]struct{}),
 	}
+	if st != nil {
+		tables := st.Tables()
+		for _, t := range tables {
+			// Upload, not RegisterTable: these versions are already
+			// durable, re-persisting them would only churn the manifest.
+			s.eng.Upload(t)
+			s.logf("recovered table %q (%d rows, indexed=%v)", t.Name, len(t.Rows), t.Index != nil)
+		}
+		s.eng.SeedLeakageCounters(st.Counters())
+		s.eng.SetStore(st)
+		s.logf("store %s: %d tables recovered, %d damaged", st.Dir(), len(tables), len(st.Damaged()))
+	}
+	return s
 }
 
 // SetBatchSize bounds the number of joined rows per response frame.
@@ -125,6 +157,13 @@ func (s *Server) Close() error {
 		})
 		s.wg.Wait()
 		force.Stop()
+		// With no request left in flight the manifest is quiescent;
+		// release it so a successor process can recover the directory.
+		if s.store != nil {
+			if cerr := s.store.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
 	})
 	return err
 }
@@ -313,6 +352,12 @@ func (s *Server) serveConn(conn net.Conn) {
 			ss.handle(&req)
 		}(req)
 	}
+	// The read loop is the only producer of staged upload chunks, so
+	// once it exits no Commit can arrive: drop any half-finished
+	// sequence now instead of pinning its rows while pipelined joins
+	// drain below. Nothing of it was ever durable — the store is only
+	// written on Commit.
+	clear(ss.staging)
 	// Let pipelined requests finish writing before the conn closes.
 	ss.reqs.Wait()
 }
@@ -387,7 +432,12 @@ func (ss *session) handleUpload(id uint64, up *wire.UploadRequest) error {
 			}
 			table.Index = idx
 		}
-		ss.srv.eng.Upload(table)
+		// Persist (when a store is attached) before the ack below: a
+		// client that saw Ok on its Commit chunk must find the table
+		// after a server restart.
+		if err := ss.srv.eng.RegisterTable(table); err != nil {
+			return ss.sendErr(id, err)
+		}
 		ss.srv.logf("uploaded table %q (%d rows, indexed=%v)", up.Table, len(staged), table.Index != nil)
 	} else {
 		ss.srv.logf("staged %d rows for table %q", len(rows), up.Table)
@@ -431,7 +481,10 @@ func (ss *session) handleJoin(id uint64, jr *wire.JoinRequest) error {
 		return ss.sendErr(id, err)
 	}
 	// Whatever ends this request — drain, cancel, engine error, dead
-	// peer — the leakage observed so far must reach the audit log.
+	// peer — the leakage observed so far must reach the audit log, and
+	// the updated counters must reach the store. Defers run LIFO, so
+	// the stream closes (recording its trace) before the checkpoint.
+	defer ss.srv.persistCounters()
 	defer stream.Close()
 	cancelled := ss.cancelled(id)
 	sent := 0
@@ -481,6 +534,21 @@ func (ss *session) handleJoin(id uint64, jr *wire.JoinRequest) error {
 	revealed := stream.RevealedPairs()
 	ss.srv.logf("join %q x %q: %d result rows, %d revealed pairs", jr.TableA, jr.TableB, sent, revealed)
 	return ss.send(&wire.Frame{ID: id, Summary: &wire.JoinSummary{RevealedPairs: revealed}})
+}
+
+// persistCounters checkpoints the engine's per-table leakage counters
+// to the store after a join. Best-effort by design: table data is never
+// at risk, and a crash between a join's trace recording and its
+// checkpoint costs at most that one join's counter increments.
+func (s *Server) persistCounters() {
+	if s.store == nil {
+		return
+	}
+	s.countersMu.Lock()
+	defer s.countersMu.Unlock()
+	if err := s.store.RecordCounters(s.eng.LeakageCounters()); err != nil {
+		s.logf("persisting leakage counters: %v", err)
+	}
 }
 
 func (s *Server) logf(format string, args ...any) {

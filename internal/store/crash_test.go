@@ -1,0 +1,249 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// Crash-injection suite: each test damages the on-disk state the way a
+// torn write, bit rot, or lost file would, then requires Open to
+// recover every surviving table and *report* — never panic on, never
+// serve — the damaged ones.
+
+// commitTwo seeds a data dir with tables T1 and T2 (committed in that
+// order) and returns their encrypted versions.
+func commitTwo(t *testing.T, dir string) (t1, t2 *engine.EncryptedTable) {
+	t.Helper()
+	c := newTestClient(t)
+	t1 = encTable(t, c, "T1", true, "one-a", "one-b")
+	t2 = encTable(t, c, "T2", true, "two-a", "two-b", "two-c")
+	s := mustOpen(t, dir)
+	mustCommit(t, s, t1)
+	mustCommit(t, s, t2)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return t1, t2
+}
+
+// snapshotOf returns the snapshot file of the n-th commit (0-based):
+// snapshot names are ascending sequence numbers, so sorting recovers
+// commit order.
+func snapshotOf(t *testing.T, dir string, n int) string {
+	t.Helper()
+	files := snapshotFiles(t, dir)
+	sort.Strings(files)
+	if n >= len(files) {
+		t.Fatalf("want snapshot %d, have %v", n, files)
+	}
+	return filepath.Join(dir, tablesDir, files[n])
+}
+
+func assertDamagedTable(t *testing.T, s *Store, table, reasonSub string) {
+	t.Helper()
+	for _, d := range s.Damaged() {
+		if d.Table == table && strings.Contains(d.Reason, reasonSub) {
+			return
+		}
+	}
+	t.Fatalf("no damage report for table %q containing %q; got %v", table, reasonSub, s.Damaged())
+}
+
+// TestTruncatedManifestEntry: a manifest that ends mid-record (torn
+// write at crash) loses exactly the torn commit; the earlier table
+// survives and the tail damage is reported. The truncated tail must
+// also not poison later appends.
+func TestTruncatedManifestEntry(t *testing.T) {
+	dir := t.TempDir()
+	t1, _ := commitTwo(t, dir)
+	manifest := filepath.Join(dir, manifestName)
+	fi, err := os.Stat(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop into the middle of the last record (T2's commit).
+	if err := os.Truncate(manifest, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	s := mustOpen(t, dir)
+	tables := s.Tables()
+	if len(tables) != 1 || tables[0].Name != "T1" {
+		t.Fatalf("recovered %d tables, want just T1", len(tables))
+	}
+	sameTable(t, tables[0], t1)
+	if len(s.Damaged()) != 1 || !strings.Contains(s.Damaged()[0].Reason, "manifest") {
+		t.Fatalf("damage = %v, want one manifest-tail report", s.Damaged())
+	}
+	// T2's snapshot lost its record; the sweep must have reclaimed it.
+	if files := snapshotFiles(t, dir); len(files) != 1 {
+		t.Fatalf("snapshots after torn-tail recovery: %v, want 1", files)
+	}
+
+	// The store stays writable: commit something new and recover clean.
+	c := newTestClient(t)
+	t3 := encTable(t, c, "T3", false, "three")
+	mustCommit(t, s, t3)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir)
+	assertNoDamage(t, s2)
+	if len(s2.Tables()) != 2 {
+		t.Fatalf("recovered %d tables, want T1+T3", len(s2.Tables()))
+	}
+	sameTable(t, tableByName(t, s2, "T3"), t3)
+}
+
+// TestCorruptSnapshot: a flipped byte in a snapshot fails the digest
+// check; the table is reported damaged and skipped, its file kept for
+// forensics, and the intact table still served.
+func TestCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	t1, _ := commitTwo(t, dir)
+	victim := snapshotOf(t, dir, 1) // T2: second commit
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := mustOpen(t, dir)
+	tables := s.Tables()
+	if len(tables) != 1 || tables[0].Name != "T1" {
+		t.Fatalf("recovered %d tables, want just T1", len(tables))
+	}
+	sameTable(t, tables[0], t1)
+	assertDamagedTable(t, s, "T2", "checksum")
+	if _, err := os.Stat(victim); err != nil {
+		t.Fatalf("corrupt snapshot was removed, want it kept for forensics: %v", err)
+	}
+}
+
+// TestMissingSnapshot: a manifest record whose snapshot file is gone
+// yields a damage report, not a panic or a phantom table.
+func TestMissingSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	t1, _ := commitTwo(t, dir)
+	if err := os.Remove(snapshotOf(t, dir, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	s := mustOpen(t, dir)
+	tables := s.Tables()
+	if len(tables) != 1 || tables[0].Name != "T1" {
+		t.Fatalf("recovered %d tables, want just T1", len(tables))
+	}
+	sameTable(t, tables[0], t1)
+	assertDamagedTable(t, s, "T2", "missing")
+}
+
+// TestRecommitHealsDamage: committing a fresh version of a damaged
+// table brings it back; the next recovery is clean and the corrupt
+// snapshot is reclaimed once nothing references it.
+func TestRecommitHealsDamage(t *testing.T) {
+	dir := t.TempDir()
+	commitTwo(t, dir)
+	victim := snapshotOf(t, dir, 1)
+	if err := os.Remove(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	s := mustOpen(t, dir)
+	assertDamagedTable(t, s, "T2", "missing")
+	c := newTestClient(t)
+	healed := encTable(t, c, "T2", true, "two-again")
+	mustCommit(t, s, healed)
+	sameTable(t, tableByName(t, s, "T2"), healed)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir)
+	assertNoDamage(t, s2)
+	if len(s2.Tables()) != 2 {
+		t.Fatalf("recovered %d tables, want 2", len(s2.Tables()))
+	}
+	sameTable(t, tableByName(t, s2, "T2"), healed)
+}
+
+// TestSweepRemovesCrashLitter: stray temp files (interrupted snapshot
+// writes) and orphan snapshots (renamed but never referenced by a
+// durable record) are cleaned up by Open without touching live data.
+func TestSweepRemovesCrashLitter(t *testing.T) {
+	dir := t.TempDir()
+	commitTwo(t, dir)
+	litter := []string{
+		filepath.Join(dir, tablesDir, tmpPrefix+"crashed"),
+		filepath.Join(dir, tablesDir, "ffffffffffffffff.snap"), // orphan: no record
+	}
+	for _, p := range litter {
+		if err := os.WriteFile(p, []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s := mustOpen(t, dir)
+	assertNoDamage(t, s)
+	if len(s.Tables()) != 2 {
+		t.Fatalf("recovered %d tables, want 2", len(s.Tables()))
+	}
+	for _, p := range litter {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("crash litter %s survived the sweep", p)
+		}
+	}
+	if files := snapshotFiles(t, dir); len(files) != 2 {
+		t.Fatalf("snapshots after sweep: %v, want 2", files)
+	}
+}
+
+// TestEmptyManifestTolerated: a zero-byte manifest (crash before the
+// first record) is a valid empty store.
+func TestEmptyManifestTolerated(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, tablesDir), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir)
+	assertNoDamage(t, s)
+	if len(s.Tables()) != 0 {
+		t.Fatalf("empty manifest recovered %d tables", len(s.Tables()))
+	}
+}
+
+// TestGarbageManifestTolerated: a manifest that is pure garbage from
+// byte zero recovers as empty-with-damage, and stays usable.
+func TestGarbageManifestTolerated(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, tablesDir), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("this is not a manifest"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir)
+	if len(s.Tables()) != 0 || len(s.Damaged()) != 1 {
+		t.Fatalf("garbage manifest: %d tables, damage %v", len(s.Tables()), s.Damaged())
+	}
+	c := newTestClient(t)
+	tab := encTable(t, c, "T", false, "x")
+	mustCommit(t, s, tab)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir)
+	assertNoDamage(t, s2)
+	sameTable(t, tableByName(t, s2, "T"), tab)
+}

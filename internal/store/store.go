@@ -1,0 +1,561 @@
+// Package store persists a server's ciphertext table set so the DBaaS
+// deployment of Section 2 survives restarts: the server holds clients'
+// encrypted tables long-term and answers a series of join queries, so a
+// process restart must not lose an upload or its SSE index.
+//
+// On-disk layout under one data directory:
+//
+//	<dir>/MANIFEST          append-only record log (the WAL)
+//	<dir>/tables/<seq>.snap one snapshot per committed table version
+//	                        (engine.SaveTable encoding)
+//
+// Snapshots carry only public values — ciphertexts, sealed payloads and
+// the SSE index — so the data directory has the same security posture
+// as the running server's memory: safe on untrusted storage.
+//
+// Commit protocol. A table version is written to a temporary file,
+// fsynced, atomically renamed to its final seq-numbered name, and only
+// then referenced by a manifest record carrying its SHA-256 digest; the
+// manifest append is itself fsynced before Commit returns. A crash at
+// any point therefore leaves either (a) a stray temp file, (b) an
+// orphan snapshot no record references, or (c) a torn manifest tail —
+// all of which Open detects and discards. A table is durable exactly
+// when its manifest record is.
+//
+// Manifest framing. Each record is a self-contained gob payload wrapped
+// as: 4-byte big-endian payload length | payload | 4-byte big-endian
+// CRC-32C of the payload. Replay stops at the first record that is
+// truncated or fails its CRC; the tail from that point is reported as
+// damage and truncated away so future appends start from a clean
+// prefix.
+//
+// Recovery rules. Open replays the manifest (last record wins per
+// table), then verifies every live snapshot against its recorded
+// digest and decodes it. A snapshot that is missing, fails its digest,
+// or fails to decode makes its table *damaged*: the table is skipped —
+// never served — and reported through Damaged; the broken file is kept
+// on disk for forensics. Stray temp files and orphan snapshots are
+// removed.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+
+	"repro/internal/engine"
+)
+
+const (
+	manifestName = "MANIFEST"
+	tablesDir    = "tables"
+	tmpPrefix    = ".tmp-"
+
+	// maxRecordSize bounds one manifest record so a corrupt length
+	// header cannot force an unbounded allocation during replay.
+	// Records hold metadata only (never row data), so 1 MiB is generous.
+	maxRecordSize = 1 << 20
+)
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// errTorn marks a manifest tail that ends mid-record or fails its CRC.
+var errTorn = errors.New("torn record")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Record operations. Values are part of the on-disk format.
+const (
+	opCommit   uint8 = 1 // table version committed
+	opDelete   uint8 = 2 // table deleted
+	opCounters uint8 = 3 // per-table leakage counters checkpoint
+)
+
+// record is the gob image of one manifest entry. Every record is
+// encoded with a fresh encoder so each is self-contained and replay can
+// stop at any boundary.
+type record struct {
+	Seq      uint64
+	Op       uint8
+	Table    string            // opCommit, opDelete
+	Snapshot string            // opCommit: file name under tables/
+	Digest   []byte            // opCommit: SHA-256 of the snapshot file
+	Rows     int               // opCommit
+	Indexed  bool              // opCommit
+	Counters map[string]uint64 // opCounters: last record wins
+}
+
+// Damage describes one table (or manifest region) Open found broken and
+// skipped. Recovery never panics on damage and never serves a damaged
+// table; it recovers the survivors and reports the rest here.
+type Damage struct {
+	Table    string // empty for manifest-level damage
+	Snapshot string // file name under tables/, when known
+	Reason   string
+}
+
+func (d Damage) String() string {
+	if d.Table == "" {
+		return d.Reason
+	}
+	return fmt.Sprintf("table %q (%s): %s", d.Table, d.Snapshot, d.Reason)
+}
+
+// entry is the live manifest state of one table.
+type entry struct {
+	snapshot string
+	digest   []byte
+}
+
+// Store is a durable table set backed by one data directory. It is safe
+// for concurrent use; all mutating operations are serialized and fsync
+// before returning, so a table (or counter checkpoint) acked by a call
+// survives any later crash.
+type Store struct {
+	dir string
+
+	mu       sync.Mutex
+	manifest *os.File
+	seq      uint64
+	entries  map[string]entry
+	tables   map[string]*engine.EncryptedTable
+	counters map[string]uint64
+	damaged  []Damage
+	// appendErr is sticky: once an append fails mid-write the manifest
+	// may have a torn tail, and appending after it would bury valid
+	// records behind garbage replay cannot cross.
+	appendErr error
+}
+
+// Open creates or recovers a store in dir, re-registering every durable
+// table. It never fails on damaged tables or a torn manifest tail —
+// those are skipped and reported by Damaged — only on environmental
+// errors (unusable directory, unreadable manifest).
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, tablesDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating layout: %w", err)
+	}
+	mf, err := os.OpenFile(filepath.Join(dir, manifestName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening manifest: %w", err)
+	}
+	// One process per data directory: two writers appending at their
+	// own remembered offsets would interleave records into garbage the
+	// next recovery truncates away. The advisory lock lives on the
+	// manifest's open file description, so it dies with the process —
+	// no stale lock file survives a crash.
+	if err := syscall.Flock(int(mf.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		mf.Close()
+		return nil, fmt.Errorf("store: data dir %s is locked by another process: %w", dir, err)
+	}
+	s := &Store{
+		dir:      dir,
+		manifest: mf,
+		entries:  make(map[string]entry),
+		tables:   make(map[string]*engine.EncryptedTable),
+		counters: make(map[string]uint64),
+	}
+	if err := s.replay(); err != nil {
+		mf.Close()
+		return nil, err
+	}
+	s.loadTables()
+	s.sweep()
+	return s, nil
+}
+
+// replay reads the manifest, applying records in order (last wins per
+// table). A torn tail is truncated away so the next append starts at a
+// clean record boundary.
+func (s *Store) replay() error {
+	br := bufio.NewReader(s.manifest)
+	var good int64 // offset just past the last intact record
+	for {
+		rec, n, err := readRecord(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			s.damaged = append(s.damaged, Damage{
+				Reason: fmt.Sprintf("manifest: %v at offset %d; discarding tail", err, good),
+			})
+			if err := s.manifest.Truncate(good); err != nil {
+				return fmt.Errorf("store: truncating torn manifest tail: %w", err)
+			}
+			break
+		}
+		good += n
+		if rec.Seq > s.seq {
+			s.seq = rec.Seq
+		}
+		switch rec.Op {
+		case opCommit:
+			s.entries[rec.Table] = entry{snapshot: rec.Snapshot, digest: rec.Digest}
+		case opDelete:
+			delete(s.entries, rec.Table)
+		case opCounters:
+			counters := make(map[string]uint64, len(rec.Counters))
+			for k, v := range rec.Counters {
+				counters[k] = v
+			}
+			s.counters = counters
+		default:
+			// A record from a future format version: skip it rather than
+			// refusing to recover the tables this version understands.
+			s.damaged = append(s.damaged, Damage{
+				Reason: fmt.Sprintf("manifest: unknown record op %d (seq %d) skipped", rec.Op, rec.Seq),
+			})
+		}
+	}
+	if _, err := s.manifest.Seek(good, io.SeekStart); err != nil {
+		return fmt.Errorf("store: seeking manifest end: %w", err)
+	}
+	return nil
+}
+
+// readRecord decodes one framed manifest record, returning the bytes it
+// consumed. Any mid-record end of stream or CRC failure yields errTorn.
+func readRecord(br *bufio.Reader) (*record, int64, error) {
+	var hdr [4]byte
+	if n, err := io.ReadFull(br, hdr[:]); err != nil {
+		if n == 0 && err == io.EOF {
+			return nil, 0, io.EOF // clean record boundary
+		}
+		return nil, 0, fmt.Errorf("%w: truncated length header", errTorn)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxRecordSize {
+		return nil, 0, fmt.Errorf("%w: implausible record length %d", errTorn, n)
+	}
+	body := make([]byte, n+4) // payload + CRC trailer
+	if _, err := io.ReadFull(br, body); err != nil {
+		return nil, 0, fmt.Errorf("%w: truncated record body", errTorn)
+	}
+	payload, trailer := body[:n], body[n:]
+	if crc32.Checksum(payload, crcTable) != binary.BigEndian.Uint32(trailer) {
+		return nil, 0, fmt.Errorf("%w: record checksum mismatch", errTorn)
+	}
+	var rec record
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+		return nil, 0, fmt.Errorf("%w: undecodable record: %v", errTorn, err)
+	}
+	return &rec, int64(len(hdr)) + int64(len(body)), nil
+}
+
+// loadTables verifies and decodes every live snapshot; failures demote
+// the table to damaged instead of aborting recovery.
+func (s *Store) loadTables() {
+	for _, name := range sortedKeys(s.entries) {
+		e := s.entries[name]
+		path := filepath.Join(s.dir, tablesDir, e.snapshot)
+		data, err := os.ReadFile(path)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			s.damage(name, e.snapshot, "snapshot missing")
+			continue
+		case err != nil:
+			s.damage(name, e.snapshot, fmt.Sprintf("reading snapshot: %v", err))
+			continue
+		}
+		if sum := sha256.Sum256(data); !bytes.Equal(sum[:], e.digest) {
+			s.damage(name, e.snapshot, "snapshot checksum mismatch")
+			continue
+		}
+		t, err := engine.LoadTable(bytes.NewReader(data))
+		if err != nil {
+			s.damage(name, e.snapshot, fmt.Sprintf("decoding snapshot: %v", err))
+			continue
+		}
+		if t.Name != name {
+			s.damage(name, e.snapshot, fmt.Sprintf("snapshot holds table %q", t.Name))
+			continue
+		}
+		s.tables[name] = t
+	}
+}
+
+// damage records one broken table and withdraws it from the live set so
+// it is never served. Its snapshot stays on disk for forensics (sweep
+// skips files referenced by damaged entries too).
+func (s *Store) damage(name, snapshot, reason string) {
+	s.damaged = append(s.damaged, Damage{Table: name, Snapshot: snapshot, Reason: reason})
+	delete(s.tables, name)
+	// Keep the entry out of entries so a later Commit of the same name
+	// heals the table, but remember the file as referenced via damaged.
+	delete(s.entries, name)
+}
+
+// sweep removes crash litter from tables/: temp files of interrupted
+// writes and orphan snapshots whose commit record never became durable
+// (or whose table was since overwritten or deleted).
+func (s *Store) sweep() {
+	referenced := make(map[string]bool, len(s.entries)+len(s.damaged))
+	for _, e := range s.entries {
+		referenced[e.snapshot] = true
+	}
+	for _, d := range s.damaged {
+		if d.Snapshot != "" {
+			referenced[d.Snapshot] = true
+		}
+	}
+	ents, err := os.ReadDir(filepath.Join(s.dir, tablesDir))
+	if err != nil {
+		return // sweep is best-effort cleanup
+	}
+	for _, de := range ents {
+		name := de.Name()
+		if strings.HasPrefix(name, tmpPrefix) || !referenced[name] {
+			os.Remove(filepath.Join(s.dir, tablesDir, name))
+		}
+	}
+}
+
+// Dir returns the store's data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Tables returns the recovered (and since committed) live tables,
+// sorted by name.
+func (s *Store) Tables() []*engine.EncryptedTable {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*engine.EncryptedTable, 0, len(s.tables))
+	for _, name := range sortedKeys(s.tables) {
+		out = append(out, s.tables[name])
+	}
+	return out
+}
+
+// Counters returns the last durable leakage-counter checkpoint.
+func (s *Store) Counters() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]uint64, len(s.counters))
+	for k, v := range s.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Damaged reports what Open found broken and skipped. The slice is
+// fixed at Open time.
+func (s *Store) Damaged() []Damage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Damage(nil), s.damaged...)
+}
+
+// Commit makes one table version durable, atomically replacing any
+// previous version of the same name: the new snapshot is fully on disk
+// and fsynced before the manifest record referencing it is appended,
+// and the old version's snapshot is removed only after that append
+// succeeds. When Commit returns nil the table survives any crash; when
+// it returns an error the previous version (if any) is still intact.
+func (s *Store) Commit(t *engine.EncryptedTable) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usable(); err != nil {
+		return err
+	}
+	seq := s.seq + 1
+	snap := fmt.Sprintf("%016x.snap", seq)
+	tmp := filepath.Join(s.dir, tablesDir, tmpPrefix+snap)
+	final := filepath.Join(s.dir, tablesDir, snap)
+	digest, err := writeSnapshot(tmp, t)
+	if err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: installing snapshot: %w", err)
+	}
+	if err := syncDir(filepath.Join(s.dir, tablesDir)); err != nil {
+		os.Remove(final)
+		return err
+	}
+	rec := &record{
+		Seq: seq, Op: opCommit,
+		Table: t.Name, Snapshot: snap, Digest: digest,
+		Rows: len(t.Rows), Indexed: t.Index != nil,
+	}
+	if err := s.append(rec); err != nil {
+		// Leave the snapshot in place: a failed append (in particular a
+		// failed Sync) does not prove the record missed the disk, and if
+		// it did land, its table must find this file on the next
+		// recovery — removing it here could destroy the only copy while
+		// the overwritten version's snapshot gets swept as unreferenced.
+		// A record that never became durable makes this file the orphan
+		// instead, and the sweep reclaims it.
+		return err
+	}
+	s.seq = seq
+	if old, ok := s.entries[t.Name]; ok && old.snapshot != snap {
+		os.Remove(filepath.Join(s.dir, tablesDir, old.snapshot))
+	}
+	s.entries[t.Name] = entry{snapshot: snap, digest: digest}
+	s.tables[t.Name] = t
+	return nil
+}
+
+// Delete durably removes a table: the deletion record is fsynced before
+// the snapshot is unlinked, so a crash in between leaves only an orphan
+// file for the next Open's sweep.
+func (s *Store) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usable(); err != nil {
+		return err
+	}
+	e, ok := s.entries[name]
+	if !ok {
+		return fmt.Errorf("store: unknown table %q", name)
+	}
+	seq := s.seq + 1
+	if err := s.append(&record{Seq: seq, Op: opDelete, Table: name}); err != nil {
+		return err
+	}
+	s.seq = seq
+	os.Remove(filepath.Join(s.dir, tablesDir, e.snapshot))
+	delete(s.entries, name)
+	delete(s.tables, name)
+	return nil
+}
+
+// RecordCounters checkpoints the per-table leakage counters (revealed
+// equality pairs touching each table, see engine.LeakageCounters) so
+// the audit state survives restarts alongside the tables it describes.
+// The whole map is written each time; replay keeps the last checkpoint.
+func (s *Store) RecordCounters(counters map[string]uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usable(); err != nil {
+		return err
+	}
+	cp := make(map[string]uint64, len(counters))
+	for k, v := range counters {
+		cp[k] = v
+	}
+	seq := s.seq + 1
+	if err := s.append(&record{Seq: seq, Op: opCounters, Counters: cp}); err != nil {
+		return err
+	}
+	s.seq = seq
+	s.counters = cp
+	return nil
+}
+
+// Close releases the manifest. Further mutating calls fail with
+// ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.manifest == nil {
+		return nil
+	}
+	err := s.manifest.Close()
+	s.manifest = nil
+	return err
+}
+
+// usable gates mutating operations: the store must be open and must not
+// have a possibly-torn manifest tail from an earlier failed append.
+func (s *Store) usable() error {
+	if s.manifest == nil {
+		return ErrClosed
+	}
+	if s.appendErr != nil {
+		return fmt.Errorf("store: manifest disabled after failed append: %w", s.appendErr)
+	}
+	return nil
+}
+
+// append writes one framed record and fsyncs the manifest. A failure is
+// sticky — the tail may be torn, so no further appends are accepted.
+func (s *Store) append(rec *record) error {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0}) // length placeholder
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		return fmt.Errorf("store: encoding manifest record: %w", err)
+	}
+	b := buf.Bytes()
+	payload := b[4:]
+	if len(payload) > maxRecordSize {
+		return fmt.Errorf("store: manifest record of %d bytes exceeds limit", len(payload))
+	}
+	binary.BigEndian.PutUint32(b[:4], uint32(len(payload)))
+	var trailer [4]byte
+	binary.BigEndian.PutUint32(trailer[:], crc32.Checksum(payload, crcTable))
+	b = append(b, trailer[:]...)
+	if _, err := s.manifest.Write(b); err != nil {
+		s.appendErr = err
+		return fmt.Errorf("store: appending manifest record: %w", err)
+	}
+	if err := s.manifest.Sync(); err != nil {
+		s.appendErr = err
+		return fmt.Errorf("store: syncing manifest: %w", err)
+	}
+	return nil
+}
+
+// writeSnapshot serializes a table to path, fsyncs it, and returns the
+// SHA-256 of the written bytes — hashed during the write, so the
+// snapshot is never read back.
+func writeSnapshot(path string, t *engine.EncryptedTable) ([]byte, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: creating snapshot: %w", err)
+	}
+	h := sha256.New()
+	if err := engine.SaveTable(io.MultiWriter(f, h), t); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("store: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return nil, fmt.Errorf("store: closing snapshot: %w", err)
+	}
+	return h.Sum(nil), nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable.
+func syncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: syncing directory: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: syncing directory: %w", err)
+	}
+	return nil
+}
+
+// sortedKeys returns a map's keys in ascending order, for deterministic
+// recovery and listing order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,274 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/securejoin"
+)
+
+func newTestClient(t testing.TB) *engine.Client {
+	t.Helper()
+	c, err := engine.NewClient(securejoin.Params{M: 1, T: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// encTable builds an encrypted table with one row per payload; row i
+// joins on "k<i>" and carries a single attribute "a<i>".
+func encTable(t testing.TB, c *engine.Client, name string, indexed bool, payloads ...string) *engine.EncryptedTable {
+	t.Helper()
+	rows := make([]engine.PlainRow, len(payloads))
+	for i, p := range payloads {
+		rows[i] = engine.PlainRow{
+			JoinValue: []byte(fmt.Sprintf("k%d", i)),
+			Attrs:     [][]byte{[]byte(fmt.Sprintf("a%d", i))},
+			Payload:   []byte(p),
+		}
+	}
+	var (
+		tab *engine.EncryptedTable
+		err error
+	)
+	if indexed {
+		tab, err = c.EncryptTableIndexed(name, rows)
+	} else {
+		tab, err = c.EncryptTable(name, rows)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func mustOpen(t testing.TB, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func mustCommit(t testing.TB, s *Store, tab *engine.EncryptedTable) {
+	t.Helper()
+	if err := s.Commit(tab); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// tableByName finds one recovered table or fails.
+func tableByName(t testing.TB, s *Store, name string) *engine.EncryptedTable {
+	t.Helper()
+	for _, tab := range s.Tables() {
+		if tab.Name == name {
+			return tab
+		}
+	}
+	t.Fatalf("table %q not in store (have %d tables)", name, len(s.Tables()))
+	return nil
+}
+
+// sameTable compares the server-visible content of two table versions:
+// row count, the exact sealed payload bytes, and index presence.
+func sameTable(t testing.TB, got, want *engine.EncryptedTable) {
+	t.Helper()
+	if got.Name != want.Name {
+		t.Fatalf("table name %q, want %q", got.Name, want.Name)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("table %q: %d rows, want %d", got.Name, len(got.Rows), len(want.Rows))
+	}
+	for i := range got.Rows {
+		if !bytes.Equal(got.Rows[i].Payload, want.Rows[i].Payload) {
+			t.Fatalf("table %q row %d: payload differs", got.Name, i)
+		}
+	}
+	if (got.Index != nil) != (want.Index != nil) {
+		t.Fatalf("table %q: index presence %v, want %v", got.Name, got.Index != nil, want.Index != nil)
+	}
+}
+
+func snapshotFiles(t testing.TB, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(filepath.Join(dir, tablesDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range ents {
+		out = append(out, e.Name())
+	}
+	return out
+}
+
+func assertNoDamage(t testing.TB, s *Store) {
+	t.Helper()
+	if d := s.Damaged(); len(d) != 0 {
+		t.Fatalf("unexpected damage: %v", d)
+	}
+}
+
+// TestLockSingleOpener: a data dir is owned by one store handle at a
+// time — a concurrent Open fails instead of letting two writers
+// interleave manifest appends — and Close releases the ownership.
+func TestLockSingleOpener(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if second, err := Open(dir); err == nil {
+		second.Close()
+		t.Fatal("second Open of a held data dir succeeded")
+	} else if !strings.Contains(err.Error(), "locked") {
+		t.Fatalf("second Open failed with %v, want a lock error", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	s2.Close()
+}
+
+func TestOpenEmptyDir(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	if len(s.Tables()) != 0 || len(s.Counters()) != 0 {
+		t.Fatalf("fresh store not empty: %d tables, %d counters", len(s.Tables()), len(s.Counters()))
+	}
+	assertNoDamage(t, s)
+}
+
+// TestCommitRecoverRoundTrip: tables (indexed and not) survive a
+// close/reopen cycle byte-identically.
+func TestCommitRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := newTestClient(t)
+	plainTab := encTable(t, c, "plain", false, "p0", "p1", "p2")
+	indexedTab := encTable(t, c, "indexed", true, "q0", "q1")
+
+	s := mustOpen(t, dir)
+	mustCommit(t, s, plainTab)
+	mustCommit(t, s, indexedTab)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir)
+	assertNoDamage(t, s2)
+	if n := len(s2.Tables()); n != 2 {
+		t.Fatalf("recovered %d tables, want 2", n)
+	}
+	sameTable(t, tableByName(t, s2, "plain"), plainTab)
+	sameTable(t, tableByName(t, s2, "indexed"), indexedTab)
+}
+
+// TestCountersRoundTrip: the whole-map checkpoint semantics — last
+// record wins, including dropped keys.
+func TestCountersRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if err := s.RecordCounters(map[string]uint64{"A": 3, "B": 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordCounters(map[string]uint64{"A": 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir)
+	assertNoDamage(t, s2)
+	got := s2.Counters()
+	if len(got) != 1 || got["A"] != 4 {
+		t.Fatalf("recovered counters %v, want map[A:4]", got)
+	}
+}
+
+// TestOverwriteReplacesSnapshot: re-committing a table name atomically
+// replaces the previous version — the old snapshot file is gone, and
+// recovery serves only the new rows and index.
+func TestOverwriteReplacesSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	c := newTestClient(t)
+	v1 := encTable(t, c, "T", true, "v1-a", "v1-b", "v1-c")
+	v2 := encTable(t, c, "T", true, "v2-a")
+	other := encTable(t, c, "O", false, "o")
+
+	s := mustOpen(t, dir)
+	mustCommit(t, s, v1)
+	mustCommit(t, s, other)
+	mustCommit(t, s, v2)
+	if files := snapshotFiles(t, dir); len(files) != 2 {
+		t.Fatalf("snapshots after overwrite: %v, want exactly 2 (new T + O)", files)
+	}
+	sameTable(t, tableByName(t, s, "T"), v2)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir)
+	assertNoDamage(t, s2)
+	if n := len(s2.Tables()); n != 2 {
+		t.Fatalf("recovered %d tables, want 2", n)
+	}
+	sameTable(t, tableByName(t, s2, "T"), v2)
+	sameTable(t, tableByName(t, s2, "O"), other)
+}
+
+// TestDelete: a deletion is durable and removes the snapshot.
+func TestDelete(t *testing.T) {
+	dir := t.TempDir()
+	c := newTestClient(t)
+	s := mustOpen(t, dir)
+	mustCommit(t, s, encTable(t, c, "T1", false, "x"))
+	mustCommit(t, s, encTable(t, c, "T2", false, "y"))
+	if err := s.Delete("T1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("nope"); err == nil {
+		t.Fatal("deleting unknown table succeeded")
+	}
+	if files := snapshotFiles(t, dir); len(files) != 1 {
+		t.Fatalf("snapshots after delete: %v, want 1", files)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir)
+	assertNoDamage(t, s2)
+	tables := s2.Tables()
+	if len(tables) != 1 || tables[0].Name != "T2" {
+		t.Fatalf("recovered tables %v, want just T2", tables)
+	}
+}
+
+// TestClosedStore: mutating a closed store fails with ErrClosed and
+// closing twice is fine.
+func TestClosedStore(t *testing.T) {
+	c := newTestClient(t)
+	s := mustOpen(t, t.TempDir())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(encTable(t, c, "T", false, "x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Commit on closed store: %v, want ErrClosed", err)
+	}
+	if err := s.RecordCounters(nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("RecordCounters on closed store: %v, want ErrClosed", err)
+	}
+}
