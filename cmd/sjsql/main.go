@@ -1,21 +1,34 @@
 // Command sjsql is an interactive encrypted-SQL shell over the
 // synthetic TPC-H dataset: it generates Customers and Orders at a small
-// scale factor, encrypts and "uploads" them to an in-process server,
-// and then executes the supported SQL dialect read from stdin (or from
-// -query) over the ciphertexts.
+// scale factor, encrypts and uploads them — to an in-process server by
+// default, or to a live sjserver with -connect — and then executes the
+// supported SQL dialect read from stdin (or from -query) over the
+// ciphertexts.
+//
+// Tables are uploaded with an SSE pre-filter index (disable with
+// -index=false), and the planner picks the Section 4.3 prefiltered
+// execution automatically whenever a side's predicates can be resolved
+// through an index; EXPLAIN <query> prints the chosen plan without
+// running it.
 //
 //	echo "SELECT * FROM Orders JOIN Customers ON Orders.custkey = Customers.custkey \
 //	      WHERE Customers.selectivity = '1/100' AND Orders.selectivity = '1/100'" | sjsql -scale 0.0002
+//
+//	sjsql -connect 127.0.0.1:7788 -scale 0.0002 \
+//	      -query "EXPLAIN SELECT * FROM Orders JOIN Customers ON Orders.custkey = Customers.custkey
+//	              WHERE Customers.selectivity = '1/100'"
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/engine"
 	"repro/internal/securejoin"
 	"repro/internal/sql"
@@ -27,27 +40,67 @@ func main() {
 	seed := flag.Int64("seed", 42, "generator seed")
 	query := flag.String("query", "", "single query to execute (default: read stdin)")
 	maxRows := flag.Int("maxrows", 10, "result rows to print per query")
+	connect := flag.String("connect", "", "address of a live sjserver; empty runs an in-process engine")
+	index := flag.Bool("index", true, "upload tables with SSE pre-filter indexes (enables prefiltered plans)")
+	workers := flag.Int("workers", 0, "SJ.Dec worker hint stamped onto every plan (0 = engine default)")
 	flag.Parse()
 
-	if err := run(*scale, *seed, *query, *maxRows); err != nil {
+	if err := run(os.Stdout, *scale, *seed, *query, *maxRows, *connect, *index, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "sjsql:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scale float64, seed int64, query string, maxRows int) error {
-	client, err := engine.NewClient(securejoin.Params{M: 1, T: 10}, nil)
+// app binds the compiled catalog to exactly one execution backend: the
+// in-process engine (eng+keys) or a wire connection to a live sjserver
+// (cli). Both run the same compiled plans.
+type app struct {
+	catalog *sql.Catalog
+	maxRows int
+	out     io.Writer
+
+	eng  *engine.Server
+	keys *engine.Client
+	cli  *client.Client
+}
+
+func run(out io.Writer, scale float64, seed int64, query string, maxRows int, connect string, index bool, workers int) error {
+	a, cleanup, err := setup(out, scale, seed, maxRows, connect, index, workers)
 	if err != nil {
 		return err
 	}
-	server := engine.NewServer()
+	defer cleanup()
+
+	if query != "" {
+		return a.exec(query)
+	}
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Fprintln(os.Stderr, "enter queries, one per line (join column: custkey; filterable: selectivity; EXPLAIN <query> shows the plan)")
+	for scanner.Scan() {
+		stmt := strings.TrimSpace(scanner.Text())
+		if stmt == "" {
+			continue
+		}
+		if err := a.exec(stmt); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
+	return scanner.Err()
+}
+
+// setup generates and encrypts the TPC-H tables, uploads them to the
+// chosen backend, and syncs the catalog's index metadata from the
+// backend's table state so the planner sees what is actually indexed.
+func setup(out io.Writer, scale float64, seed int64, maxRows int, connect string, index bool, workers int) (*app, func(), error) {
 	catalog, err := sql.NewCatalog(
 		sql.TableSchema{Name: "Customers", JoinColumn: "custkey", Attrs: map[string]int{"selectivity": 0}},
 		sql.TableSchema{Name: "Orders", JoinColumn: "custkey", Attrs: map[string]int{"selectivity": 0}},
 	)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
+	catalog.SetDefaultWorkers(workers)
 
 	fmt.Fprintf(os.Stderr, "generating and encrypting TPC-H data at scale %g...\n", scale)
 	ds := tpch.Generate(scale, seed)
@@ -67,68 +120,141 @@ func run(scale float64, seed int64, query string, maxRows int) error {
 			Payload:   []byte(fmt.Sprintf("order %d ($%.2f, %s)", o.OrderKey, o.TotalPrice, o.OrderDate)),
 		}
 	}
-	start := time.Now()
-	encC, err := client.EncryptTable("Customers", customers)
-	if err != nil {
-		return err
-	}
-	encO, err := client.EncryptTable("Orders", orders)
-	if err != nil {
-		return err
-	}
-	server.Upload(encC)
-	server.Upload(encO)
-	fmt.Fprintf(os.Stderr, "uploaded %d customers + %d orders in %v\n",
-		len(customers), len(orders), time.Since(start).Round(time.Millisecond))
 
-	exec := func(stmt string) error {
-		plan, err := catalog.Compile(stmt)
+	a := &app{catalog: catalog, maxRows: maxRows, out: out}
+	params := securejoin.Params{M: 1, T: 10}
+	tables := map[string][]engine.PlainRow{"Customers": customers, "Orders": orders}
+	start := time.Now()
+	if connect == "" {
+		a.keys, err = engine.NewClient(params, nil)
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
-		q, err := client.NewQuery(plan.SelA, plan.SelB)
-		if err != nil {
-			return err
-		}
-		qStart := time.Now()
-		rows, trace, err := server.ExecuteJoin(plan.TableA, plan.TableB, q)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%d rows in %v (%d equality pairs observed)\n",
-			len(rows), time.Since(qStart).Round(time.Millisecond), trace.Pairs.Len())
-		for i, r := range rows {
-			if i >= maxRows {
-				fmt.Printf("... %d more\n", len(rows)-maxRows)
-				break
+		a.eng = engine.NewServer()
+		for name, rows := range tables {
+			var enc *engine.EncryptedTable
+			if index {
+				enc, err = a.keys.EncryptTableIndexed(name, rows)
+			} else {
+				enc, err = a.keys.EncryptTable(name, rows)
 			}
-			pa, err := client.OpenPayload(r.PayloadA)
 			if err != nil {
-				return err
+				return nil, nil, err
 			}
-			pb, err := client.OpenPayload(r.PayloadB)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("  %s | %s\n", pa, pb)
+			a.eng.Upload(enc)
 		}
+		for _, st := range a.eng.TableStats() {
+			if err := catalog.SetIndexed(st.Name, st.Indexed); err != nil {
+				return nil, nil, err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "uploaded %d customers + %d orders in-process in %v (indexed=%v)\n",
+			len(customers), len(orders), time.Since(start).Round(time.Millisecond), index)
+		return a, func() {}, nil
+	}
+
+	a.cli, err = client.Dial(connect, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	cleanup := func() { a.cli.Close() }
+	for name, rows := range tables {
+		if index {
+			err = a.cli.UploadIndexed(name, rows)
+		} else {
+			err = a.cli.Upload(name, rows)
+		}
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+	}
+	if _, err := a.cli.SyncCatalog(catalog); err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	fmt.Fprintf(os.Stderr, "uploaded %d customers + %d orders to %s in %v (indexed=%v)\n",
+		len(customers), len(orders), connect, time.Since(start).Round(time.Millisecond), index)
+	return a, cleanup, nil
+}
+
+// exec compiles one statement and either renders its plan (EXPLAIN) or
+// runs it on the app's backend, streaming result rows as they arrive.
+func (a *app) exec(stmt string) error {
+	plan, err := a.catalog.Compile(stmt)
+	if err != nil {
+		return err
+	}
+	if plan.Explain {
+		fmt.Fprint(a.out, plan.Describe())
 		return nil
 	}
+	qStart := time.Now()
+	printed, total := 0, 0
+	emit := func(pa, pb []byte) {
+		if printed < a.maxRows {
+			fmt.Fprintf(a.out, "  %s | %s\n", pa, pb)
+			printed++
+		}
+		total++
+	}
 
-	if query != "" {
-		return exec(query)
-	}
-	scanner := bufio.NewScanner(os.Stdin)
-	scanner.Buffer(make([]byte, 1<<20), 1<<20)
-	fmt.Fprintln(os.Stderr, "enter queries, one per line (join column: custkey; filterable: selectivity)")
-	for scanner.Scan() {
-		stmt := strings.TrimSpace(scanner.Text())
-		if stmt == "" {
-			continue
+	var revealed int
+	if a.eng != nil {
+		spec, err := plan.Spec(a.keys)
+		if err != nil {
+			return err
 		}
-		if err := exec(stmt); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
+		st, err := a.eng.OpenJoin(plan.TableA, plan.TableB, spec)
+		if err != nil {
+			return err
 		}
+		defer st.Close()
+		for {
+			rows, err := st.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
+				pa, err := a.keys.OpenPayload(r.PayloadA)
+				if err != nil {
+					return err
+				}
+				pb, err := a.keys.OpenPayload(r.PayloadB)
+				if err != nil {
+					return err
+				}
+				emit(pa, pb)
+			}
+		}
+		revealed = st.RevealedPairs()
+	} else {
+		stream, err := a.cli.JoinPlan(plan)
+		if err != nil {
+			return err
+		}
+		defer stream.Close()
+		for {
+			batch, err := stream.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			for _, r := range batch {
+				emit(r.PayloadA, r.PayloadB)
+			}
+		}
+		revealed = stream.RevealedPairs()
 	}
-	return scanner.Err()
+	if total > printed {
+		fmt.Fprintf(a.out, "... %d more\n", total-printed)
+	}
+	fmt.Fprintf(a.out, "%d rows in %v via %s plan (%d equality pairs observed)\n",
+		total, time.Since(qStart).Round(time.Millisecond), plan.Strategy, revealed)
+	return nil
 }

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// TestConnectModePicksPrefilteredPlan is the acceptance test for the
+// catalog-aware planner in wire mode: sjsql -connect uploads the
+// indexed TPC-H tables to a live sjserver, syncs the catalog over the
+// Describe request, and the planner must pick the prefiltered plan
+// automatically — no -prefilter flag anywhere — and execute it through
+// the wire client.
+func TestConnectModePicksPrefilteredPlan(t *testing.T) {
+	srv := server.New(nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	var out bytes.Buffer
+	// Tiny scale: 1 customer, 15 orders — enough to join, cheap enough
+	// to full-scan-encrypt in a unit test.
+	a, cleanup, err := setup(&out, 0.00001, 1, 10, addr, true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cleanup)
+
+	const query = `SELECT * FROM Orders JOIN Customers ON Orders.custkey = Customers.custkey
+		WHERE Customers.selectivity = 'none'`
+
+	if err := a.exec("EXPLAIN " + query); err != nil {
+		t.Fatal(err)
+	}
+	explain := out.String()
+	if !strings.Contains(explain, "plan: prefiltered") {
+		t.Fatalf("planner did not pick the prefiltered plan:\n%s", explain)
+	}
+	if !strings.Contains(explain, "side B: Customers [indexed]") ||
+		!strings.Contains(explain, "-> prefiltered, 1 SSE token(s)") {
+		t.Fatalf("EXPLAIN missing the prefiltered side:\n%s", explain)
+	}
+	if !strings.Contains(explain, "side A: Orders [indexed]") ||
+		!strings.Contains(explain, "-> full scan (no WHERE predicates)") {
+		t.Fatalf("EXPLAIN missing the full-scan side:\n%s", explain)
+	}
+	if !strings.Contains(explain, "workers: 2") {
+		t.Fatalf("EXPLAIN missing the workers hint:\n%s", explain)
+	}
+
+	out.Reset()
+	if err := a.exec(query); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "via prefiltered plan") {
+		t.Fatalf("execution did not report the prefiltered plan:\n%s", got)
+	}
+	// With one customer every order joins to it; the single customer's
+	// selectivity class at n=1 is "none", so all 15 orders survive.
+	if !strings.Contains(got, "15 rows in") {
+		t.Fatalf("unexpected result set:\n%s", got)
+	}
+}
+
+// TestConnectModeFallsBackUnindexed: the same wire setup uploaded
+// without SSE indexes must plan — and report — a full scan.
+func TestConnectModeFallsBackUnindexed(t *testing.T) {
+	srv := server.New(nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	var out bytes.Buffer
+	a, cleanup, err := setup(&out, 0.00001, 1, 10, addr, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cleanup)
+
+	const query = `SELECT * FROM Orders JOIN Customers ON Orders.custkey = Customers.custkey
+		WHERE Customers.selectivity = 'none'`
+	if err := a.exec("EXPLAIN " + query); err != nil {
+		t.Fatal(err)
+	}
+	explain := out.String()
+	if !strings.Contains(explain, "plan: full scan") ||
+		!strings.Contains(explain, "-> full scan (no SSE index)") {
+		t.Fatalf("unindexed upload did not fall back to a full-scan plan:\n%s", explain)
+	}
+
+	out.Reset()
+	if err := a.exec(query); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "via full scan plan") || !strings.Contains(got, "15 rows in") {
+		t.Fatalf("full-scan execution:\n%s", got)
+	}
+}

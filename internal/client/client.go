@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/securejoin"
+	"repro/internal/sql"
 	"repro/internal/sse"
 	"repro/internal/wire"
 )
@@ -242,6 +243,60 @@ func (c *Client) Ping() error {
 	return c.ack(p, "ping")
 }
 
+// TableInfo summarizes one server-side table: its name, row count and
+// whether it was uploaded with an SSE pre-filter index.
+type TableInfo struct {
+	Name    string
+	Rows    int
+	Indexed bool
+}
+
+// DescribeTables lists the tables the server currently stores, sorted
+// by name. SQL front ends use it to sync a catalog's index metadata
+// (sql.Catalog.SetIndexed) so the planner picks prefiltered plans
+// against indexed tables automatically.
+func (c *Client) DescribeTables() ([]TableInfo, error) {
+	p, err := c.send(&wire.Request{Describe: true})
+	if err != nil {
+		return nil, err
+	}
+	f := p.pop()
+	if f == nil {
+		return nil, c.connErr()
+	}
+	if f.Err != "" {
+		return nil, fmt.Errorf("client: describe rejected: %s", f.Err)
+	}
+	if f.Tables == nil {
+		return nil, errors.New("client: unexpected describe response frame")
+	}
+	out := make([]TableInfo, len(f.Tables.Tables))
+	for i, t := range f.Tables.Tables {
+		out[i] = TableInfo{Name: t.Name, Rows: t.Rows, Indexed: t.Indexed}
+	}
+	return out, nil
+}
+
+// SyncCatalog refreshes a catalog's SSE-index metadata from the live
+// server and returns the descriptions. Tables the catalog does not know
+// are ignored; catalog tables the server does not hold are marked
+// unindexed, so a stale catalog cannot make the planner emit a
+// prefiltered plan the server would full-scan anyway.
+func (c *Client) SyncCatalog(cat *sql.Catalog) ([]TableInfo, error) {
+	tables, err := c.DescribeTables()
+	if err != nil {
+		return nil, err
+	}
+	indexed := make(map[string]bool, len(tables))
+	for _, t := range tables {
+		indexed[t.Name] = t.Indexed
+	}
+	for _, name := range cat.TableNames() {
+		_ = cat.SetIndexed(name, indexed[name])
+	}
+	return tables, nil
+}
+
 // Upload encrypts a plaintext table and stores it on the server under
 // the given name. Tables whose encoding exceeds the protocol's frame
 // budget are sent as a staged chunk sequence the server installs
@@ -437,6 +492,47 @@ type JoinOpts struct {
 	// this query's pairings over; 0 keeps the server default, and the
 	// server clamps the hint to its core count.
 	Workers int
+}
+
+// JoinPlan starts the join a compiled SQL plan describes, honoring the
+// planner's strategy: a prefiltered plan ships SSE token maps for
+// exactly the sides the planner chose to pre-filter (a side left on
+// full scan never reveals its query keywords), a full-scan plan ships
+// join tokens only. The strategy and per-side token rule live solely
+// in sql.Plan.Spec — this is its wire-mode twin, marshaling the
+// compiled spec into a JoinRequest instead of handing it to
+// engine.Server.OpenJoin.
+func (c *Client) JoinPlan(p *sql.Plan) (*JoinStream, error) {
+	spec, err := p.Spec(c.keys)
+	if err != nil {
+		return nil, err
+	}
+	req := &wire.JoinRequest{TableA: p.TableA, TableB: p.TableB, Workers: spec.Workers}
+	q := spec.Query
+	if spec.Prefilter != nil {
+		q = spec.Prefilter.Join
+		if len(spec.Prefilter.TokensA) > 0 {
+			if req.PrefilterA, err = sse.MarshalTokenMap(spec.Prefilter.TokensA); err != nil {
+				return nil, err
+			}
+		}
+		if len(spec.Prefilter.TokensB) > 0 {
+			if req.PrefilterB, err = sse.MarshalTokenMap(spec.Prefilter.TokensB); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if req.TokenA, err = q.TokenA.MarshalBinary(); err != nil {
+		return nil, err
+	}
+	if req.TokenB, err = q.TokenB.MarshalBinary(); err != nil {
+		return nil, err
+	}
+	pd, err := c.send(&wire.Request{Join: req})
+	if err != nil {
+		return nil, err
+	}
+	return &JoinStream{c: c, p: pd}, nil
 }
 
 // JoinQuery starts SELECT * FROM tableA JOIN tableB ON joinA = joinB

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 
 	"repro/internal/leakage"
@@ -277,6 +278,28 @@ func (s *Server) DropTable(name string) error {
 	delete(s.tables, name)
 	s.tablesMu.Unlock()
 	return nil
+}
+
+// TableStat summarizes one stored table for catalog discovery: its
+// name, row count and whether it carries an SSE pre-filter index. This
+// is what a SQL planner needs to choose prefiltered execution — served
+// in-process here and over the wire by the server's Describe request.
+type TableStat struct {
+	Name    string
+	Rows    int
+	Indexed bool
+}
+
+// TableStats lists the stored tables, sorted by name.
+func (s *Server) TableStats() []TableStat {
+	s.tablesMu.RLock()
+	out := make([]TableStat, 0, len(s.tables))
+	for _, t := range s.tables {
+		out = append(out, TableStat{Name: t.Name, Rows: len(t.Rows), Indexed: t.Index != nil})
+	}
+	s.tablesMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Table returns an uploaded table.

@@ -122,6 +122,31 @@ func TestSeriesLeakageIsClosureOnly(t *testing.T) {
 	}
 }
 
+func TestTableStats(t *testing.T) {
+	client, server := setup(t)
+	teams, _ := exampleTables()
+	// Replace Teams with an indexed version so both states appear.
+	encT, err := client.EncryptTableIndexed("Teams", teams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server.Upload(encT)
+
+	stats := server.TableStats()
+	want := []TableStat{
+		{Name: "Employees", Rows: 4, Indexed: false},
+		{Name: "Teams", Rows: 2, Indexed: true},
+	}
+	if len(stats) != len(want) {
+		t.Fatalf("TableStats = %+v", stats)
+	}
+	for i := range want {
+		if stats[i] != want[i] {
+			t.Fatalf("TableStats[%d] = %+v, want %+v", i, stats[i], want[i])
+		}
+	}
+}
+
 func TestUnknownTable(t *testing.T) {
 	client, server := setup(t)
 	q, err := client.NewQuery(securejoin.Selection{}, securejoin.Selection{})

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/engine"
+	"repro/internal/sql"
+)
+
+// TestDescribeTables: the Describe request reports every stored table
+// with its row count and SSE-index state, sorted by name, and
+// SyncCatalog projects that onto a planner catalog — including marking
+// catalog tables the server does not hold as unindexed.
+func TestDescribeTables(t *testing.T) {
+	addr := startServer(t)
+	c := dial(t, addr)
+
+	rows := []engine.PlainRow{
+		{JoinValue: []byte("1"), Attrs: [][]byte{[]byte("x")}, Payload: []byte("p1")},
+		{JoinValue: []byte("2"), Attrs: [][]byte{[]byte("y")}, Payload: []byte("p2")},
+	}
+	if err := c.Upload("Plain", rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.UploadIndexed("Indexed", rows[:1]); err != nil {
+		t.Fatal(err)
+	}
+
+	tables, err := c.DescribeTables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []client.TableInfo{
+		{Name: "Indexed", Rows: 1, Indexed: true},
+		{Name: "Plain", Rows: 2, Indexed: false},
+	}
+	if len(tables) != len(want) {
+		t.Fatalf("DescribeTables = %+v", tables)
+	}
+	for i := range want {
+		if tables[i] != want[i] {
+			t.Fatalf("DescribeTables[%d] = %+v, want %+v", i, tables[i], want[i])
+		}
+	}
+
+	cat, err := sql.NewCatalog(
+		sql.TableSchema{Name: "Indexed", JoinColumn: "k", Attrs: map[string]int{"c": 0}},
+		sql.TableSchema{Name: "Plain", JoinColumn: "k", Attrs: map[string]int{"c": 0}},
+		// Stale catalog entry for a table the server does not hold: the
+		// sync must clear its Indexed flag rather than leave it set.
+		sql.TableSchema{Name: "Gone", JoinColumn: "k", Indexed: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SyncCatalog(cat); err != nil {
+		t.Fatal(err)
+	}
+	for name, wantIdx := range map[string]bool{"Indexed": true, "Plain": false, "Gone": false} {
+		s, err := cat.Schema(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Indexed != wantIdx {
+			t.Fatalf("after sync, %s.Indexed = %v, want %v", name, s.Indexed, wantIdx)
+		}
+	}
+}

@@ -369,6 +369,8 @@ func (ss *session) handle(req *wire.Request) {
 	switch {
 	case req.Join != nil:
 		err = ss.handleJoin(req.ID, req.Join)
+	case req.Describe:
+		err = ss.handleDescribe(req.ID)
 	case req.Ping:
 		err = ss.send(&wire.Frame{ID: req.ID, Ok: true})
 	default:
@@ -381,6 +383,18 @@ func (ss *session) handle(req *wire.Request) {
 
 func (ss *session) sendErr(id uint64, err error) error {
 	return ss.send(&wire.Frame{ID: id, Err: err.Error()})
+}
+
+// handleDescribe answers a catalog-sync request with the stored tables'
+// names, row counts and SSE-index presence — the metadata a client-side
+// SQL planner needs to pick prefiltered plans automatically.
+func (ss *session) handleDescribe(id uint64) error {
+	stats := ss.srv.eng.TableStats()
+	list := &wire.TableList{Tables: make([]wire.TableInfo, len(stats))}
+	for i, st := range stats {
+		list.Tables[i] = wire.TableInfo{Name: st.Name, Rows: st.Rows, Indexed: st.Indexed}
+	}
+	return ss.send(&wire.Frame{ID: id, Tables: list})
 }
 
 // clampWorkers bounds a client's SJ.Dec worker hint: the hint cannot

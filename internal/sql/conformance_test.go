@@ -1,0 +1,285 @@
+package sql_test
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/engine"
+	"repro/internal/securejoin"
+	"repro/internal/server"
+	"repro/internal/sql"
+)
+
+// The end-to-end SQL conformance suite: every query is compiled once
+// and then executed five ways —
+//
+//  1. in-process full scan        (engine.ExecuteJoin)
+//  2. in-process prefiltered      (engine.ExecuteJoinPrefiltered)
+//  3. wire full scan              (client.Join)
+//  4. wire prefiltered            (client.JoinWith{Prefilter})
+//  5. wire, planner-chosen        (client.JoinPlan)
+//
+// — and all five must produce identical row sets, identical decrypted
+// payloads, and identical sigma(q) revealed-pair counts. This is the
+// regression net that pins plan equivalence for all future planner
+// work: a planner that picks the wrong strategy still has to produce
+// the right answer, and a prefilter bug that drops or invents rows
+// fails loudly against the full-scan reference.
+
+// conformanceQuery is one suite entry. rows lists the expected result
+// as (teams row, employees row) pairs, in canonical (sorted) order.
+type conformanceQuery struct {
+	name  string
+	query string
+	rows  [][2]int
+	// fullScan marks queries the planner must NOT prefilter (no WHERE
+	// clause); everything else must plan prefiltered against the
+	// indexed uploads.
+	fullScan bool
+}
+
+const conformanceBase = `SELECT * FROM Teams JOIN Employees ON Teams.Key = Employees.Team`
+
+// Dataset: Teams (join Key; attrs Name=0, Dept=1) and Employees (join
+// Team; attrs Role=0, Level=1). Kept tiny — every full scan pays one
+// SJ.Dec pairing per row.
+//
+//	Teams:     0: key 1, Web Application, Eng     -> team-web
+//	           1: key 2, Database,        Eng     -> team-db
+//	           2: key 3, Helpdesk,        Support -> team-help
+//	Employees: 0: team 1, Programmer, level 2     -> hans
+//	           1: team 1, Tester,     level 1     -> kaily
+//	           2: team 2, Programmer, level 1     -> john
+//	           3: team 3, Operator,   level 3     -> omar
+func conformanceTables() (teams, employees []engine.PlainRow) {
+	teams = []engine.PlainRow{
+		{JoinValue: []byte("1"), Attrs: [][]byte{[]byte("Web Application"), []byte("Eng")}, Payload: []byte("team-web")},
+		{JoinValue: []byte("2"), Attrs: [][]byte{[]byte("Database"), []byte("Eng")}, Payload: []byte("team-db")},
+		{JoinValue: []byte("3"), Attrs: [][]byte{[]byte("Helpdesk"), []byte("Support")}, Payload: []byte("team-help")},
+	}
+	employees = []engine.PlainRow{
+		{JoinValue: []byte("1"), Attrs: [][]byte{[]byte("Programmer"), []byte("2")}, Payload: []byte("hans")},
+		{JoinValue: []byte("1"), Attrs: [][]byte{[]byte("Tester"), []byte("1")}, Payload: []byte("kaily")},
+		{JoinValue: []byte("2"), Attrs: [][]byte{[]byte("Programmer"), []byte("1")}, Payload: []byte("john")},
+		{JoinValue: []byte("3"), Attrs: [][]byte{[]byte("Operator"), []byte("3")}, Payload: []byte("omar")},
+	}
+	return
+}
+
+var conformanceQueries = []conformanceQuery{
+	{name: "no where", query: conformanceBase,
+		rows: [][2]int{{0, 0}, {0, 1}, {1, 2}, {2, 3}}, fullScan: true},
+	{name: "eq on A", query: conformanceBase + ` WHERE Teams.Name = 'Web Application'`,
+		rows: [][2]int{{0, 0}, {0, 1}}},
+	{name: "eq on B", query: conformanceBase + ` WHERE Employees.Role = 'Programmer'`,
+		rows: [][2]int{{0, 0}, {1, 2}}},
+	{name: "eq both sides", query: conformanceBase + ` WHERE Teams.Name = 'Database' AND Employees.Role = 'Programmer'`,
+		rows: [][2]int{{1, 2}}},
+	{name: "IN on A", query: conformanceBase + ` WHERE Teams.Name IN ('Web Application', 'Database')`,
+		rows: [][2]int{{0, 0}, {0, 1}, {1, 2}}},
+	{name: "IN all roles", query: conformanceBase + ` WHERE Employees.Role IN ('Programmer', 'Tester', 'Operator')`,
+		rows: [][2]int{{0, 0}, {0, 1}, {1, 2}, {2, 3}}},
+	{name: "same-column conjuncts merge", query: conformanceBase + ` WHERE Employees.Role = 'Programmer' AND Employees.Role IN ('Tester')`,
+		rows: [][2]int{{0, 0}, {0, 1}, {1, 2}}},
+	{name: "multi-attr conjunction one side", query: conformanceBase + ` WHERE Employees.Role = 'Programmer' AND Employees.Level = '1'`,
+		rows: [][2]int{{1, 2}}},
+	{name: "multi-attr conjunction both sides", query: conformanceBase + ` WHERE Teams.Dept = 'Support' AND Teams.Name IN ('Web Application', 'Helpdesk') AND Employees.Level IN ('3', '1')`,
+		rows: [][2]int{{2, 3}}},
+	{name: "absent value", query: conformanceBase + ` WHERE Teams.Name = 'Nonexistent'`,
+		rows: nil},
+	{name: "conjunction empties", query: conformanceBase + ` WHERE Employees.Role = 'Programmer' AND Employees.Level = '3'`,
+		rows: nil},
+	{name: "reversed ON", query: `SELECT * FROM Teams JOIN Employees ON Employees.Team = Teams.Key WHERE Teams.Dept = 'Eng'`,
+		rows: [][2]int{{0, 0}, {0, 1}, {1, 2}}},
+	{name: "lowercase everything", query: `select * from teams join employees on teams.key = employees.team where employees.role = 'Operator'`,
+		rows: [][2]int{{2, 3}}},
+	{name: "escaped quote value", query: conformanceBase + ` WHERE Teams.Name = 'it''s'`,
+		rows: nil},
+	{name: "number literal", query: conformanceBase + ` WHERE Employees.Level = 1`,
+		rows: [][2]int{{0, 1}, {1, 2}}},
+	{name: "number IN", query: conformanceBase + ` WHERE Employees.Level IN (1, 2)`,
+		rows: [][2]int{{0, 0}, {0, 1}, {1, 2}}},
+	{name: "duplicate IN values", query: conformanceBase + ` WHERE Teams.Name IN ('Web Application', 'Web Application')`,
+		rows: [][2]int{{0, 0}, {0, 1}}},
+	{name: "cross-side mixed IN", query: conformanceBase + ` WHERE Teams.Dept = 'Eng' AND Employees.Role IN ('Tester', 'Operator')`,
+		rows: [][2]int{{0, 1}}},
+	{name: "dept only", query: conformanceBase + ` WHERE Teams.Dept = 'Support'`,
+		rows: [][2]int{{2, 3}}},
+	{name: "IN covering every value", query: conformanceBase + ` WHERE Teams.Name IN ('Web Application', 'Database', 'Helpdesk')`,
+		rows: [][2]int{{0, 0}, {0, 1}, {1, 2}, {2, 3}}},
+}
+
+// canonical renders one execution's result as a sorted, payload-opened
+// row list so executions with different batch orders compare equal.
+func canonical(t *testing.T, rows []string) string {
+	t.Helper()
+	sorted := append([]string(nil), rows...)
+	sort.Strings(sorted)
+	return strings.Join(sorted, "\n")
+}
+
+func TestSQLConformance(t *testing.T) {
+	srv := server.New(nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := client.Dial(addr, securejoin.Params{M: 2, T: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	teams, employees := conformanceTables()
+	if err := c.UploadIndexed("Teams", teams); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.UploadIndexed("Employees", employees); err != nil {
+		t.Fatal(err)
+	}
+
+	cat, err := sql.NewCatalog(
+		sql.TableSchema{Name: "Teams", JoinColumn: "Key", Attrs: map[string]int{"Name": 0, "Dept": 1}},
+		sql.TableSchema{Name: "Employees", JoinColumn: "Team", Attrs: map[string]int{"Role": 0, "Level": 1}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Catalog sync over the wire: both uploads carried indexes, so the
+	// planner must see both tables as indexed.
+	if _, err := c.SyncCatalog(cat); err != nil {
+		t.Fatal(err)
+	}
+
+	eng := srv.Engine()
+	keys := c.Keys()
+	open := func(sealed []byte) string {
+		t.Helper()
+		pt, err := keys.OpenPayload(sealed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(pt)
+	}
+
+	for _, cq := range conformanceQueries {
+		cq := cq
+		t.Run(cq.name, func(t *testing.T) {
+			plan, err := cat.Compile(cq.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantStrategy := sql.Prefiltered
+			if cq.fullScan {
+				wantStrategy = sql.FullScan
+			}
+			if plan.Strategy != wantStrategy {
+				t.Fatalf("planner chose %v, want %v", plan.Strategy, wantStrategy)
+			}
+
+			type execution struct {
+				mode     string
+				rows     []string
+				revealed int
+			}
+			var execs []execution
+
+			// 1. In-process full scan — the reference semantics.
+			q, err := keys.NewQuery(plan.SelA, plan.SelB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			libFull, trace, err := eng.ExecuteJoin(plan.TableA, plan.TableB, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := execution{mode: "lib-full", revealed: trace.Pairs.Len()}
+			for _, r := range libFull {
+				e.rows = append(e.rows, fmt.Sprintf("%d|%d|%s|%s", r.RowA, r.RowB, open(r.PayloadA), open(r.PayloadB)))
+			}
+			execs = append(execs, e)
+
+			// 2. In-process prefiltered.
+			pq, err := keys.NewPrefilterQuery(plan.SelA, plan.SelB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			libPre, preTrace, err := eng.ExecuteJoinPrefiltered(plan.TableA, plan.TableB, pq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e = execution{mode: "lib-prefiltered", revealed: preTrace.Pairs.Len()}
+			for _, r := range libPre {
+				e.rows = append(e.rows, fmt.Sprintf("%d|%d|%s|%s", r.RowA, r.RowB, open(r.PayloadA), open(r.PayloadB)))
+			}
+			execs = append(execs, e)
+
+			// 3 + 4. Wire full scan and wire prefiltered.
+			for _, mode := range []struct {
+				name string
+				opts client.JoinOpts
+			}{
+				{"wire-full", client.JoinOpts{}},
+				{"wire-prefiltered", client.JoinOpts{Prefilter: true}},
+			} {
+				rows, revealed, err := c.JoinWith(plan.TableA, plan.TableB, plan.SelA, plan.SelB, mode.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				e = execution{mode: mode.name, revealed: revealed}
+				for _, r := range rows {
+					e.rows = append(e.rows, fmt.Sprintf("%d|%d|%s|%s", r.RowA, r.RowB, r.PayloadA, r.PayloadB))
+				}
+				execs = append(execs, e)
+			}
+
+			// 5. The planner-chosen wire execution.
+			stream, err := c.JoinPlan(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e = execution{mode: "wire-planned"}
+			for {
+				batch, err := stream.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, r := range batch {
+					e.rows = append(e.rows, fmt.Sprintf("%d|%d|%s|%s", r.RowA, r.RowB, r.PayloadA, r.PayloadB))
+				}
+			}
+			e.revealed = stream.RevealedPairs()
+			execs = append(execs, e)
+
+			// Expected rows against the declared ground truth.
+			var want []string
+			for _, pr := range cq.rows {
+				want = append(want, fmt.Sprintf("%d|%d|%s|%s",
+					pr[0], pr[1], teams[pr[0]].Payload, employees[pr[1]].Payload))
+			}
+			wantCanon := canonical(t, want)
+
+			ref := execs[0]
+			refCanon := canonical(t, ref.rows)
+			if refCanon != wantCanon {
+				t.Fatalf("%s rows =\n%s\nwant\n%s", ref.mode, refCanon, wantCanon)
+			}
+			for _, e := range execs[1:] {
+				if got := canonical(t, e.rows); got != refCanon {
+					t.Errorf("%s rows differ from %s:\n%s\nvs\n%s", e.mode, ref.mode, got, refCanon)
+				}
+				if e.revealed != ref.revealed {
+					t.Errorf("%s revealed %d pairs, %s revealed %d", e.mode, e.revealed, ref.mode, ref.revealed)
+				}
+			}
+		})
+	}
+}

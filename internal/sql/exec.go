@@ -1,0 +1,39 @@
+package sql
+
+import (
+	"repro/internal/engine"
+)
+
+// Spec compiles the plan all the way down to the engine's executable
+// JoinSpec, deriving the per-query join tokens — and, for a prefiltered
+// plan, the SSE search-token maps of the prefiltered sides — from the
+// client's key material. A side the planner left on full scan gets no
+// token map, so its query keywords are never revealed to the server
+// without a corresponding speedup.
+//
+// The resulting spec runs through engine.Server.OpenJoin; wire-mode
+// callers use client.Client.JoinPlan instead, which performs the same
+// derivation and ships the tokens in a JoinRequest.
+func (p *Plan) Spec(keys *engine.Client) (engine.JoinSpec, error) {
+	spec := engine.JoinSpec{Workers: p.Workers}
+	if p.Strategy != Prefiltered {
+		q, err := keys.NewQuery(p.SelA, p.SelB)
+		if err != nil {
+			return engine.JoinSpec{}, err
+		}
+		spec.Query = q
+		return spec, nil
+	}
+	pq, err := keys.NewPrefilterQuery(p.SelA, p.SelB)
+	if err != nil {
+		return engine.JoinSpec{}, err
+	}
+	if !p.SideA.Prefilter {
+		pq.TokensA = nil
+	}
+	if !p.SideB.Prefilter {
+		pq.TokensB = nil
+	}
+	spec.Prefilter = pq
+	return spec, nil
+}

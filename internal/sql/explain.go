@@ -1,0 +1,57 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Describe renders the plan the way EXPLAIN prints it: the chosen
+// strategy, each side's table, index state, predicate summary and
+// per-side decision (with the fallback reason when a side full-scans),
+// the worker hint, and the leakage consequence of the choice. The
+// output is deterministic (predicates are listed in sorted column
+// order) and pinned by golden-file tests.
+func (p *Plan) Describe() string {
+	var b strings.Builder
+	switch p.Strategy {
+	case Prefiltered:
+		fmt.Fprintf(&b, "plan: prefiltered (SSE candidate selection, SJ.Dec over candidates)\n")
+	default:
+		fmt.Fprintf(&b, "plan: full scan (SJ.Dec over every row)\n")
+	}
+	describeSide(&b, "A", &p.SideA)
+	describeSide(&b, "B", &p.SideB)
+	if p.Workers > 0 {
+		fmt.Fprintf(&b, "workers: %d\n", p.Workers)
+	} else {
+		fmt.Fprintf(&b, "workers: engine default\n")
+	}
+	if p.Strategy == Prefiltered {
+		fmt.Fprintf(&b, "leakage: server additionally learns the rows matching each predicate value (SSE access pattern)\n")
+	} else {
+		fmt.Fprintf(&b, "leakage: the paper's exact profile (equality pairs among selected rows only)\n")
+	}
+	return b.String()
+}
+
+func describeSide(b *strings.Builder, label string, sp *SidePlan) {
+	indexed := "not indexed"
+	if sp.Indexed {
+		indexed = "indexed"
+	}
+	fmt.Fprintf(b, "side %s: %s [%s]\n", label, sp.Table, indexed)
+	if len(sp.Preds) == 0 {
+		fmt.Fprintf(b, "  predicates: none\n")
+	} else {
+		parts := make([]string, len(sp.Preds))
+		for i, pr := range sp.Preds {
+			parts[i] = fmt.Sprintf("%s (%d value(s))", pr.Column, pr.Values)
+		}
+		fmt.Fprintf(b, "  predicates: %s\n", strings.Join(parts, ", "))
+	}
+	if sp.Prefilter {
+		fmt.Fprintf(b, "  -> prefiltered, %d SSE token(s)\n", sp.Tokens())
+	} else {
+		fmt.Fprintf(b, "  -> full scan (%s)\n", sp.Reason)
+	}
+}

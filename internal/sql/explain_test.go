@@ -1,0 +1,71 @@
+package sql
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the EXPLAIN golden files")
+
+// TestExplainGolden pins the exact EXPLAIN rendering for the three plan
+// shapes: fully prefiltered, full-scan fallback, and a mixed plan where
+// only one side carries an index. Regenerate with
+//
+//	go test ./internal/sql -run TestExplainGolden -update
+func TestExplainGolden(t *testing.T) {
+	cases := []struct {
+		name               string
+		indexedA, indexedB bool
+		workers            int
+		query              string
+	}{
+		{
+			name:     "explain_prefiltered",
+			indexedA: true, indexedB: true, workers: 4,
+			query: `EXPLAIN ` + baseQuery +
+				` WHERE Teams.Name = 'Web Application' AND Employees.Role IN ('Tester', 'Programmer')`,
+		},
+		{
+			name:     "explain_fullscan_fallback",
+			indexedA: false, indexedB: false,
+			query: `EXPLAIN ` + baseQuery +
+				` WHERE Teams.Name = 'Web Application' AND Employees.Role = 'Tester'`,
+		},
+		{
+			name:     "explain_mixed_index",
+			indexedA: true, indexedB: false,
+			query: `EXPLAIN ` + baseQuery +
+				` WHERE Teams.Dept = 'Eng' AND Teams.Name IN ('Web Application', 'Database') AND Employees.Role = 'Tester'`,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cat := planCatalog(t, c.indexedA, c.indexedB)
+			cat.SetDefaultWorkers(c.workers)
+			plan, err := cat.Compile(c.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !plan.Explain {
+				t.Fatal("EXPLAIN statement did not set the flag")
+			}
+			got := plan.Describe()
+			path := filepath.Join("testdata", c.name+".golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if got != string(want) {
+				t.Errorf("EXPLAIN output drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}

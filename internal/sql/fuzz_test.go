@@ -6,13 +6,55 @@ import (
 	"testing"
 )
 
-// TestParserNeverPanics drives the lexer and parser with mutated and
-// random inputs: every call must return cleanly (a query or an error),
-// never panic — the property that matters for a parser fed by remote
-// clients.
+// fuzzCatalog is the populated catalog hostile inputs are planned
+// against: one indexed and one unindexed table whose names appear in
+// the fuzz seeds, so mutations frequently reach predicate compilation
+// and strategy selection rather than dying at name resolution.
+func fuzzCatalog() *Catalog {
+	cat, err := NewCatalog(
+		TableSchema{Name: "A", JoinColumn: "k", Attrs: map[string]int{"c": 0, "d": 1}, Indexed: true},
+		TableSchema{Name: "B", JoinColumn: "k", Attrs: map[string]int{"c": 0, "e": 1}},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return cat
+}
+
+// checkPlanInvariants validates what every successfully planned query
+// must satisfy, whatever the input looked like.
+func checkPlanInvariants(t testing.TB, input string, plan *Plan) {
+	t.Helper()
+	if plan == nil {
+		t.Fatalf("nil plan without error for %q", input)
+	}
+	prefiltered := plan.SideA.Prefilter || plan.SideB.Prefilter
+	if (plan.Strategy == Prefiltered) != prefiltered {
+		t.Fatalf("strategy %v inconsistent with sides %v/%v for %q",
+			plan.Strategy, plan.SideA.Prefilter, plan.SideB.Prefilter, input)
+	}
+	for _, sp := range []*SidePlan{&plan.SideA, &plan.SideB} {
+		if sp.Prefilter && (sp.Reason != "" || len(sp.Preds) == 0 || sp.Tokens() == 0) {
+			t.Fatalf("prefiltered side %q with reason=%q preds=%v for %q",
+				sp.Table, sp.Reason, sp.Preds, input)
+		}
+		if !sp.Prefilter && sp.Reason == "" {
+			t.Fatalf("full-scan side %q without reason for %q", sp.Table, input)
+		}
+	}
+	if plan.Describe() == "" {
+		t.Fatalf("empty Describe() for %q", input)
+	}
+}
+
+// TestParserNeverPanics drives the lexer, parser AND planner with
+// mutated and random inputs: every call must return cleanly (a plan or
+// an error), never panic — the property that matters for a front end
+// fed by remote clients.
 func TestParserNeverPanics(t *testing.T) {
 	seeds := []string{
 		`SELECT * FROM A JOIN B ON A.k = B.k WHERE A.c IN ('x', 'y') AND B.d = 'z'`,
+		`EXPLAIN SELECT * FROM A JOIN B ON A.k = B.k WHERE A.c = 'x' AND B.c = 'y'`,
 		`select * from t1 join t2 on t1.a = t2.b`,
 		`SELECT`,
 		`'''`,
@@ -20,19 +62,28 @@ func TestParserNeverPanics(t *testing.T) {
 		`A.B.C.D = = IN`,
 	}
 	rng := rand.New(rand.NewSource(99))
-	chars := []byte(`SELECTFROMJOINWHEREINAND*.,()='" abc123`)
+	chars := []byte(`SELECTFROMJOINWHEREINANDEXPLAIN*.,()='" abc123`)
+	cat := fuzzCatalog()
 
-	tryParse := func(input string) {
+	tryPlan := func(input string) {
 		defer func() {
 			if r := recover(); r != nil {
-				t.Fatalf("parser panicked on %q: %v", input, r)
+				t.Fatalf("front end panicked on %q: %v", input, r)
 			}
 		}()
-		_, _ = Parse(input)
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		plan, err := cat.PlanQuery(q)
+		if err != nil {
+			return
+		}
+		checkPlanInvariants(t, input, plan)
 	}
 
 	for _, s := range seeds {
-		tryParse(s)
+		tryPlan(s)
 		// Mutations: deletions, swaps, random splices.
 		for i := 0; i < 200; i++ {
 			b := []byte(s)
@@ -50,7 +101,7 @@ func TestParserNeverPanics(t *testing.T) {
 				p := rng.Intn(len(b) + 1)
 				b = append(b[:p], append([]byte{chars[rng.Intn(len(chars))]}, b[p:]...)...)
 			}
-			tryParse(string(b))
+			tryPlan(string(b))
 		}
 	}
 
@@ -61,8 +112,36 @@ func TestParserNeverPanics(t *testing.T) {
 		for j := 0; j < n; j++ {
 			sb.WriteByte(chars[rng.Intn(len(chars))])
 		}
-		tryParse(sb.String())
+		tryPlan(sb.String())
 	}
+}
+
+// FuzzPlanQuery is the native-fuzzing twin of TestParserNeverPanics:
+// the corpus seeds under testdata/fuzz/FuzzPlanQuery run on every
+// regular `go test`, and `go test -fuzz FuzzPlanQuery` explores from
+// them. Panics and invariant violations in Parse/PlanQuery/Describe are
+// the targets.
+func FuzzPlanQuery(f *testing.F) {
+	for _, s := range []string{
+		`SELECT * FROM A JOIN B ON A.k = B.k WHERE A.c IN ('x', 'y') AND B.c = 'z'`,
+		`EXPLAIN SELECT * FROM A JOIN B ON B.k = A.k WHERE A.d = 'v' AND A.d IN (1, 2.5)`,
+		`SELECT * FROM B JOIN A ON B.k = A.k`,
+		`SELECT * FROM A JOIN B ON A.k = B.k WHERE B.e = 'it''s'`,
+	} {
+		f.Add(s)
+	}
+	cat := fuzzCatalog()
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		plan, err := cat.PlanQuery(q)
+		if err != nil {
+			return
+		}
+		checkPlanInvariants(t, input, plan)
+	})
 }
 
 // TestLexerTerminates: the lexer must reach EOF or an error on any

@@ -7,6 +7,9 @@
 // Queries are lexed, parsed into an AST, validated against a catalog of
 // table schemas and planned into the Secure Join engine's Selection
 // predicates. Equality predicates are sugar for one-element IN clauses.
+// A statement may be prefixed with EXPLAIN, in which case the planned
+// execution strategy is rendered instead of running the query (see
+// Plan.Describe).
 package sql
 
 import (
@@ -63,7 +66,7 @@ func (k tokenKind) String() string {
 // keywords recognized by the dialect (case-insensitive).
 var keywords = map[string]bool{
 	"SELECT": true, "FROM": true, "JOIN": true, "ON": true,
-	"WHERE": true, "AND": true, "IN": true,
+	"WHERE": true, "AND": true, "IN": true, "EXPLAIN": true,
 }
 
 type token struct {

@@ -7,7 +7,7 @@ import (
 
 // JoinQuery is the AST of one supported statement:
 //
-//	SELECT * FROM <TableA> JOIN <TableB> ON <colRef> = <colRef>
+//	[EXPLAIN] SELECT * FROM <TableA> JOIN <TableB> ON <colRef> = <colRef>
 //	[WHERE <predicate> [AND <predicate>]...]
 //
 // where each predicate is <colRef> IN ('v', ...) or <colRef> = 'v'.
@@ -17,6 +17,9 @@ type JoinQuery struct {
 	OnA, OnB string
 	// Predicates lists the WHERE conjuncts in source order.
 	Predicates []Predicate
+	// Explain is set when the statement was prefixed with EXPLAIN: the
+	// caller should render the plan instead of executing it.
+	Explain bool
 }
 
 // Predicate is one IN (or equality, desugared to a one-element IN)
@@ -78,6 +81,13 @@ func (p *parser) expect(kind tokenKind) (token, error) {
 }
 
 func (p *parser) parseJoinQuery() (*JoinQuery, error) {
+	explain := false
+	if p.cur.kind == tokKeyword && p.cur.text == "EXPLAIN" {
+		explain = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
 	}
@@ -113,7 +123,7 @@ func (p *parser) parseJoinQuery() (*JoinQuery, error) {
 		return nil, err
 	}
 
-	q := &JoinQuery{TableA: tableA.text, TableB: tableB.text}
+	q := &JoinQuery{TableA: tableA.text, TableB: tableB.text, Explain: explain}
 
 	// Resolve which side of the ON condition belongs to which table.
 	switch {

@@ -2,6 +2,7 @@ package sql
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/securejoin"
@@ -17,14 +18,26 @@ type TableSchema struct {
 	// Attrs maps filterable column names to their attribute index
 	// (0 <= index < Params.M).
 	Attrs map[string]int
+	// Indexed records whether the table was uploaded with an SSE
+	// pre-filter index. The planner chooses prefiltered execution for a
+	// side only when its table is indexed. It is catalog metadata, not
+	// ground truth: feed it from engine.Server.TableStats in process or
+	// from client.DescribeTables over the wire (see Catalog.SetIndexed).
+	Indexed bool
 }
 
 // Catalog is the set of known table schemas, keyed case-insensitively.
 type Catalog struct {
 	tables map[string]TableSchema
+	// workers is the SJ.Dec worker hint stamped onto every plan;
+	// 0 keeps the engine default.
+	workers int
 }
 
-// NewCatalog builds a catalog from schemas, rejecting duplicates.
+// NewCatalog builds a catalog from schemas, rejecting duplicates and
+// column names that collide case-insensitively — column resolution is
+// case-insensitive, so a schema with both "Role" and "role" would make
+// predicate compilation ambiguous.
 func NewCatalog(schemas ...TableSchema) (*Catalog, error) {
 	c := &Catalog{tables: make(map[string]TableSchema, len(schemas))}
 	for _, s := range schemas {
@@ -35,9 +48,63 @@ func NewCatalog(schemas ...TableSchema) (*Catalog, error) {
 		if s.JoinColumn == "" {
 			return nil, fmt.Errorf("sql: table %q has no join column", s.Name)
 		}
+		seen := make(map[string]string, len(s.Attrs)+1)
+		seen[strings.ToLower(s.JoinColumn)] = s.JoinColumn
+		seenIdx := make(map[int]string, len(s.Attrs))
+		for name, idx := range s.Attrs {
+			if idx < 0 {
+				return nil, fmt.Errorf("sql: table %q: column %q has negative attribute index %d", s.Name, name, idx)
+			}
+			folded := strings.ToLower(name)
+			if prev, dup := seen[folded]; dup {
+				return nil, fmt.Errorf("sql: table %q: columns %q and %q collide case-insensitively", s.Name, prev, name)
+			}
+			seen[folded] = name
+			// Two columns on one attribute slot would merge their AND'ed
+			// predicates into a single IN clause — a conjunction silently
+			// executed as a disjunction.
+			if prev, dup := seenIdx[idx]; dup {
+				return nil, fmt.Errorf("sql: table %q: columns %q and %q share attribute index %d", s.Name, prev, name, idx)
+			}
+			seenIdx[idx] = name
+		}
 		c.tables[key] = s
 	}
 	return c, nil
+}
+
+// SetDefaultWorkers sets the SJ.Dec worker hint stamped onto every
+// subsequent plan (0 = engine default, the initial value).
+func (c *Catalog) SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.workers = n
+}
+
+// SetIndexed records whether a table carries an SSE pre-filter index,
+// enabling the planner's automatic fast path. It returns an error for
+// tables the catalog does not know (callers syncing from a server that
+// holds extra tables can ignore it).
+func (c *Catalog) SetIndexed(name string, indexed bool) error {
+	key := strings.ToLower(name)
+	s, ok := c.tables[key]
+	if !ok {
+		return fmt.Errorf("sql: unknown table %q", name)
+	}
+	s.Indexed = indexed
+	c.tables[key] = s
+	return nil
+}
+
+// TableNames lists the catalog's declared table names, sorted.
+func (c *Catalog) TableNames() []string {
+	out := make([]string, 0, len(c.tables))
+	for _, s := range c.tables {
+		out = append(out, s.Name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Schema looks up a table schema by name.
@@ -49,16 +116,87 @@ func (c *Catalog) Schema(name string) (TableSchema, error) {
 	return s, nil
 }
 
-// Plan is a validated, executable query: the two table names and the
-// Selection predicate for each side.
+// Strategy is the execution strategy a plan selected.
+type Strategy int
+
+const (
+	// FullScan runs SJ.Dec over every row of both tables — the paper's
+	// exact leakage profile (Theorem 5.2).
+	FullScan Strategy = iota
+	// Prefiltered resolves WHERE predicates through SSE indexes first
+	// (Section 4.3), paying SJ.Dec only for candidate rows on the
+	// prefiltered sides. Costs per-attribute access-pattern leakage.
+	Prefiltered
+)
+
+func (s Strategy) String() string {
+	if s == Prefiltered {
+		return "prefiltered"
+	}
+	return "full scan"
+}
+
+// PredSummary describes the compiled predicates of one column: the
+// schema-declared column name and the number of IN-clause values after
+// merging same-column conjuncts. One SSE search token is issued per
+// value when the side is prefiltered.
+type PredSummary struct {
+	Column string
+	Values int
+}
+
+// SidePlan is the per-table half of a plan: whether the side will be
+// pre-filtered through its SSE index, and why not if it won't.
+type SidePlan struct {
+	Table   string
+	Indexed bool
+	// Preds lists the side's compiled predicates in deterministic
+	// (sorted-by-column) order.
+	Preds []PredSummary
+	// Prefilter is true when this side's predicates are resolved
+	// through the table's SSE index before SJ.Dec.
+	Prefilter bool
+	// Reason explains a full-scan decision for this side; empty when
+	// Prefilter is true.
+	Reason string
+}
+
+// Tokens is the number of SSE search tokens a prefiltered execution
+// derives for this side (one per predicate value).
+func (sp *SidePlan) Tokens() int {
+	n := 0
+	for _, p := range sp.Preds {
+		n += p.Values
+	}
+	return n
+}
+
+// Plan is a validated, executable query: the two table names, the
+// Selection predicate for each side, and the execution strategy the
+// planner chose. Selections are always enforced cryptographically by
+// the join tokens; Strategy only decides whether SSE pre-filtering
+// additionally narrows the rows SJ.Dec touches. Spec compiles the plan
+// into the engine's JoinSpec (see exec.go).
 type Plan struct {
 	TableA, TableB string
 	SelA, SelB     securejoin.Selection
+	// Explain marks an EXPLAIN statement: render Describe() instead of
+	// executing.
+	Explain bool
+	// Strategy is Prefiltered when at least one side pre-filters.
+	Strategy     Strategy
+	SideA, SideB SidePlan
+	// Workers is the SJ.Dec worker hint for the execution
+	// (0 = engine/server default).
+	Workers int
 }
 
 // PlanQuery validates a parsed query against the catalog and compiles
 // the WHERE clause into per-table Selections. Multiple predicates on the
-// same column merge into one IN clause.
+// same column merge into one IN clause. The execution strategy is chosen
+// automatically: a side is pre-filtered when it carries selective
+// predicates (any WHERE conjunct counts) and its table was uploaded
+// with an SSE index; everything else falls back to a full scan.
 func (c *Catalog) PlanQuery(q *JoinQuery) (*Plan, error) {
 	sa, err := c.Schema(q.TableA)
 	if err != nil {
@@ -80,27 +218,69 @@ func (c *Catalog) PlanQuery(q *JoinQuery) (*Plan, error) {
 	plan := &Plan{
 		TableA: sa.Name, TableB: sb.Name,
 		SelA: securejoin.Selection{}, SelB: securejoin.Selection{},
+		Explain: q.Explain,
+		SideA:   SidePlan{Table: sa.Name, Indexed: sa.Indexed},
+		SideB:   SidePlan{Table: sb.Name, Indexed: sb.Indexed},
+		Workers: c.workers,
 	}
+	countsA := make(map[string]int)
+	countsB := make(map[string]int)
 	for _, p := range q.Predicates {
 		var schema TableSchema
 		var sel securejoin.Selection
+		var counts map[string]int
 		switch {
 		case strings.EqualFold(p.Table, q.TableA):
-			schema, sel = sa, plan.SelA
+			schema, sel, counts = sa, plan.SelA, countsA
 		case strings.EqualFold(p.Table, q.TableB):
-			schema, sel = sb, plan.SelB
+			schema, sel, counts = sb, plan.SelB, countsB
 		default:
 			return nil, fmt.Errorf("sql: predicate references table %q, which is not part of the join", p.Table)
 		}
-		idx, err := attrIndex(schema, p.Column)
+		name, idx, err := resolveAttr(schema, p.Column)
 		if err != nil {
 			return nil, err
 		}
 		for _, v := range p.Values {
 			sel[idx] = append(sel[idx], []byte(v))
+			counts[name]++
 		}
 	}
+	plan.SideA.Preds = predSummaries(countsA)
+	plan.SideB.Preds = predSummaries(countsB)
+	chooseSide(&plan.SideA)
+	chooseSide(&plan.SideB)
+	if plan.SideA.Prefilter || plan.SideB.Prefilter {
+		plan.Strategy = Prefiltered
+	}
 	return plan, nil
+}
+
+// chooseSide applies the per-side plan-selection rule: pre-filter iff
+// the side has predicates AND its table carries an SSE index.
+func chooseSide(sp *SidePlan) {
+	switch {
+	case len(sp.Preds) == 0:
+		sp.Reason = "no WHERE predicates"
+	case !sp.Indexed:
+		sp.Reason = "no SSE index"
+	default:
+		sp.Prefilter = true
+	}
+}
+
+// predSummaries renders per-column value counts in sorted column order,
+// so plans (and their EXPLAIN output) are deterministic.
+func predSummaries(counts map[string]int) []PredSummary {
+	if len(counts) == 0 {
+		return nil
+	}
+	out := make([]PredSummary, 0, len(counts))
+	for col, n := range counts {
+		out = append(out, PredSummary{Column: col, Values: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Column < out[j].Column })
+	return out
 }
 
 // Compile parses and plans in one step.
@@ -112,14 +292,24 @@ func (c *Catalog) Compile(query string) (*Plan, error) {
 	return c.PlanQuery(q)
 }
 
-func attrIndex(s TableSchema, column string) (int, error) {
-	for name, idx := range s.Attrs {
+// resolveAttr maps a query column name onto the schema's declared name
+// and attribute index. Candidate columns are scanned in sorted order,
+// so resolution — and with it predicate compilation and error
+// reporting — is deterministic even for schemas that bypassed
+// NewCatalog's collision check.
+func resolveAttr(s TableSchema, column string) (string, int, error) {
+	names := make([]string, 0, len(s.Attrs))
+	for name := range s.Attrs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		if strings.EqualFold(name, column) {
-			return idx, nil
+			return name, s.Attrs[name], nil
 		}
 	}
 	if strings.EqualFold(column, s.JoinColumn) {
-		return 0, fmt.Errorf("sql: column %q of table %q is the join column; it cannot carry a WHERE predicate", column, s.Name)
+		return "", 0, fmt.Errorf("sql: column %q of table %q is the join column; it cannot carry a WHERE predicate", column, s.Name)
 	}
-	return 0, fmt.Errorf("sql: table %q has no filterable column %q", s.Name, column)
+	return "", 0, fmt.Errorf("sql: table %q has no filterable column %q", s.Name, column)
 }

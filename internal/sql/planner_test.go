@@ -1,0 +1,236 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+// planCatalog builds a two-table catalog with configurable index state.
+func planCatalog(t *testing.T, indexedA, indexedB bool) *Catalog {
+	t.Helper()
+	cat, err := NewCatalog(
+		TableSchema{Name: "Teams", JoinColumn: "Key", Attrs: map[string]int{"Name": 0, "Dept": 1}, Indexed: indexedA},
+		TableSchema{Name: "Employees", JoinColumn: "Team", Attrs: map[string]int{"Role": 0, "Level": 1}, Indexed: indexedB},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+const baseQuery = `SELECT * FROM Teams JOIN Employees ON Teams.Key = Employees.Team`
+
+func TestPlanStrategySelection(t *testing.T) {
+	cases := []struct {
+		name               string
+		indexedA, indexedB bool
+		where              string
+		strategy           Strategy
+		preA, preB         bool
+		reasonA, reasonB   string
+	}{
+		{
+			name:     "both indexed, predicates both sides",
+			indexedA: true, indexedB: true,
+			where:    ` WHERE Teams.Name = 'x' AND Employees.Role = 'y'`,
+			strategy: Prefiltered, preA: true, preB: true,
+		},
+		{
+			name:     "no indexes",
+			indexedA: false, indexedB: false,
+			where:    ` WHERE Teams.Name = 'x' AND Employees.Role = 'y'`,
+			strategy: FullScan,
+			reasonA:  "no SSE index", reasonB: "no SSE index",
+		},
+		{
+			name:     "indexed but no WHERE",
+			indexedA: true, indexedB: true,
+			where:    ``,
+			strategy: FullScan,
+			reasonA:  "no WHERE predicates", reasonB: "no WHERE predicates",
+		},
+		{
+			name:     "mixed: only A indexed, predicates both sides",
+			indexedA: true, indexedB: false,
+			where:    ` WHERE Teams.Name = 'x' AND Employees.Role = 'y'`,
+			strategy: Prefiltered, preA: true,
+			reasonB: "no SSE index",
+		},
+		{
+			name:     "predicates only on unindexed side",
+			indexedA: true, indexedB: false,
+			where:    ` WHERE Employees.Role = 'y'`,
+			strategy: FullScan,
+			reasonA:  "no WHERE predicates", reasonB: "no SSE index",
+		},
+		{
+			name:     "predicates only on indexed side",
+			indexedA: true, indexedB: false,
+			where:    ` WHERE Teams.Name = 'x'`,
+			strategy: Prefiltered, preA: true,
+			reasonB: "no WHERE predicates",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cat := planCatalog(t, c.indexedA, c.indexedB)
+			plan, err := cat.Compile(baseQuery + c.where)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.Strategy != c.strategy {
+				t.Fatalf("strategy = %v, want %v", plan.Strategy, c.strategy)
+			}
+			if plan.SideA.Prefilter != c.preA || plan.SideB.Prefilter != c.preB {
+				t.Fatalf("prefilter sides = %v/%v, want %v/%v",
+					plan.SideA.Prefilter, plan.SideB.Prefilter, c.preA, c.preB)
+			}
+			if plan.SideA.Reason != c.reasonA || plan.SideB.Reason != c.reasonB {
+				t.Fatalf("reasons = %q/%q, want %q/%q",
+					plan.SideA.Reason, plan.SideB.Reason, c.reasonA, c.reasonB)
+			}
+		})
+	}
+}
+
+func TestParseExplain(t *testing.T) {
+	q, err := Parse(`EXPLAIN ` + baseQuery + ` WHERE Teams.Name = 'x'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Explain {
+		t.Fatal("Explain flag not set")
+	}
+	if q, err = Parse(`explain ` + baseQuery); err != nil || !q.Explain {
+		t.Fatalf("lowercase explain: %v, %+v", err, q)
+	}
+	if q, err = Parse(baseQuery); err != nil || q.Explain {
+		t.Fatalf("plain query: %v, explain=%v", err, q.Explain)
+	}
+	// EXPLAIN must prefix a whole statement, not appear mid-query.
+	if _, err = Parse(`SELECT EXPLAIN * FROM A JOIN B ON A.k = B.k`); err == nil {
+		t.Fatal("accepted misplaced EXPLAIN")
+	}
+	cat := planCatalog(t, true, true)
+	plan, err := cat.Compile(`EXPLAIN ` + baseQuery + ` WHERE Teams.Name = 'x'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Explain {
+		t.Fatal("plan lost the Explain flag")
+	}
+}
+
+func TestPlanPredSummaries(t *testing.T) {
+	cat := planCatalog(t, true, true)
+	// Dept appears before Name in the WHERE clause sorted order but
+	// after it in source order; same-column conjuncts merge.
+	plan, err := cat.Compile(baseQuery +
+		` WHERE Teams.name = 'x' AND Teams.DEPT IN ('a', 'b') AND Employees.Role = 'r' AND Employees.Role IN ('s', 't')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA := []PredSummary{{Column: "Dept", Values: 2}, {Column: "Name", Values: 1}}
+	wantB := []PredSummary{{Column: "Role", Values: 3}}
+	assertPreds := func(got, want []PredSummary, side string) {
+		if len(got) != len(want) {
+			t.Fatalf("side %s preds = %+v, want %+v", side, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("side %s preds[%d] = %+v, want %+v", side, i, got[i], want[i])
+			}
+		}
+	}
+	assertPreds(plan.SideA.Preds, wantA, "A")
+	assertPreds(plan.SideB.Preds, wantB, "B")
+	if plan.SideA.Tokens() != 3 || plan.SideB.Tokens() != 3 {
+		t.Fatalf("token counts = %d/%d, want 3/3", plan.SideA.Tokens(), plan.SideB.Tokens())
+	}
+}
+
+func TestPlanWorkers(t *testing.T) {
+	cat := planCatalog(t, true, true)
+	cat.SetDefaultWorkers(4)
+	plan, err := cat.Compile(baseQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Workers != 4 {
+		t.Fatalf("workers = %d, want 4", plan.Workers)
+	}
+	cat.SetDefaultWorkers(-1) // negative clamps to the default
+	if plan, err = cat.Compile(baseQuery); err != nil || plan.Workers != 0 {
+		t.Fatalf("workers = %d, %v; want 0", plan.Workers, err)
+	}
+}
+
+func TestSetIndexed(t *testing.T) {
+	cat := planCatalog(t, false, false)
+	if err := cat.SetIndexed("teams", true); err != nil {
+		t.Fatal(err) // case-insensitive lookup
+	}
+	s, err := cat.Schema("Teams")
+	if err != nil || !s.Indexed {
+		t.Fatalf("Indexed not set: %+v, %v", s, err)
+	}
+	if err := cat.SetIndexed("Nope", true); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+}
+
+func TestCatalogRejectsCaseFoldCollisions(t *testing.T) {
+	if _, err := NewCatalog(TableSchema{
+		Name: "T", JoinColumn: "k",
+		Attrs: map[string]int{"Role": 0, "role": 1},
+	}); err == nil || !strings.Contains(err.Error(), "collide") {
+		t.Fatalf("colliding attrs accepted: %v", err)
+	}
+	if _, err := NewCatalog(TableSchema{
+		Name: "T", JoinColumn: "Key",
+		Attrs: map[string]int{"KEY": 0},
+	}); err == nil || !strings.Contains(err.Error(), "collide") {
+		t.Fatalf("attr colliding with join column accepted: %v", err)
+	}
+	if _, err := NewCatalog(TableSchema{
+		Name: "T", JoinColumn: "k",
+		Attrs: map[string]int{"c": -1},
+	}); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("negative attribute index accepted: %v", err)
+	}
+	// Two columns on one attribute slot would compile `c = 'x' AND
+	// d = 'y'` into one IN clause, silently turning AND into OR.
+	if _, err := NewCatalog(TableSchema{
+		Name: "T", JoinColumn: "k",
+		Attrs: map[string]int{"c": 0, "d": 0},
+	}); err == nil || !strings.Contains(err.Error(), "share attribute index") {
+		t.Fatalf("duplicate attribute index accepted: %v", err)
+	}
+}
+
+// TestAttrResolutionDeterministic pins the fix for the old map-iteration
+// lookup: even against a schema whose columns case-fold collide (which
+// NewCatalog rejects, but nothing forces schemas through NewCatalog),
+// resolution must land on the same column every time — sorted order,
+// uppercase first.
+func TestAttrResolutionDeterministic(t *testing.T) {
+	s := TableSchema{
+		Name: "T", JoinColumn: "k",
+		Attrs: map[string]int{"ROLE": 3, "Role": 7, "role": 9},
+	}
+	for i := 0; i < 200; i++ {
+		name, idx, err := resolveAttr(s, "rOlE")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name != "ROLE" || idx != 3 {
+			t.Fatalf("iteration %d: resolved to %q (%d), want ROLE (3)", i, name, idx)
+		}
+	}
+	if _, _, err := resolveAttr(s, "k"); err == nil || !strings.Contains(err.Error(), "join column") {
+		t.Fatalf("join-column predicate error lost: %v", err)
+	}
+	if _, _, err := resolveAttr(s, "nope"); err == nil || !strings.Contains(err.Error(), "no filterable column") {
+		t.Fatalf("unknown-column error lost: %v", err)
+	}
+}

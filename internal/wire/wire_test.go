@@ -70,6 +70,28 @@ func TestJoinRequestRoundTrip(t *testing.T) {
 	}
 }
 
+func TestDescribeRoundTrip(t *testing.T) {
+	in := Request{ID: 4, Describe: true}
+	var out Request
+	frameTrip(t, in, &out)
+	if out.ID != 4 || !out.Describe {
+		t.Fatalf("round trip lost data: %+v", out)
+	}
+	fin := Frame{ID: 4, Tables: &TableList{Tables: []TableInfo{
+		{Name: "A", Rows: 3, Indexed: true},
+		{Name: "B", Rows: 0, Indexed: false},
+	}}}
+	var fout Frame
+	frameTrip(t, fin, &fout)
+	if fout.Tables == nil || !fout.Terminal() {
+		t.Fatalf("tables frame: %+v", fout)
+	}
+	got := fout.Tables.Tables
+	if len(got) != 2 || got[0] != (TableInfo{Name: "A", Rows: 3, Indexed: true}) || got[1].Indexed {
+		t.Fatalf("table list lost data: %+v", got)
+	}
+}
+
 func TestBatchAndSummaryFrames(t *testing.T) {
 	send, recv, _ := loopback()
 	frames := []Frame{
