@@ -7,6 +7,7 @@
 //	sjbench -fig comparison   # Sec. 6.5: Secure Join vs Hahn et al.
 //	sjbench -fig concurrent   # engine throughput under concurrent joins
 //	sjbench -fig prefilter    # full-scan vs SSE-prefiltered vs parallel, over the wire
+//	sjbench -fig multijoin    # 2-way vs 3-way, statistics-ordered vs naive join order
 //	sjbench -fig all
 //
 // The pure-Go pairing is slower than the authors' C library, so by
@@ -19,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -27,11 +29,12 @@ import (
 	"repro/internal/engine"
 	"repro/internal/securejoin"
 	"repro/internal/server"
+	sqlpkg "repro/internal/sql"
 	"repro/internal/tpch"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, comparison, concurrent, prefilter, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, comparison, concurrent, prefilter, multijoin, all")
 	scaleDiv := flag.Float64("scalediv", 100, "divide the paper's TPC-H scale factors by this factor")
 	reps := flag.Int("reps", 3, "repetitions per Figure 2 measurement")
 	seed := flag.Int64("seed", 42, "dataset generator seed")
@@ -52,13 +55,17 @@ func main() {
 		err = concurrent()
 	case "prefilter":
 		err = prefilterWire(*rows)
+	case "multijoin":
+		err = multijoin(*rows)
 	case "all":
 		if err = fig2(*reps); err == nil {
 			if err = fig3(*scaleDiv, *seed); err == nil {
 				if err = fig4(*scaleDiv, *seed); err == nil {
 					if err = comparison(*scaleDiv, *seed); err == nil {
 						if err = concurrent(); err == nil {
-							err = prefilterWire(*rows)
+							if err = prefilterWire(*rows); err == nil {
+								err = multijoin(*rows)
+							}
 						}
 					}
 				}
@@ -315,6 +322,118 @@ func prefilterWire(rows int) error {
 			fmt.Printf("%11s  %-20s  %7.3f  %7d  %14d\n",
 				sc.label, mode.label, time.Since(start).Seconds(), len(results), revealed)
 		}
+	}
+	fmt.Println()
+	return nil
+}
+
+// multijoin is the operator-tree ablation: a 3-table star (Orders with
+// one row per order, Customers and Profiles with rows/10 each, all on
+// one key domain, clique join conditions) queried with a selective
+// customer predicate. It compares the 2-way baseline against the 3-way
+// tree under the statistics-driven join order and under the naive
+// declaration order — the naive FROM clause lists Orders first, so its
+// chain decrypts the big table in both pairwise steps, while the
+// ordered plan anchors the chain on the filtered Customers side.
+func multijoin(rows int) error {
+	small := rows / 10
+	if small < 2 {
+		small = 2
+	}
+	fmt.Printf("== Multi-join ablation (%d orders, %d customers, %d profiles, in-process) ==\n",
+		rows, small, small)
+
+	keys, err := engine.NewClient(securejoin.Params{M: 1, T: 1}, nil)
+	if err != nil {
+		return err
+	}
+	eng := engine.NewServer()
+	mk := func(n, keyDomain int) []engine.PlainRow {
+		out := make([]engine.PlainRow, n)
+		for i := range out {
+			attr := "bulk"
+			switch {
+			case i < n/100:
+				attr = "c1"
+			case i < n/100+n/10:
+				attr = "c10"
+			}
+			out[i] = engine.PlainRow{
+				JoinValue: []byte(fmt.Sprintf("k-%d", i%keyDomain)),
+				Attrs:     [][]byte{[]byte(attr)},
+				Payload:   []byte(fmt.Sprintf("row-%d", i)),
+			}
+		}
+		return out
+	}
+	for name, n := range map[string]int{"Customers": small, "Profiles": small, "Orders": rows} {
+		tab, err := keys.EncryptTableIndexed(name, mk(n, small))
+		if err != nil {
+			return err
+		}
+		eng.Upload(tab)
+	}
+
+	schemas := func() []sqlpkg.TableSchema {
+		return []sqlpkg.TableSchema{
+			{Name: "Orders", JoinColumn: "k", Attrs: map[string]int{"selectivity": 0}},
+			{Name: "Profiles", JoinColumn: "k", Attrs: map[string]int{"selectivity": 0}},
+			{Name: "Customers", JoinColumn: "k", Attrs: map[string]int{"selectivity": 0}},
+		}
+	}
+	ordered, err := sqlpkg.NewCatalog(schemas()...)
+	if err != nil {
+		return err
+	}
+	for _, st := range eng.TableStats() {
+		if err := ordered.SetStats(st.Name, st.Rows, st.Indexed); err != nil {
+			return err
+		}
+	}
+	naive, err := sqlpkg.NewCatalog(schemas()...)
+	if err != nil {
+		return err
+	}
+	for _, st := range eng.TableStats() {
+		// Index bit only: without row counts the planner falls back to
+		// the declaration order of the (deliberately bad) FROM clause.
+		if err := naive.SetIndexed(st.Name, st.Indexed); err != nil {
+			return err
+		}
+	}
+
+	const where = `Orders.k = Customers.k AND Customers.selectivity = 'c10'`
+	twoWay := `SELECT * FROM Orders, Customers WHERE ` + where
+	threeWay := `SELECT * FROM Orders, Profiles, Customers WHERE Orders.k = Profiles.k AND Profiles.k = Customers.k AND ` + where
+
+	cases := []struct {
+		label string
+		cat   *sqlpkg.Catalog
+		query string
+	}{
+		{"2way_baseline", ordered, twoWay},
+		{"3way_stats_ordered", ordered, threeWay},
+		{"3way_naive_order", naive, threeWay},
+	}
+	fmt.Println("mode                seconds  result_rows  revealed_pairs  chain")
+	for _, c := range cases {
+		plan, err := c.cat.Compile(c.query)
+		if err != nil {
+			return err
+		}
+		var chain []string
+		for _, st := range plan.Steps {
+			chain = append(chain, st.Left.Table+"x"+st.Right.Table)
+		}
+		n := 0
+		start := time.Now()
+		revealed, err := sqlpkg.Execute(sqlpkg.EngineRunner{Eng: eng, Keys: keys}, plan,
+			func(sqlpkg.ResultRow) error { n++; return nil })
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-18s  %7.3f  %11d  %14d  %s\n",
+			c.label, time.Since(start).Seconds(), n, revealed, strings.Join(chain, " -> "))
 	}
 	fmt.Println()
 	return nil

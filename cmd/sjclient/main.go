@@ -161,6 +161,12 @@ func cmdJoin(args []string) error {
 	if err != nil {
 		return err
 	}
+	// EXPLAIN renders the plan; it must never execute (running it would
+	// reveal the query's sigma(q) pairs the user asked only to preview).
+	if plan.Explain {
+		fmt.Print(plan.Describe())
+		return nil
+	}
 	ek, err := loadKeys(*keys)
 	if err != nil {
 		return err
@@ -170,6 +176,42 @@ func cmdJoin(args []string) error {
 		return err
 	}
 	defer cli.Close()
+
+	// Multi-table queries run through the operator-tree executor: one
+	// pairwise encrypted join per plan step, stitched client-side. The
+	// manual -prefilter knob only shapes the single-join path below;
+	// multi-join prefiltering is the planner's call (it needs the
+	// index/row-count metadata this flat -catalog spec cannot carry).
+	if len(plan.Steps) > 1 {
+		if *prefilter {
+			return fmt.Errorf("-prefilter applies only to two-table queries; multi-join plans choose prefiltering per side from catalog metadata")
+		}
+		// The flat -catalog spec carries no worker default, so stamp the
+		// flag onto the plan the same way JoinOpts carries it below.
+		plan.Workers = *workers
+		printed, total := 0, 0
+		revealed, err := cli.ExecutePlan(plan, func(r sql.ResultRow) error {
+			if printed < *maxRows {
+				parts := make([]string, len(r.Payloads))
+				for i, p := range r.Payloads {
+					parts[i] = string(p)
+				}
+				fmt.Printf("  %s\n", strings.Join(parts, " | "))
+				printed++
+			}
+			total++
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if total > printed {
+			fmt.Printf("... %d more\n", total-printed)
+		}
+		fmt.Printf("%d rows over %d pairwise join steps (%d equality pairs observed by server)\n",
+			total, len(plan.Steps), revealed)
+		return nil
+	}
 
 	// Stream the result: rows print as the server's batches arrive
 	// instead of waiting for the full result set.

@@ -1,26 +1,30 @@
 // Command sjsql is an interactive encrypted-SQL shell over the
-// synthetic TPC-H dataset: it generates Customers and Orders at a small
-// scale factor, encrypts and uploads them — to an in-process server by
-// default, or to a live sjserver with -connect — and then executes the
-// supported SQL dialect read from stdin (or from -query) over the
-// ciphertexts.
+// synthetic TPC-H dataset: it generates Customers, Orders and a derived
+// per-customer Profiles table at a small scale factor, encrypts and
+// uploads them — to an in-process server by default, or to a live
+// sjserver with -connect — and then executes the supported SQL dialect
+// read from stdin (or from -query) over the ciphertexts.
 //
 // Tables are uploaded with an SSE pre-filter index (disable with
 // -index=false), and the planner picks the Section 4.3 prefiltered
-// execution automatically whenever a side's predicates can be resolved
-// through an index; EXPLAIN <query> prints the chosen plan without
-// running it.
+// execution automatically whenever a side's predicates are estimated
+// selective against its synced row count; multi-table queries compile
+// to a left-deep chain of pairwise encrypted joins whose order the
+// planner picks from the row statistics. EXPLAIN <query> prints the
+// chosen plan (or operator tree) without running it.
 //
 //	echo "SELECT * FROM Orders JOIN Customers ON Orders.custkey = Customers.custkey \
 //	      WHERE Customers.selectivity = '1/100' AND Orders.selectivity = '1/100'" | sjsql -scale 0.0002
 //
 //	sjsql -connect 127.0.0.1:7788 -scale 0.0002 \
 //	      -query "EXPLAIN SELECT * FROM Orders JOIN Customers ON Orders.custkey = Customers.custkey
+//	              JOIN Profiles ON Profiles.custkey = Customers.custkey
 //	              WHERE Customers.selectivity = '1/100'"
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -53,7 +57,8 @@ func main() {
 
 // app binds the compiled catalog to exactly one execution backend: the
 // in-process engine (eng+keys) or a wire connection to a live sjserver
-// (cli). Both run the same compiled plans.
+// (cli). Both run the same compiled plans through the same operator
+// tree executor.
 type app struct {
 	catalog *sql.Catalog
 	maxRows int
@@ -76,7 +81,7 @@ func run(out io.Writer, scale float64, seed int64, query string, maxRows int, co
 	}
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
-	fmt.Fprintln(os.Stderr, "enter queries, one per line (join column: custkey; filterable: selectivity; EXPLAIN <query> shows the plan)")
+	fmt.Fprintln(os.Stderr, "enter queries, one per line (join column: custkey; filterable: selectivity; tables: Customers, Orders, Profiles; EXPLAIN <query> shows the plan)")
 	for scanner.Scan() {
 		stmt := strings.TrimSpace(scanner.Text())
 		if stmt == "" {
@@ -90,12 +95,14 @@ func run(out io.Writer, scale float64, seed int64, query string, maxRows int, co
 }
 
 // setup generates and encrypts the TPC-H tables, uploads them to the
-// chosen backend, and syncs the catalog's index metadata from the
-// backend's table state so the planner sees what is actually indexed.
+// chosen backend, and syncs the catalog's statistics (row counts and
+// index state) from the backend's table state so the planner orders
+// joins and picks prefiltered execution from what is actually stored.
 func setup(out io.Writer, scale float64, seed int64, maxRows int, connect string, index bool, workers int) (*app, func(), error) {
 	catalog, err := sql.NewCatalog(
 		sql.TableSchema{Name: "Customers", JoinColumn: "custkey", Attrs: map[string]int{"selectivity": 0}},
 		sql.TableSchema{Name: "Orders", JoinColumn: "custkey", Attrs: map[string]int{"selectivity": 0}},
+		sql.TableSchema{Name: "Profiles", JoinColumn: "custkey", Attrs: map[string]int{"selectivity": 0}},
 	)
 	if err != nil {
 		return nil, nil, err
@@ -105,11 +112,19 @@ func setup(out io.Writer, scale float64, seed int64, maxRows int, connect string
 	fmt.Fprintf(os.Stderr, "generating and encrypting TPC-H data at scale %g...\n", scale)
 	ds := tpch.Generate(scale, seed)
 	customers := make([]engine.PlainRow, len(ds.Customers))
+	profiles := make([]engine.PlainRow, len(ds.Customers))
 	for i, c := range ds.Customers {
 		customers[i] = engine.PlainRow{
 			JoinValue: tpch.CustomerJoinValue(c),
 			Attrs:     [][]byte{[]byte(c.Selectivity)},
 			Payload:   []byte(fmt.Sprintf("%s (%s)", c.Name, c.MktSegment)),
+		}
+		// The derived per-customer profile: same join key domain, so
+		// 3-way queries chain Customers x Orders x Profiles.
+		profiles[i] = engine.PlainRow{
+			JoinValue: tpch.CustomerJoinValue(c),
+			Attrs:     [][]byte{[]byte(c.Selectivity)},
+			Payload:   []byte(fmt.Sprintf("profile %d: %s, %s", c.CustKey, c.Phone, c.Address)),
 		}
 	}
 	orders := make([]engine.PlainRow, len(ds.Orders))
@@ -123,7 +138,7 @@ func setup(out io.Writer, scale float64, seed int64, maxRows int, connect string
 
 	a := &app{catalog: catalog, maxRows: maxRows, out: out}
 	params := securejoin.Params{M: 1, T: 10}
-	tables := map[string][]engine.PlainRow{"Customers": customers, "Orders": orders}
+	tables := map[string][]engine.PlainRow{"Customers": customers, "Orders": orders, "Profiles": profiles}
 	start := time.Now()
 	if connect == "" {
 		a.keys, err = engine.NewClient(params, nil)
@@ -144,12 +159,12 @@ func setup(out io.Writer, scale float64, seed int64, maxRows int, connect string
 			a.eng.Upload(enc)
 		}
 		for _, st := range a.eng.TableStats() {
-			if err := catalog.SetIndexed(st.Name, st.Indexed); err != nil {
+			if err := catalog.SetStats(st.Name, st.Rows, st.Indexed); err != nil {
 				return nil, nil, err
 			}
 		}
-		fmt.Fprintf(os.Stderr, "uploaded %d customers + %d orders in-process in %v (indexed=%v)\n",
-			len(customers), len(orders), time.Since(start).Round(time.Millisecond), index)
+		fmt.Fprintf(os.Stderr, "uploaded %d customers + %d orders + %d profiles in-process in %v (indexed=%v)\n",
+			len(customers), len(orders), len(profiles), time.Since(start).Round(time.Millisecond), index)
 		return a, func() {}, nil
 	}
 
@@ -173,13 +188,14 @@ func setup(out io.Writer, scale float64, seed int64, maxRows int, connect string
 		cleanup()
 		return nil, nil, err
 	}
-	fmt.Fprintf(os.Stderr, "uploaded %d customers + %d orders to %s in %v (indexed=%v)\n",
-		len(customers), len(orders), connect, time.Since(start).Round(time.Millisecond), index)
+	fmt.Fprintf(os.Stderr, "uploaded %d customers + %d orders + %d profiles to %s in %v (indexed=%v)\n",
+		len(customers), len(orders), len(profiles), connect, time.Since(start).Round(time.Millisecond), index)
 	return a, cleanup, nil
 }
 
 // exec compiles one statement and either renders its plan (EXPLAIN) or
-// runs it on the app's backend, streaming result rows as they arrive.
+// runs it on the app's backend through the operator-tree executor,
+// streaming stitched result rows as the final join step arrives.
 func (a *app) exec(stmt string) error {
 	plan, err := a.catalog.Compile(stmt)
 	if err != nil {
@@ -191,70 +207,35 @@ func (a *app) exec(stmt string) error {
 	}
 	qStart := time.Now()
 	printed, total := 0, 0
-	emit := func(pa, pb []byte) {
+	emit := func(r sql.ResultRow) error {
 		if printed < a.maxRows {
-			fmt.Fprintf(a.out, "  %s | %s\n", pa, pb)
+			var line bytes.Buffer
+			for i, p := range r.Payloads {
+				if i > 0 {
+					line.WriteString(" | ")
+				}
+				line.Write(p)
+			}
+			fmt.Fprintf(a.out, "  %s\n", line.Bytes())
 			printed++
 		}
 		total++
+		return nil
 	}
 
 	var revealed int
 	if a.eng != nil {
-		spec, err := plan.Spec(a.keys)
-		if err != nil {
-			return err
-		}
-		st, err := a.eng.OpenJoin(plan.TableA, plan.TableB, spec)
-		if err != nil {
-			return err
-		}
-		defer st.Close()
-		for {
-			rows, err := st.Next()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				return err
-			}
-			for _, r := range rows {
-				pa, err := a.keys.OpenPayload(r.PayloadA)
-				if err != nil {
-					return err
-				}
-				pb, err := a.keys.OpenPayload(r.PayloadB)
-				if err != nil {
-					return err
-				}
-				emit(pa, pb)
-			}
-		}
-		revealed = st.RevealedPairs()
+		revealed, err = sql.Execute(sql.EngineRunner{Eng: a.eng, Keys: a.keys}, plan, emit)
 	} else {
-		stream, err := a.cli.JoinPlan(plan)
-		if err != nil {
-			return err
-		}
-		defer stream.Close()
-		for {
-			batch, err := stream.Next()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				return err
-			}
-			for _, r := range batch {
-				emit(r.PayloadA, r.PayloadB)
-			}
-		}
-		revealed = stream.RevealedPairs()
+		revealed, err = a.cli.ExecutePlan(plan, emit)
+	}
+	if err != nil {
+		return err
 	}
 	if total > printed {
 		fmt.Fprintf(a.out, "... %d more\n", total-printed)
 	}
-	fmt.Fprintf(a.out, "%d rows in %v via %s plan (%d equality pairs observed)\n",
-		total, time.Since(qStart).Round(time.Millisecond), plan.Strategy, revealed)
+	fmt.Fprintf(a.out, "%d rows in %v via %s plan, %d join step(s) (%d equality pairs observed)\n",
+		total, time.Since(qStart).Round(time.Millisecond), plan.Strategy, len(plan.Steps), revealed)
 	return nil
 }

@@ -1,6 +1,7 @@
 // SQL example: drives the encrypted join engine through the SQL front
 // end — the paper's Example 2.1 queries written as actual SQL strings,
-// compiled against a catalog and executed over ciphertexts.
+// compiled against a catalog and executed over ciphertexts through the
+// operator-tree executor, including a 3-way join stitched client-side.
 package main
 
 import (
@@ -23,6 +24,7 @@ func main() {
 	catalog, err := sql.NewCatalog(
 		sql.TableSchema{Name: "Teams", JoinColumn: "Key", Attrs: map[string]int{"Name": 0}},
 		sql.TableSchema{Name: "Employees", JoinColumn: "Team", Attrs: map[string]int{"Role": 0}},
+		sql.TableSchema{Name: "Offices", JoinColumn: "TeamKey", Attrs: map[string]int{"Site": 0}},
 	)
 	if err != nil {
 		log.Fatal(err)
@@ -38,12 +40,24 @@ func main() {
 		{JoinValue: []byte("2"), Attrs: [][]byte{[]byte("Programmer")}, Payload: []byte("John (Programmer)")},
 		{JoinValue: []byte("2"), Attrs: [][]byte{[]byte("Tester")}, Payload: []byte("Sally (Tester)")},
 	}
-	for name, rows := range map[string][]engine.PlainRow{"Teams": teams, "Employees": employees} {
+	offices := []engine.PlainRow{
+		{JoinValue: []byte("1"), Attrs: [][]byte{[]byte("Berlin")}, Payload: []byte("Office: Berlin")},
+		{JoinValue: []byte("2"), Attrs: [][]byte{[]byte("Kitchener")}, Payload: []byte("Office: Kitchener")},
+	}
+	for name, rows := range map[string][]engine.PlainRow{"Teams": teams, "Employees": employees, "Offices": offices} {
 		enc, err := client.EncryptTable(name, rows)
 		if err != nil {
 			log.Fatal(err)
 		}
 		server.Upload(enc)
+	}
+	// Sync row counts so the planner orders multi-join chains from
+	// statistics (none of the tables is SSE-indexed here, so every
+	// side full-scans — the paper's exact leakage profile).
+	for _, st := range server.TableStats() {
+		if err := catalog.SetStats(st.Name, st.Rows, st.Indexed); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	queries := []string{
@@ -52,32 +66,37 @@ func main() {
 		`SELECT * FROM Teams JOIN Employees ON Teams.Key = Employees.Team
 		 WHERE Employees.Role IN ('Programmer', 'Tester') AND Teams.Name = 'Database'`,
 		`SELECT * FROM Teams JOIN Employees ON Teams.Key = Employees.Team`,
+		// The 3-way form: Offices stitches onto the Teams hub
+		// client-side after a second pairwise encrypted join.
+		`SELECT * FROM Teams, Employees, Offices
+		 WHERE Teams.Key = Employees.Team AND Offices.TeamKey = Teams.Key
+		 AND Employees.Role = 'Programmer'`,
 	}
+	runner := sql.EngineRunner{Eng: server, Keys: client}
 	for _, qs := range queries {
 		fmt.Println(qs)
 		plan, err := catalog.Compile(qs)
 		if err != nil {
 			log.Fatal(err)
 		}
-		q, err := client.NewQuery(plan.SelA, plan.SelB)
+		var rows []sql.ResultRow
+		revealed, err := sql.Execute(runner, plan, func(r sql.ResultRow) error {
+			rows = append(rows, r)
+			return nil
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		rows, trace, err := server.ExecuteJoin(plan.TableA, plan.TableB, q)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("-> %d rows (%d equality pairs observed by server)\n", len(rows), trace.Pairs.Len())
+		fmt.Printf("-> %d rows via %d pairwise join step(s) (%d equality pairs observed by server)\n",
+			len(rows), len(plan.Steps), revealed)
 		for _, r := range rows {
-			pa, err := client.OpenPayload(r.PayloadA)
-			if err != nil {
-				log.Fatal(err)
+			for i, p := range r.Payloads {
+				if i > 0 {
+					fmt.Print(" | ")
+				}
+				fmt.Printf("%s", p)
 			}
-			pb, err := client.OpenPayload(r.PayloadB)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("   %s | %s\n", pa, pb)
+			fmt.Println()
 		}
 		fmt.Println()
 	}

@@ -277,22 +277,26 @@ func (c *Client) DescribeTables() ([]TableInfo, error) {
 	return out, nil
 }
 
-// SyncCatalog refreshes a catalog's SSE-index metadata from the live
-// server and returns the descriptions. Tables the catalog does not know
-// are ignored; catalog tables the server does not hold are marked
-// unindexed, so a stale catalog cannot make the planner emit a
+// SyncCatalog refreshes a catalog's execution statistics — row counts
+// and SSE-index state — from the live server and returns the
+// descriptions. The planner consults both: row counts drive join
+// ordering and the prefilter selectivity threshold, the index bit the
+// prefilter fast path. Tables the catalog does not know are ignored;
+// catalog tables the server does not hold are marked unindexed with an
+// unknown row count, so a stale catalog cannot make the planner emit a
 // prefiltered plan the server would full-scan anyway.
 func (c *Client) SyncCatalog(cat *sql.Catalog) ([]TableInfo, error) {
 	tables, err := c.DescribeTables()
 	if err != nil {
 		return nil, err
 	}
-	indexed := make(map[string]bool, len(tables))
+	stats := make(map[string]TableInfo, len(tables))
 	for _, t := range tables {
-		indexed[t.Name] = t.Indexed
+		stats[t.Name] = t
 	}
 	for _, name := range cat.TableNames() {
-		_ = cat.SetIndexed(name, indexed[name])
+		t := stats[name] // zero value: unknown rows, no index
+		_ = cat.SetStats(name, t.Rows, t.Indexed)
 	}
 	return tables, nil
 }
@@ -494,21 +498,29 @@ type JoinOpts struct {
 	Workers int
 }
 
-// JoinPlan starts the join a compiled SQL plan describes, honoring the
-// planner's strategy: a prefiltered plan ships SSE token maps for
-// exactly the sides the planner chose to pre-filter (a side left on
-// full scan never reveals its query keywords), a full-scan plan ships
-// join tokens only. The strategy and per-side token rule live solely
-// in sql.Plan.Spec — this is its wire-mode twin, marshaling the
-// compiled spec into a JoinRequest instead of handing it to
-// engine.Server.OpenJoin.
+// JoinPlan starts the join a compiled single-step SQL plan describes,
+// honoring the planner's strategy: a prefiltered plan ships SSE token
+// maps for exactly the sides the planner chose to pre-filter (a side
+// left on full scan never reveals its query keywords), a full-scan
+// plan ships join tokens only. The strategy and per-side token rule
+// live solely in sql.Plan.Spec — this is its wire-mode twin, marshaling
+// the compiled spec into a JoinRequest instead of handing it to
+// engine.Server.OpenJoin. Multi-join plans run through ExecutePlan,
+// which stitches the pairwise steps client-side.
 func (c *Client) JoinPlan(p *sql.Plan) (*JoinStream, error) {
 	spec, err := p.Spec(c.keys)
 	if err != nil {
 		return nil, err
 	}
-	req := &wire.JoinRequest{TableA: p.TableA, TableB: p.TableB, Workers: spec.Workers}
+	return c.joinSpec(p.TableA, p.TableB, spec)
+}
+
+// joinSpec ships one compiled engine.JoinSpec as a JoinRequest and
+// opens the response stream.
+func (c *Client) joinSpec(tableA, tableB string, spec engine.JoinSpec) (*JoinStream, error) {
+	req := &wire.JoinRequest{TableA: tableA, TableB: tableB, Workers: spec.Workers}
 	q := spec.Query
+	var err error
 	if spec.Prefilter != nil {
 		q = spec.Prefilter.Join
 		if len(spec.Prefilter.TokensA) > 0 {
@@ -533,6 +545,53 @@ func (c *Client) JoinPlan(p *sql.Plan) (*JoinStream, error) {
 		return nil, err
 	}
 	return &JoinStream{c: c, p: pd}, nil
+}
+
+// planRunner adapts the wire client to sql.StepRunner: each plan step
+// becomes one JoinRequest, and the response stream's sealed payloads
+// are opened with the client's keys as batches arrive.
+type planRunner struct{ c *Client }
+
+func (r planRunner) RunStep(p *sql.Plan, step int) (sql.StepStream, error) {
+	spec, err := p.SpecFor(step, r.c.keys)
+	if err != nil {
+		return nil, err
+	}
+	st := &p.Steps[step]
+	js, err := r.c.joinSpec(st.Left.Table, st.Right.Table, spec)
+	if err != nil {
+		return nil, err
+	}
+	return wireStepStream{js}, nil
+}
+
+// wireStepStream adapts JoinStream (which already decrypts payloads) to
+// sql.StepStream.
+type wireStepStream struct{ js *JoinStream }
+
+func (s wireStepStream) Next() ([]sql.StepRow, error) {
+	rows, err := s.js.Next()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sql.StepRow, len(rows))
+	for i, r := range rows {
+		out[i] = sql.StepRow{RowL: r.RowA, RowR: r.RowB, PayloadL: r.PayloadA, PayloadR: r.PayloadB}
+	}
+	return out, nil
+}
+
+func (s wireStepStream) Close()             { s.js.Close() }
+func (s wireStepStream) RevealedPairs() int { return s.js.RevealedPairs() }
+
+// ExecutePlan runs a compiled SQL plan of any arity against the live
+// server: each pairwise encrypted join step ships as its own
+// JoinRequest, and the decrypted intermediates are stitched client-side
+// on the shared table's row identity (sql.Execute). emit receives every
+// stitched result row; the returned count sums the revealed pairs over
+// all executed steps.
+func (c *Client) ExecutePlan(p *sql.Plan, emit func(sql.ResultRow) error) (int, error) {
+	return sql.Execute(planRunner{c}, p, emit)
 }
 
 // JoinQuery starts SELECT * FROM tableA JOIN tableB ON joinA = joinB

@@ -122,6 +122,150 @@ func canonical(t *testing.T, rows []string) string {
 	return strings.Join(sorted, "\n")
 }
 
+// conformanceOffices is the third table of the multi-join suite: one
+// row per office, joined on the team key — so Teams is the hub of a
+// 3-way star with Employees and Offices. Team 1 has two offices, which
+// pins stitch multiplicity.
+//
+//	0: key 1, Berlin    -> office-berlin
+//	1: key 2, Kitchener -> office-kw
+//	2: key 3, Remote    -> office-remote
+//	3: key 1, Berlin    -> office-berlin2
+func conformanceOffices() []engine.PlainRow {
+	return []engine.PlainRow{
+		{JoinValue: []byte("1"), Attrs: [][]byte{[]byte("Berlin")}, Payload: []byte("office-berlin")},
+		{JoinValue: []byte("2"), Attrs: [][]byte{[]byte("Kitchener")}, Payload: []byte("office-kw")},
+		{JoinValue: []byte("3"), Attrs: [][]byte{[]byte("Remote")}, Payload: []byte("office-remote")},
+		{JoinValue: []byte("1"), Attrs: [][]byte{[]byte("Berlin")}, Payload: []byte("office-berlin2")},
+	}
+}
+
+const multiJoinBase = `SELECT * FROM Teams JOIN Employees ON Teams.Key = Employees.Team JOIN Offices ON Offices.TeamKey = Teams.Key`
+
+// multiJoinQueries: rows are (teams, employees, offices) row triples in
+// the tables' declared order.
+var multiJoinQueries = []struct {
+	name  string
+	query string
+	rows  [][3]int
+}{
+	{name: "threeway no where", query: multiJoinBase,
+		rows: [][3]int{{0, 0, 0}, {0, 0, 3}, {0, 1, 0}, {0, 1, 3}, {1, 2, 1}, {2, 3, 2}}},
+	{name: "threeway filter on hub", query: multiJoinBase + ` WHERE Teams.Dept = 'Eng'`,
+		rows: [][3]int{{0, 0, 0}, {0, 0, 3}, {0, 1, 0}, {0, 1, 3}, {1, 2, 1}}},
+	{name: "threeway filter two leaves", query: multiJoinBase + ` WHERE Employees.Role = 'Programmer' AND Offices.Site = 'Berlin'`,
+		rows: [][3]int{{0, 0, 0}, {0, 0, 3}}},
+	{name: "threeway conjunction empties", query: multiJoinBase + ` WHERE Teams.Name = 'Helpdesk' AND Employees.Role = 'Programmer'`,
+		rows: nil},
+	{name: "threeway IN on offices", query: multiJoinBase + ` WHERE Offices.Site IN ('Kitchener', 'Remote')`,
+		rows: [][3]int{{1, 2, 1}, {2, 3, 2}}},
+	{name: "threeway comma form", query: `SELECT * FROM Teams, Employees, Offices WHERE Teams.Key = Employees.Team AND Offices.TeamKey = Teams.Key AND Teams.Dept = 'Support'`,
+		rows: [][3]int{{2, 3, 2}}},
+}
+
+// TestSQLConformanceMultiJoin executes every 3-table query through the
+// planner-chosen operator tree in both execution modes — in-process
+// (sql.Execute over the engine) and over the wire (client.ExecutePlan)
+// — and both must produce identical stitched rows, identical decrypted
+// payloads, and identical summed sigma(q) revealed-pair counts, all
+// matching the hand-computed ground truth.
+func TestSQLConformanceMultiJoin(t *testing.T) {
+	srv := server.New(nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := client.Dial(addr, securejoin.Params{M: 2, T: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	teams, employees := conformanceTables()
+	offices := conformanceOffices()
+	for name, rows := range map[string][]engine.PlainRow{
+		"Teams": teams, "Employees": employees, "Offices": offices,
+	} {
+		if err := c.UploadIndexed(name, rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cat, err := sql.NewCatalog(
+		sql.TableSchema{Name: "Teams", JoinColumn: "Key", Attrs: map[string]int{"Name": 0, "Dept": 1}},
+		sql.TableSchema{Name: "Employees", JoinColumn: "Team", Attrs: map[string]int{"Role": 0, "Level": 1}},
+		sql.TableSchema{Name: "Offices", JoinColumn: "TeamKey", Attrs: map[string]int{"Site": 0}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SyncCatalog(cat); err != nil {
+		t.Fatal(err)
+	}
+
+	payloads := [][]engine.PlainRow{teams, employees, offices}
+	eng := srv.Engine()
+	keys := c.Keys()
+
+	for _, cq := range multiJoinQueries {
+		cq := cq
+		t.Run(cq.name, func(t *testing.T) {
+			plan, err := cat.Compile(cq.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(plan.Steps) != 2 {
+				t.Fatalf("planned %d steps, want 2:\n%s", len(plan.Steps), plan.Describe())
+			}
+			// The catalog synced real row counts, so the order must be
+			// statistics-driven; Teams (3 rows) is the smallest table and
+			// the hub, so it anchors every chain regardless of the query.
+			if plan.OrderReason != "row statistics (smallest estimated sides first)" {
+				t.Fatalf("order reason = %q", plan.OrderReason)
+			}
+			if !plan.Steps[1].Stitch {
+				t.Fatal("second step not marked as a stitch")
+			}
+
+			render := func(r sql.ResultRow) string {
+				return fmt.Sprintf("%d|%d|%d|%s|%s|%s",
+					r.Rows[0], r.Rows[1], r.Rows[2], r.Payloads[0], r.Payloads[1], r.Payloads[2])
+			}
+			var libRows []string
+			libRevealed, err := sql.Execute(sql.EngineRunner{Eng: eng, Keys: keys}, plan,
+				func(r sql.ResultRow) error { libRows = append(libRows, render(r)); return nil })
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wireRows []string
+			wireRevealed, err := c.ExecutePlan(plan,
+				func(r sql.ResultRow) error { wireRows = append(wireRows, render(r)); return nil })
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var want []string
+			for _, tr := range cq.rows {
+				want = append(want, fmt.Sprintf("%d|%d|%d|%s|%s|%s",
+					tr[0], tr[1], tr[2],
+					payloads[0][tr[0]].Payload, payloads[1][tr[1]].Payload, payloads[2][tr[2]].Payload))
+			}
+			wantCanon := canonical(t, want)
+			libCanon := canonical(t, libRows)
+			if libCanon != wantCanon {
+				t.Fatalf("lib rows =\n%s\nwant\n%s", libCanon, wantCanon)
+			}
+			if wireCanon := canonical(t, wireRows); wireCanon != libCanon {
+				t.Errorf("wire rows differ from lib:\n%s\nvs\n%s", wireCanon, libCanon)
+			}
+			if libRevealed != wireRevealed {
+				t.Errorf("lib revealed %d pairs, wire revealed %d", libRevealed, wireRevealed)
+			}
+		})
+	}
+}
+
 func TestSQLConformance(t *testing.T) {
 	srv := server.New(nil)
 	addr, err := srv.Listen("127.0.0.1:0")

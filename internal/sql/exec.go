@@ -1,39 +1,245 @@
 package sql
 
 import (
+	"errors"
+	"fmt"
+	"io"
+
 	"repro/internal/engine"
 )
 
-// Spec compiles the plan all the way down to the engine's executable
-// JoinSpec, deriving the per-query join tokens — and, for a prefiltered
-// plan, the SSE search-token maps of the prefiltered sides — from the
-// client's key material. A side the planner left on full scan gets no
-// token map, so its query keywords are never revealed to the server
-// without a corresponding speedup.
+// SpecFor compiles one pairwise join step of the plan down to the
+// engine's executable JoinSpec, deriving the per-step join tokens —
+// and, for a prefiltered step, the SSE search-token maps of the
+// prefiltered sides — from the client's key material. A side the
+// planner left on full scan gets no token map, so its query keywords
+// are never revealed to the server without a corresponding speedup.
 //
 // The resulting spec runs through engine.Server.OpenJoin; wire-mode
-// callers use client.Client.JoinPlan instead, which performs the same
-// derivation and ships the tokens in a JoinRequest.
-func (p *Plan) Spec(keys *engine.Client) (engine.JoinSpec, error) {
+// callers use client.Client.ExecutePlan instead, which performs the
+// same derivation per step and ships the tokens in JoinRequests.
+func (p *Plan) SpecFor(step int, keys *engine.Client) (engine.JoinSpec, error) {
+	if step < 0 || step >= len(p.Steps) {
+		return engine.JoinSpec{}, fmt.Errorf("sql: plan has no step %d", step)
+	}
+	st := &p.Steps[step]
 	spec := engine.JoinSpec{Workers: p.Workers}
-	if p.Strategy != Prefiltered {
-		q, err := keys.NewQuery(p.SelA, p.SelB)
+	if st.Strategy != Prefiltered {
+		q, err := keys.NewQuery(st.Left.Sel, st.Right.Sel)
 		if err != nil {
 			return engine.JoinSpec{}, err
 		}
 		spec.Query = q
 		return spec, nil
 	}
-	pq, err := keys.NewPrefilterQuery(p.SelA, p.SelB)
+	pq, err := keys.NewPrefilterQuery(st.Left.Sel, st.Right.Sel)
 	if err != nil {
 		return engine.JoinSpec{}, err
 	}
-	if !p.SideA.Prefilter {
+	if !st.Left.Prefilter {
 		pq.TokensA = nil
 	}
-	if !p.SideB.Prefilter {
+	if !st.Right.Prefilter {
 		pq.TokensB = nil
 	}
 	spec.Prefilter = pq
 	return spec, nil
 }
+
+// Spec compiles a single-join plan into the engine's JoinSpec — the
+// pre-operator-tree entry point, kept for two-table callers. Multi-join
+// plans must run through Execute (or client.Client.ExecutePlan), which
+// stitches the pairwise steps.
+func (p *Plan) Spec(keys *engine.Client) (engine.JoinSpec, error) {
+	if len(p.Steps) != 1 {
+		return engine.JoinSpec{}, fmt.Errorf("sql: plan joins %d tables in %d steps; use Execute for multi-join plans", len(p.Tables), len(p.Steps))
+	}
+	return p.SpecFor(0, keys)
+}
+
+// StepRow is one decrypted result pair of a pairwise join step: the
+// row numbers and opened payloads of the step's left and right tables.
+type StepRow struct {
+	RowL, RowR         int
+	PayloadL, PayloadR []byte
+}
+
+// StepStream consumes one pairwise join step's results batch by batch.
+// Next returns io.EOF after the final batch, at which point
+// RevealedPairs reports the step's sigma(q) size. Close releases a
+// stream early; the leakage observed up to that point stays recorded.
+type StepStream interface {
+	Next() ([]StepRow, error)
+	Close()
+	RevealedPairs() int
+}
+
+// StepRunner executes one pairwise encrypted join of a compiled plan.
+// internal/sql provides the in-process EngineRunner; internal/client
+// implements the wire twin over JoinRequest frames.
+type StepRunner interface {
+	RunStep(p *Plan, step int) (StepStream, error)
+}
+
+// ResultRow is one stitched result of an executed plan: per FROM-clause
+// table (Plan.Tables order), the server row number and the decrypted
+// payload.
+type ResultRow struct {
+	Rows     []int
+	Payloads [][]byte
+}
+
+// Execute runs a compiled plan through a StepRunner: the first pairwise
+// join streams from the server, and every subsequent step's decrypted
+// pairs are stitched into the intermediate client-side on the shared
+// table's row identity. emit receives every stitched result row; the
+// final step streams, so a single-join plan never materializes its
+// result set. The returned count sums the revealed equality pairs
+// (sigma) over all executed steps.
+//
+// If the intermediate result empties before the chain ends, the
+// remaining steps are skipped: they could not contribute rows, and not
+// running them reveals strictly less to the server.
+func Execute(r StepRunner, p *Plan, emit func(ResultRow) error) (revealed int, err error) {
+	if len(p.Steps) == 0 {
+		return 0, errors.New("sql: plan has no join steps")
+	}
+	col := make(map[string]int, len(p.Tables))
+	for i, t := range p.Tables {
+		col[t] = i
+	}
+	width := len(p.Tables)
+
+	var tuples []ResultRow
+	for i := range p.Steps {
+		st := &p.Steps[i]
+		last := i == len(p.Steps)-1
+		li, ri := col[st.Left.Table], col[st.Right.Table]
+
+		// For stitch steps, index the intermediate by the shared (left)
+		// table's row number before draining the step.
+		var byRow map[int][]int // left row -> tuple positions
+		if st.Stitch {
+			byRow = make(map[int][]int, len(tuples))
+			for ti := range tuples {
+				k := tuples[ti].Rows[li]
+				byRow[k] = append(byRow[k], ti)
+			}
+		}
+
+		stream, err := r.RunStep(p, i)
+		if err != nil {
+			return revealed, err
+		}
+		var next []ResultRow
+		for {
+			batch, err := stream.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				stream.Close()
+				return revealed, err
+			}
+			for _, m := range batch {
+				if !st.Stitch {
+					row := ResultRow{Rows: make([]int, width), Payloads: make([][]byte, width)}
+					for j := range row.Rows {
+						row.Rows[j] = -1
+					}
+					row.Rows[li], row.Payloads[li] = m.RowL, m.PayloadL
+					row.Rows[ri], row.Payloads[ri] = m.RowR, m.PayloadR
+					if err := emitOrCollect(emit, &next, row, last); err != nil {
+						stream.Close()
+						return revealed, err
+					}
+					continue
+				}
+				for _, ti := range byRow[m.RowL] {
+					t := tuples[ti]
+					row := ResultRow{
+						Rows:     append([]int(nil), t.Rows...),
+						Payloads: append([][]byte(nil), t.Payloads...),
+					}
+					row.Rows[ri], row.Payloads[ri] = m.RowR, m.PayloadR
+					if err := emitOrCollect(emit, &next, row, last); err != nil {
+						stream.Close()
+						return revealed, err
+					}
+				}
+			}
+		}
+		revealed += stream.RevealedPairs()
+		tuples = next
+		if !last && len(tuples) == 0 {
+			break
+		}
+	}
+	return revealed, nil
+}
+
+// emitOrCollect routes one stitched row: the final step emits directly
+// (streaming), earlier steps collect the intermediate.
+func emitOrCollect(emit func(ResultRow) error, next *[]ResultRow, row ResultRow, last bool) error {
+	if last {
+		return emit(row)
+	}
+	*next = append(*next, row)
+	return nil
+}
+
+// EngineRunner executes plan steps against an in-process engine,
+// opening result payloads with the client's keys so the emitted rows
+// match what wire-mode execution delivers.
+type EngineRunner struct {
+	Eng  *engine.Server
+	Keys *engine.Client
+	// Batch bounds probe-side rows per stream batch (0 = engine
+	// default).
+	Batch int
+}
+
+// RunStep compiles one step and opens its engine JoinStream.
+func (r EngineRunner) RunStep(p *Plan, step int) (StepStream, error) {
+	spec, err := p.SpecFor(step, r.Keys)
+	if err != nil {
+		return nil, err
+	}
+	spec.Batch = r.Batch
+	st := &p.Steps[step]
+	js, err := r.Eng.OpenJoin(st.Left.Table, st.Right.Table, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &engineStepStream{js: js, keys: r.Keys}, nil
+}
+
+// engineStepStream adapts engine.JoinStream to StepStream, decrypting
+// payloads as batches arrive.
+type engineStepStream struct {
+	js   *engine.JoinStream
+	keys *engine.Client
+}
+
+func (s *engineStepStream) Next() ([]StepRow, error) {
+	rows, err := s.js.Next()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]StepRow, len(rows))
+	for i, r := range rows {
+		pl, err := s.keys.OpenPayload(r.PayloadA)
+		if err != nil {
+			return nil, fmt.Errorf("sql: opening payload of %d: %w", r.RowA, err)
+		}
+		pr, err := s.keys.OpenPayload(r.PayloadB)
+		if err != nil {
+			return nil, fmt.Errorf("sql: opening payload of %d: %w", r.RowB, err)
+		}
+		out[i] = StepRow{RowL: r.RowA, RowR: r.RowB, PayloadL: pl, PayloadR: pr}
+	}
+	return out, nil
+}
+
+func (s *engineStepStream) Close()             { s.js.Close() }
+func (s *engineStepStream) RevealedPairs() int { return s.js.RevealedPairs() }

@@ -5,53 +5,95 @@ import (
 	"strings"
 )
 
-// Describe renders the plan the way EXPLAIN prints it: the chosen
-// strategy, each side's table, index state, predicate summary and
-// per-side decision (with the fallback reason when a side full-scans),
-// the worker hint, and the leakage consequence of the choice. The
-// output is deterministic (predicates are listed in sorted column
-// order) and pinned by golden-file tests.
+// Describe renders the plan the way EXPLAIN prints it. A single-join
+// plan keeps the historical two-side rendering; a multi-join plan
+// renders the operator tree: the chosen join order (and what drove
+// it), each pairwise encrypted join step with its per-side
+// Scan/Prefilter decision, the stitch table of every bind step, the
+// worker hint, and the leakage consequence of the choices. The output
+// is deterministic (predicates are listed in sorted column order) and
+// pinned by golden-file tests.
 func (p *Plan) Describe() string {
 	var b strings.Builder
-	switch p.Strategy {
-	case Prefiltered:
-		fmt.Fprintf(&b, "plan: prefiltered (SSE candidate selection, SJ.Dec over candidates)\n")
-	default:
-		fmt.Fprintf(&b, "plan: full scan (SJ.Dec over every row)\n")
+	if len(p.Steps) <= 1 {
+		switch p.Strategy {
+		case Prefiltered:
+			fmt.Fprintf(&b, "plan: prefiltered (SSE candidate selection, SJ.Dec over candidates)\n")
+		default:
+			fmt.Fprintf(&b, "plan: full scan (SJ.Dec over every row)\n")
+		}
+		describeSide(&b, "A", &p.SideA, "")
+		describeSide(&b, "B", &p.SideB, "")
+		describeWorkers(&b, p.Workers)
+		if p.Strategy == Prefiltered {
+			fmt.Fprintf(&b, "leakage: server additionally learns the rows matching each predicate value (SSE access pattern)\n")
+		} else {
+			fmt.Fprintf(&b, "leakage: the paper's exact profile (equality pairs among selected rows only)\n")
+		}
+		return b.String()
 	}
-	describeSide(&b, "A", &p.SideA)
-	describeSide(&b, "B", &p.SideB)
-	if p.Workers > 0 {
-		fmt.Fprintf(&b, "workers: %d\n", p.Workers)
-	} else {
-		fmt.Fprintf(&b, "workers: engine default\n")
+
+	fmt.Fprintf(&b, "plan: %d-table join, %d pairwise encrypted step(s), left-deep\n", len(p.Tables), len(p.Steps))
+	order := make([]string, 0, len(p.Tables))
+	for i, st := range p.Steps {
+		if i == 0 {
+			order = append(order, st.Left.Table)
+		}
+		order = append(order, st.Right.Table)
 	}
+	fmt.Fprintf(&b, "join order: %s — %s\n", strings.Join(order, ", "), p.OrderReason)
+	for i, st := range p.Steps {
+		fmt.Fprintf(&b, "step %d: %s JOIN %s [%s]", i+1, st.Left.Table, st.Right.Table, st.Strategy)
+		if st.Stitch {
+			fmt.Fprintf(&b, " (stitch on %s rows, client-side)", st.Left.Table)
+		}
+		b.WriteByte('\n')
+		describeSide(&b, "A", &st.Left, "  ")
+		describeSide(&b, "B", &st.Right, "  ")
+	}
+	describeWorkers(&b, p.Workers)
 	if p.Strategy == Prefiltered {
-		fmt.Fprintf(&b, "leakage: server additionally learns the rows matching each predicate value (SSE access pattern)\n")
+		fmt.Fprintf(&b, "leakage: per pairwise join sigma(q), plus SSE access pattern on prefiltered sides; stitch keys stay client-side\n")
 	} else {
-		fmt.Fprintf(&b, "leakage: the paper's exact profile (equality pairs among selected rows only)\n")
+		fmt.Fprintf(&b, "leakage: per pairwise join sigma(q) (equality pairs among selected rows); stitch keys stay client-side\n")
 	}
 	return b.String()
 }
 
-func describeSide(b *strings.Builder, label string, sp *SidePlan) {
+func describeWorkers(b *strings.Builder, workers int) {
+	if workers > 0 {
+		fmt.Fprintf(b, "workers: %d\n", workers)
+	} else {
+		fmt.Fprintf(b, "workers: engine default\n")
+	}
+}
+
+func describeSide(b *strings.Builder, label string, sp *SidePlan, indent string) {
 	indexed := "not indexed"
 	if sp.Indexed {
 		indexed = "indexed"
 	}
-	fmt.Fprintf(b, "side %s: %s [%s]\n", label, sp.Table, indexed)
+	if sp.RowCount > 0 {
+		fmt.Fprintf(b, "%sside %s: %s [%s, %d rows]\n", indent, label, sp.Table, indexed, sp.RowCount)
+	} else {
+		fmt.Fprintf(b, "%sside %s: %s [%s]\n", indent, label, sp.Table, indexed)
+	}
 	if len(sp.Preds) == 0 {
-		fmt.Fprintf(b, "  predicates: none\n")
+		fmt.Fprintf(b, "%s  predicates: none\n", indent)
 	} else {
 		parts := make([]string, len(sp.Preds))
 		for i, pr := range sp.Preds {
 			parts[i] = fmt.Sprintf("%s (%d value(s))", pr.Column, pr.Values)
 		}
-		fmt.Fprintf(b, "  predicates: %s\n", strings.Join(parts, ", "))
+		fmt.Fprintf(b, "%s  predicates: %s\n", indent, strings.Join(parts, ", "))
 	}
 	if sp.Prefilter {
-		fmt.Fprintf(b, "  -> prefiltered, %d SSE token(s)\n", sp.Tokens())
+		if sp.EstRows >= 0 {
+			fmt.Fprintf(b, "%s  -> prefiltered, %d SSE token(s), est. %d candidate row(s)\n", indent, sp.Tokens(), sp.EstRows)
+		} else {
+			fmt.Fprintf(b, "%s  -> prefiltered, %d SSE token(s)\n", indent, sp.Tokens())
+		}
 	} else {
-		fmt.Fprintf(b, "  -> full scan (%s)\n", sp.Reason)
+		fmt.Fprintf(b, "%s  -> full scan (%s)\n", indent, sp.Reason)
 	}
 }

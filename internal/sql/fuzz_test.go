@@ -7,13 +7,15 @@ import (
 )
 
 // fuzzCatalog is the populated catalog hostile inputs are planned
-// against: one indexed and one unindexed table whose names appear in
-// the fuzz seeds, so mutations frequently reach predicate compilation
-// and strategy selection rather than dying at name resolution.
+// against: indexed and unindexed tables (one with row statistics, one
+// without) whose names appear in the fuzz seeds, so mutations
+// frequently reach predicate compilation, join ordering and strategy
+// selection rather than dying at name resolution.
 func fuzzCatalog() *Catalog {
 	cat, err := NewCatalog(
-		TableSchema{Name: "A", JoinColumn: "k", Attrs: map[string]int{"c": 0, "d": 1}, Indexed: true},
+		TableSchema{Name: "A", JoinColumn: "k", Attrs: map[string]int{"c": 0, "d": 1}, Indexed: true, RowCount: 100},
 		TableSchema{Name: "B", JoinColumn: "k", Attrs: map[string]int{"c": 0, "e": 1}},
+		TableSchema{Name: "C", JoinColumn: "k", Attrs: map[string]int{"f": 0}, Indexed: true, RowCount: 7},
 	)
 	if err != nil {
 		panic(err)
@@ -28,19 +30,58 @@ func checkPlanInvariants(t testing.TB, input string, plan *Plan) {
 	if plan == nil {
 		t.Fatalf("nil plan without error for %q", input)
 	}
-	prefiltered := plan.SideA.Prefilter || plan.SideB.Prefilter
-	if (plan.Strategy == Prefiltered) != prefiltered {
-		t.Fatalf("strategy %v inconsistent with sides %v/%v for %q",
-			plan.Strategy, plan.SideA.Prefilter, plan.SideB.Prefilter, input)
+	if len(plan.Steps) != len(plan.Tables)-1 {
+		t.Fatalf("%d steps for %d tables for %q", len(plan.Steps), len(plan.Tables), input)
 	}
-	for _, sp := range []*SidePlan{&plan.SideA, &plan.SideB} {
-		if sp.Prefilter && (sp.Reason != "" || len(sp.Preds) == 0 || sp.Tokens() == 0) {
-			t.Fatalf("prefiltered side %q with reason=%q preds=%v for %q",
-				sp.Table, sp.Reason, sp.Preds, input)
+	prefiltered := false
+	joined := map[string]bool{}
+	for i, st := range plan.Steps {
+		if (st.Strategy == Prefiltered) != (st.Left.Prefilter || st.Right.Prefilter) {
+			t.Fatalf("step %d strategy %v inconsistent with sides %v/%v for %q",
+				i, st.Strategy, st.Left.Prefilter, st.Right.Prefilter, input)
 		}
-		if !sp.Prefilter && sp.Reason == "" {
-			t.Fatalf("full-scan side %q without reason for %q", sp.Table, input)
+		if st.Strategy == Prefiltered {
+			prefiltered = true
 		}
+		if st.Stitch != (i > 0) {
+			t.Fatalf("step %d stitch=%v for %q", i, st.Stitch, input)
+		}
+		if i > 0 && !joined[st.Left.Table] {
+			t.Fatalf("step %d stitches on %q, which is not joined yet, for %q", i, st.Left.Table, input)
+		}
+		if i > 0 && joined[st.Right.Table] {
+			t.Fatalf("step %d re-joins %q for %q", i, st.Right.Table, input)
+		}
+		joined[st.Left.Table] = true
+		joined[st.Right.Table] = true
+		for _, sp := range []*SidePlan{&st.Left, &st.Right} {
+			if sp.Prefilter && (sp.Reason != "" || len(sp.Preds) == 0 || sp.Tokens() == 0) {
+				t.Fatalf("prefiltered side %q with reason=%q preds=%v for %q",
+					sp.Table, sp.Reason, sp.Preds, input)
+			}
+			if !sp.Prefilter && sp.Reason == "" {
+				t.Fatalf("full-scan side %q without reason for %q", sp.Table, input)
+			}
+			if sp.Prefilter && sp.EstRows >= 0 && sp.EstRows >= sp.RowCount {
+				t.Fatalf("prefiltered side %q despite est. %d of %d rows for %q",
+					sp.Table, sp.EstRows, sp.RowCount, input)
+			}
+		}
+	}
+	if len(joined) != len(plan.Tables) {
+		t.Fatalf("steps join %d tables, FROM names %d, for %q", len(joined), len(plan.Tables), input)
+	}
+	for _, name := range plan.Tables {
+		if !joined[name] {
+			t.Fatalf("FROM table %q missing from the chain for %q", name, input)
+		}
+	}
+	if (plan.Strategy == Prefiltered) != prefiltered {
+		t.Fatalf("plan strategy %v inconsistent with steps for %q", plan.Strategy, input)
+	}
+	if plan.TableA != plan.Steps[0].Left.Table || plan.TableB != plan.Steps[0].Right.Table ||
+		plan.SideA.Table != plan.TableA || plan.SideB.Table != plan.TableB {
+		t.Fatalf("legacy side projection diverged from step 0 for %q", input)
 	}
 	if plan.Describe() == "" {
 		t.Fatalf("empty Describe() for %q", input)
@@ -55,6 +96,8 @@ func TestParserNeverPanics(t *testing.T) {
 	seeds := []string{
 		`SELECT * FROM A JOIN B ON A.k = B.k WHERE A.c IN ('x', 'y') AND B.d = 'z'`,
 		`EXPLAIN SELECT * FROM A JOIN B ON A.k = B.k WHERE A.c = 'x' AND B.c = 'y'`,
+		`SELECT * FROM A, B, C WHERE A.k = B.k AND B.k = C.k AND C.f = 'x'`,
+		`SELECT * FROM A JOIN B ON A.k = B.k JOIN C ON C.k = B.k`,
 		`select * from t1 join t2 on t1.a = t2.b`,
 		`SELECT`,
 		`'''`,
@@ -127,6 +170,8 @@ func FuzzPlanQuery(f *testing.F) {
 		`EXPLAIN SELECT * FROM A JOIN B ON B.k = A.k WHERE A.d = 'v' AND A.d IN (1, 2.5)`,
 		`SELECT * FROM B JOIN A ON B.k = A.k`,
 		`SELECT * FROM A JOIN B ON A.k = B.k WHERE B.e = 'it''s'`,
+		`SELECT * FROM A, B, C WHERE A.k = B.k AND B.k = C.k AND C.f IN ('x', 'y')`,
+		`EXPLAIN SELECT * FROM C JOIN B ON C.k = B.k JOIN A ON A.k = C.k WHERE A.c = 'v'`,
 	} {
 		f.Add(s)
 	}

@@ -1,15 +1,22 @@
-// Package sql implements a small SQL front end for the query form the
-// paper supports (Section 4, Example 4.1):
+// Package sql implements a small SQL front end over the query form the
+// paper supports (Section 4, Example 4.1), extended to multi-table
+// equi-joins:
 //
 //	SELECT * FROM A JOIN B ON A.j = B.j
 //	WHERE A.attr IN ('v1', 'v2') AND B.attr = 'v3'
 //
-// Queries are lexed, parsed into an AST, validated against a catalog of
-// table schemas and planned into the Secure Join engine's Selection
-// predicates. Equality predicates are sugar for one-element IN clauses.
-// A statement may be prefixed with EXPLAIN, in which case the planned
-// execution strategy is rendered instead of running the query (see
-// Plan.Describe).
+//	SELECT * FROM A, B, C
+//	WHERE A.j = B.j AND B.j = C.j AND C.attr = 'v'
+//
+// A FROM clause may list tables with commas, chain JOIN ... ON
+// clauses, or mix both; join conditions may equivalently appear as
+// WHERE conjuncts relating two columns. Queries are lexed, parsed into
+// an AST, validated against a catalog of table schemas and planned
+// into a left-deep chain of pairwise encrypted joins over the Secure
+// Join engine's Selection predicates (see Catalog.PlanQuery). Equality
+// predicates are sugar for one-element IN clauses. A statement may be
+// prefixed with EXPLAIN, in which case the planned operator tree is
+// rendered instead of running the query (see Plan.Describe).
 package sql
 
 import (

@@ -7,19 +7,35 @@ import (
 
 // JoinQuery is the AST of one supported statement:
 //
-//	[EXPLAIN] SELECT * FROM <TableA> JOIN <TableB> ON <colRef> = <colRef>
-//	[WHERE <predicate> [AND <predicate>]...]
+//	[EXPLAIN] SELECT * FROM <table> {, <table> | JOIN <table> ON <colRef> = <colRef>}
+//	[WHERE <conjunct> [AND <conjunct>]...]
 //
-// where each predicate is <colRef> IN ('v', ...) or <colRef> = 'v'.
+// where each conjunct is either a predicate — <colRef> IN ('v', ...) or
+// <colRef> = 'v' — or another equi-join condition <colRef> = <colRef>.
+// Comma-listed tables and chained JOIN ... ON clauses are equivalent:
+// the parser collects every table of the FROM clause into Tables and
+// every join condition (from ON clauses and from WHERE conjuncts
+// relating two columns) into Conds; the planner decides the join order.
 type JoinQuery struct {
-	TableA, TableB string
-	// OnA and OnB are the join column names of the respective tables.
-	OnA, OnB string
-	// Predicates lists the WHERE conjuncts in source order.
+	// Tables lists the FROM-clause tables in declaration order.
+	Tables []string
+	// Conds lists the equi-join conditions in source order.
+	Conds []JoinCond
+	// Predicates lists the WHERE conjuncts restricting single columns,
+	// in source order.
 	Predicates []Predicate
 	// Explain is set when the statement was prefixed with EXPLAIN: the
 	// caller should render the plan instead of executing it.
 	Explain bool
+}
+
+// JoinCond is one equi-join condition relating two tables' join
+// columns, from an ON clause or a WHERE conjunct.
+type JoinCond struct {
+	Left, Right ColRef
+	// Pos is the byte offset of the condition in the input, for error
+	// messages.
+	Pos int
 }
 
 // Predicate is one IN (or equality, desugared to a one-element IN)
@@ -28,6 +44,9 @@ type Predicate struct {
 	Table  string
 	Column string
 	Values []string
+	// Pos is the byte offset of the predicate in the input, for error
+	// messages.
+	Pos int
 }
 
 // ColRef is a qualified column reference.
@@ -46,7 +65,8 @@ func Parse(query string) (*JoinQuery, error) {
 		return nil, err
 	}
 	if p.cur.kind != tokEOF {
-		return nil, fmt.Errorf("sql: unexpected %s %q after end of statement", p.cur.kind, p.cur.text)
+		return nil, fmt.Errorf("sql: unexpected %s %q after end of statement at offset %d",
+			p.cur.kind, p.cur.text, p.cur.pos)
 	}
 	return q, nil
 }
@@ -97,43 +117,63 @@ func (p *parser) parseJoinQuery() (*JoinQuery, error) {
 	if err := p.expectKeyword("FROM"); err != nil {
 		return nil, err
 	}
-	tableA, err := p.expect(tokIdent)
-	if err != nil {
-		return nil, err
-	}
-	if err := p.expectKeyword("JOIN"); err != nil {
-		return nil, err
-	}
-	tableB, err := p.expect(tokIdent)
-	if err != nil {
-		return nil, err
-	}
-	if err := p.expectKeyword("ON"); err != nil {
-		return nil, err
-	}
-	left, err := p.parseColRef()
-	if err != nil {
-		return nil, err
-	}
-	if _, err := p.expect(tokEq); err != nil {
-		return nil, err
-	}
-	right, err := p.parseColRef()
-	if err != nil {
-		return nil, err
-	}
+	q := &JoinQuery{Explain: explain}
 
-	q := &JoinQuery{TableA: tableA.text, TableB: tableB.text, Explain: explain}
+	first, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, fmt.Errorf("sql: FROM list: %w", err)
+	}
+	q.Tables = append(q.Tables, first.text)
+	seen := map[string]int{strings.ToLower(first.text): first.pos}
 
-	// Resolve which side of the ON condition belongs to which table.
-	switch {
-	case strings.EqualFold(left.Table, q.TableA) && strings.EqualFold(right.Table, q.TableB):
-		q.OnA, q.OnB = left.Column, right.Column
-	case strings.EqualFold(left.Table, q.TableB) && strings.EqualFold(right.Table, q.TableA):
-		q.OnA, q.OnB = right.Column, left.Column
-	default:
-		return nil, fmt.Errorf("sql: ON condition must relate %s and %s, got %s and %s",
-			q.TableA, q.TableB, left.Table, right.Table)
+	// The rest of the FROM clause: comma-listed tables and/or chained
+	// JOIN ... ON clauses, in any mix.
+	for {
+		switch {
+		case p.cur.kind == tokComma:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			t, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, fmt.Errorf("sql: FROM list: %w", err)
+			}
+			if err := addTable(q, seen, t); err != nil {
+				return nil, err
+			}
+			continue
+		case p.cur.kind == tokKeyword && p.cur.text == "JOIN":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			t, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, fmt.Errorf("sql: JOIN clause: %w", err)
+			}
+			if err := addTable(q, seen, t); err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			cond, err := p.parseJoinCond()
+			if err != nil {
+				return nil, err
+			}
+			q.Conds = append(q.Conds, cond)
+			continue
+		case p.cur.kind == tokIdent:
+			// A bare identifier after a table name is almost always a
+			// missing comma or JOIN keyword; report it precisely instead
+			// of falling through to the generic trailing-input error.
+			return nil, fmt.Errorf("sql: expected ',' or JOIN before %q in FROM list at offset %d",
+				p.cur.text, p.cur.pos)
+		}
+		break
+	}
+	if len(q.Tables) < 2 {
+		return nil, fmt.Errorf("sql: a join query names at least two tables, found only %q (offset %d)",
+			first.text, first.pos)
 	}
 
 	if p.cur.kind == tokKeyword && p.cur.text == "WHERE" {
@@ -141,11 +181,9 @@ func (p *parser) parseJoinQuery() (*JoinQuery, error) {
 			return nil, err
 		}
 		for {
-			pred, err := p.parsePredicate()
-			if err != nil {
+			if err := p.parseConjunct(q); err != nil {
 				return nil, err
 			}
-			q.Predicates = append(q.Predicates, pred)
 			if p.cur.kind == tokKeyword && p.cur.text == "AND" {
 				if err := p.advance(); err != nil {
 					return nil, err
@@ -156,6 +194,36 @@ func (p *parser) parseJoinQuery() (*JoinQuery, error) {
 		}
 	}
 	return q, nil
+}
+
+// addTable appends one FROM-clause table, rejecting duplicates — the
+// dialect has no aliases, so a table can appear only once.
+func addTable(q *JoinQuery, seen map[string]int, t token) error {
+	key := strings.ToLower(t.text)
+	if firstPos, dup := seen[key]; dup {
+		return fmt.Errorf("sql: table %q appears twice in FROM (offsets %d and %d); self-joins need aliases, which the dialect does not support",
+			t.text, firstPos, t.pos)
+	}
+	seen[key] = t.pos
+	q.Tables = append(q.Tables, t.text)
+	return nil
+}
+
+// parseJoinCond parses Table.Column = Table.Column.
+func (p *parser) parseJoinCond() (JoinCond, error) {
+	pos := p.cur.pos
+	left, err := p.parseColRef()
+	if err != nil {
+		return JoinCond{}, err
+	}
+	if _, err := p.expect(tokEq); err != nil {
+		return JoinCond{}, fmt.Errorf("sql: ON condition: %w", err)
+	}
+	right, err := p.parseColRef()
+	if err != nil {
+		return JoinCond{}, fmt.Errorf("sql: ON condition: %w", err)
+	}
+	return JoinCond{Left: left, Right: right, Pos: pos}, nil
 }
 
 // parseColRef parses Table.Column (the qualified form is mandatory; the
@@ -175,53 +243,69 @@ func (p *parser) parseColRef() (ColRef, error) {
 	return ColRef{Table: table.text, Column: col.text}, nil
 }
 
-// parsePredicate parses Table.Column IN ('a', 'b') or Table.Column = 'a'.
-func (p *parser) parsePredicate() (Predicate, error) {
+// parseConjunct parses one WHERE conjunct: a predicate restricting one
+// column (Table.Column IN ('a', 'b') or Table.Column = 'a') or an
+// equi-join condition relating two columns (Table.Column = Table.Column).
+func (p *parser) parseConjunct(q *JoinQuery) error {
+	pos := p.cur.pos
 	ref, err := p.parseColRef()
 	if err != nil {
-		return Predicate{}, err
+		return err
 	}
-	pred := Predicate{Table: ref.Table, Column: ref.Column}
 
 	switch {
 	case p.cur.kind == tokEq:
 		if err := p.advance(); err != nil {
-			return Predicate{}, err
+			return err
+		}
+		// The right-hand side decides what this conjunct is: another
+		// column reference makes it a join condition, a literal a
+		// predicate.
+		if p.cur.kind == tokIdent {
+			right, err := p.parseColRef()
+			if err != nil {
+				return err
+			}
+			q.Conds = append(q.Conds, JoinCond{Left: ref, Right: right, Pos: pos})
+			return nil
 		}
 		v, err := p.parseLiteral()
 		if err != nil {
-			return Predicate{}, err
+			return err
 		}
-		pred.Values = []string{v}
+		q.Predicates = append(q.Predicates, Predicate{Table: ref.Table, Column: ref.Column, Values: []string{v}, Pos: pos})
+		return nil
 	case p.cur.kind == tokKeyword && p.cur.text == "IN":
 		if err := p.advance(); err != nil {
-			return Predicate{}, err
+			return err
 		}
 		if _, err := p.expect(tokLParen); err != nil {
-			return Predicate{}, err
+			return err
 		}
+		pred := Predicate{Table: ref.Table, Column: ref.Column, Pos: pos}
 		for {
 			v, err := p.parseLiteral()
 			if err != nil {
-				return Predicate{}, err
+				return err
 			}
 			pred.Values = append(pred.Values, v)
 			if p.cur.kind == tokComma {
 				if err := p.advance(); err != nil {
-					return Predicate{}, err
+					return err
 				}
 				continue
 			}
 			break
 		}
 		if _, err := p.expect(tokRParen); err != nil {
-			return Predicate{}, err
+			return err
 		}
+		q.Predicates = append(q.Predicates, pred)
+		return nil
 	default:
-		return Predicate{}, fmt.Errorf("sql: expected '=' or IN after %s.%s at offset %d",
+		return fmt.Errorf("sql: expected '=' or IN after %s.%s at offset %d",
 			ref.Table, ref.Column, p.cur.pos)
 	}
-	return pred, nil
 }
 
 // parseLiteral accepts string and number literals, returning their text.

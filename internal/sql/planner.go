@@ -2,6 +2,7 @@ package sql
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -22,8 +23,14 @@ type TableSchema struct {
 	// pre-filter index. The planner chooses prefiltered execution for a
 	// side only when its table is indexed. It is catalog metadata, not
 	// ground truth: feed it from engine.Server.TableStats in process or
-	// from client.DescribeTables over the wire (see Catalog.SetIndexed).
+	// from client.DescribeTables over the wire (see Catalog.SetStats).
 	Indexed bool
+	// RowCount is the table's last known row count, the statistic the
+	// planner's join ordering and prefilter thresholds consult. 0 means
+	// unknown: ordering falls back to declaration order and any
+	// predicate is treated as selective. Sync it alongside Indexed from
+	// engine.Server.TableStats or client.DescribeTables.
+	RowCount int
 }
 
 // Catalog is the set of known table schemas, keyed case-insensitively.
@@ -47,6 +54,9 @@ func NewCatalog(schemas ...TableSchema) (*Catalog, error) {
 		}
 		if s.JoinColumn == "" {
 			return nil, fmt.Errorf("sql: table %q has no join column", s.Name)
+		}
+		if s.RowCount < 0 {
+			return nil, fmt.Errorf("sql: table %q has negative row count %d", s.Name, s.RowCount)
 		}
 		seen := make(map[string]string, len(s.Attrs)+1)
 		seen[strings.ToLower(s.JoinColumn)] = s.JoinColumn
@@ -97,6 +107,26 @@ func (c *Catalog) SetIndexed(name string, indexed bool) error {
 	return nil
 }
 
+// SetStats records a table's execution statistics: its row count and
+// whether it carries an SSE pre-filter index. The planner consults both
+// for join ordering (small tables first) and for the prefilter
+// threshold (estimated candidates must beat a full scan). rows <= 0
+// marks the count unknown.
+func (c *Catalog) SetStats(name string, rows int, indexed bool) error {
+	key := strings.ToLower(name)
+	s, ok := c.tables[key]
+	if !ok {
+		return fmt.Errorf("sql: unknown table %q", name)
+	}
+	if rows < 0 {
+		rows = 0
+	}
+	s.RowCount = rows
+	s.Indexed = indexed
+	c.tables[key] = s
+	return nil
+}
+
 // TableNames lists the catalog's declared table names, sorted.
 func (c *Catalog) TableNames() []string {
 	out := make([]string, 0, len(c.tables))
@@ -116,7 +146,8 @@ func (c *Catalog) Schema(name string) (TableSchema, error) {
 	return s, nil
 }
 
-// Strategy is the execution strategy a plan selected.
+// Strategy is the execution strategy a plan (or one of its pairwise
+// join steps) selected.
 type Strategy int
 
 const (
@@ -136,6 +167,14 @@ func (s Strategy) String() string {
 	return "full scan"
 }
 
+// defaultEqSelectivity is the fraction of a table's rows one predicate
+// value is assumed to match when no histogram exists: an equality
+// selects ~10% of the rows, an IN clause with k values ~k*10% (capped
+// at the whole table), and conjuncts on different columns multiply.
+// Deliberately pessimistic — with real row counts it only has to
+// separate "worth an index probe" from "touches everything anyway".
+const defaultEqSelectivity = 0.1
+
 // PredSummary describes the compiled predicates of one column: the
 // schema-declared column name and the number of IN-clause values after
 // merging same-column conjuncts. One SSE search token is issued per
@@ -145,14 +184,25 @@ type PredSummary struct {
 	Values int
 }
 
-// SidePlan is the per-table half of a plan: whether the side will be
-// pre-filtered through its SSE index, and why not if it won't.
+// SidePlan is the per-table leaf of a plan tree — a Scan with an
+// optional Prefilter on top: which table is read, the statistics the
+// decision consulted, whether the side will be pre-filtered through
+// its SSE index, and why not if it won't.
 type SidePlan struct {
 	Table   string
 	Indexed bool
+	// RowCount is the catalog's row count for the table (0 = unknown).
+	RowCount int
+	// EstRows is the estimated number of rows surviving the side's
+	// predicates under the default selectivity model; -1 when RowCount
+	// is unknown.
+	EstRows int
 	// Preds lists the side's compiled predicates in deterministic
 	// (sorted-by-column) order.
 	Preds []PredSummary
+	// Sel is the side's compiled Selection, enforced cryptographically
+	// by the join tokens of every step the table participates in.
+	Sel securejoin.Selection
 	// Prefilter is true when this side's predicates are resolved
 	// through the table's SSE index before SJ.Dec.
 	Prefilter bool
@@ -171,99 +221,344 @@ func (sp *SidePlan) Tokens() int {
 	return n
 }
 
-// Plan is a validated, executable query: the two table names, the
-// Selection predicate for each side, and the execution strategy the
-// planner chose. Selections are always enforced cryptographically by
-// the join tokens; Strategy only decides whether SSE pre-filtering
-// additionally narrows the rows SJ.Dec touches. Spec compiles the plan
-// into the engine's JoinSpec (see exec.go).
+// weight is the side's estimated effective row count, the quantity the
+// join ordering minimizes. Unknown statistics weigh MaxInt so known
+// tables sort first and ties fall back to declaration order.
+func (sp *SidePlan) weight() int {
+	if sp.EstRows >= 0 {
+		return sp.EstRows
+	}
+	if sp.RowCount > 0 {
+		return sp.RowCount
+	}
+	return math.MaxInt
+}
+
+// JoinStep is one pairwise encrypted join of a left-deep plan: Left and
+// Right are its Scan/Prefilter leaves, Strategy is Prefiltered when
+// either side resolves predicates through its SSE index. For every step
+// after the first, Stitch is true and Left names a table that is
+// already part of the intermediate result: the step still executes as a
+// complete pairwise encrypted join on the server, and the client
+// stitches its decrypted pairs into the intermediate on Left's row
+// identity (bind-join style — no join keys or candidate lists are ever
+// sent back to the server).
+type JoinStep struct {
+	Left, Right SidePlan
+	Strategy    Strategy
+	Stitch      bool
+}
+
+// Plan is a validated, executable query: the left-deep chain of
+// pairwise encrypted joins the planner chose, each side's Selection and
+// prefilter decision, and the order statistics drove. Selections are
+// always enforced cryptographically by the join tokens; per-side
+// Prefilter only decides whether SSE pre-filtering additionally narrows
+// the rows SJ.Dec touches. SpecFor compiles one step into the engine's
+// JoinSpec and Execute runs the whole tree (see exec.go).
+//
+// For compatibility with two-table callers, the fields of the first
+// step are mirrored in TableA/TableB, SelA/SelB and SideA/SideB.
 type Plan struct {
-	TableA, TableB string
-	SelA, SelB     securejoin.Selection
+	// Tables lists the FROM-clause tables in declaration order — the
+	// result column order of SELECT *.
+	Tables []string
+	// Steps is the left-deep chain, in execution order.
+	Steps []JoinStep
+	// OrderReason says what drove the join order: row statistics or the
+	// declaration-order fallback.
+	OrderReason string
 	// Explain marks an EXPLAIN statement: render Describe() instead of
 	// executing.
 	Explain bool
-	// Strategy is Prefiltered when at least one side pre-filters.
-	Strategy     Strategy
-	SideA, SideB SidePlan
+	// Strategy is Prefiltered when at least one side of one step
+	// pre-filters.
+	Strategy Strategy
 	// Workers is the SJ.Dec worker hint for the execution
 	// (0 = engine/server default).
 	Workers int
+
+	// Two-table projections of Steps[0], kept so existing single-join
+	// callers (and the pre-plan client APIs) keep working unchanged.
+	TableA, TableB string
+	SelA, SelB     securejoin.Selection
+	SideA, SideB   SidePlan
 }
 
 // PlanQuery validates a parsed query against the catalog and compiles
-// the WHERE clause into per-table Selections. Multiple predicates on the
-// same column merge into one IN clause. The execution strategy is chosen
-// automatically: a side is pre-filtered when it carries selective
-// predicates (any WHERE conjunct counts) and its table was uploaded
-// with an SSE index; everything else falls back to a full scan.
+// the WHERE clause into per-table Selections. Multiple predicates on
+// the same column merge into one IN clause. The planner then builds a
+// left-deep chain of pairwise encrypted joins: the join order is chosen
+// from catalog row counts and estimated predicate selectivity (smallest
+// estimated sides first; declaration order when statistics are
+// missing), and each side is pre-filtered only when it carries
+// predicates, its table has an SSE index, and the estimated candidate
+// set is smaller than the table (row-count-aware threshold).
 func (c *Catalog) PlanQuery(q *JoinQuery) (*Plan, error) {
-	sa, err := c.Schema(q.TableA)
-	if err != nil {
-		return nil, err
+	if len(q.Tables) < 2 {
+		return nil, fmt.Errorf("sql: a join query names at least two tables")
 	}
-	sb, err := c.Schema(q.TableB)
-	if err != nil {
-		return nil, err
-	}
-	if !strings.EqualFold(q.OnA, sa.JoinColumn) {
-		return nil, fmt.Errorf("sql: table %q can only join on its encrypted join column %q, not %q",
-			sa.Name, sa.JoinColumn, q.OnA)
-	}
-	if !strings.EqualFold(q.OnB, sb.JoinColumn) {
-		return nil, fmt.Errorf("sql: table %q can only join on its encrypted join column %q, not %q",
-			sb.Name, sb.JoinColumn, q.OnB)
+	// Resolve the FROM tables to schemas and build one side plan per
+	// table; canonical schema names are used everywhere downstream.
+	schemas := make([]TableSchema, len(q.Tables))
+	sides := make([]*SidePlan, len(q.Tables))
+	byName := make(map[string]int, len(q.Tables)) // folded name -> table position
+	tables := make([]string, len(q.Tables))
+	for i, name := range q.Tables {
+		s, err := c.Schema(name)
+		if err != nil {
+			return nil, err
+		}
+		schemas[i] = s
+		tables[i] = s.Name
+		byName[strings.ToLower(s.Name)] = i
+		sides[i] = &SidePlan{
+			Table: s.Name, Indexed: s.Indexed, RowCount: s.RowCount,
+			Sel: securejoin.Selection{},
+		}
 	}
 
-	plan := &Plan{
-		TableA: sa.Name, TableB: sb.Name,
-		SelA: securejoin.Selection{}, SelB: securejoin.Selection{},
-		Explain: q.Explain,
-		SideA:   SidePlan{Table: sa.Name, Indexed: sa.Indexed},
-		SideB:   SidePlan{Table: sb.Name, Indexed: sb.Indexed},
-		Workers: c.workers,
-	}
-	countsA := make(map[string]int)
-	countsB := make(map[string]int)
-	for _, p := range q.Predicates {
-		var schema TableSchema
-		var sel securejoin.Selection
-		var counts map[string]int
-		switch {
-		case strings.EqualFold(p.Table, q.TableA):
-			schema, sel, counts = sa, plan.SelA, countsA
-		case strings.EqualFold(p.Table, q.TableB):
-			schema, sel, counts = sb, plan.SelB, countsB
-		default:
-			return nil, fmt.Errorf("sql: predicate references table %q, which is not part of the join", p.Table)
+	// Join conditions: each side of a condition must reference a FROM
+	// table on its encrypted join column; the conditions form the edges
+	// of the join graph the ordering walks.
+	type edge struct{ a, b int }
+	edges := make([]edge, 0, len(q.Conds))
+	for _, cond := range q.Conds {
+		ia, err := resolveJoinSide(cond.Left, cond.Pos, schemas, byName)
+		if err != nil {
+			return nil, err
 		}
-		name, idx, err := resolveAttr(schema, p.Column)
+		ib, err := resolveJoinSide(cond.Right, cond.Pos, schemas, byName)
+		if err != nil {
+			return nil, err
+		}
+		if ia == ib {
+			return nil, fmt.Errorf("sql: join condition at offset %d relates table %q to itself", cond.Pos, schemas[ia].Name)
+		}
+		edges = append(edges, edge{ia, ib})
+	}
+
+	// Predicates compile into per-table selections; same-column
+	// conjuncts merge into one IN clause.
+	counts := make([]map[string]int, len(sides))
+	for i := range counts {
+		counts[i] = make(map[string]int)
+	}
+	for _, p := range q.Predicates {
+		i, ok := byName[strings.ToLower(p.Table)]
+		if !ok {
+			return nil, fmt.Errorf("sql: predicate references table %q, which is not part of the join (offset %d)", p.Table, p.Pos)
+		}
+		name, idx, err := resolveAttr(schemas[i], p.Column)
 		if err != nil {
 			return nil, err
 		}
 		for _, v := range p.Values {
-			sel[idx] = append(sel[idx], []byte(v))
-			counts[name]++
+			sides[i].Sel[idx] = append(sides[i].Sel[idx], []byte(v))
+			counts[i][name]++
 		}
 	}
-	plan.SideA.Preds = predSummaries(countsA)
-	plan.SideB.Preds = predSummaries(countsB)
-	chooseSide(&plan.SideA)
-	chooseSide(&plan.SideB)
-	if plan.SideA.Prefilter || plan.SideB.Prefilter {
-		plan.Strategy = Prefiltered
+	for i, sp := range sides {
+		sp.Preds = predSummaries(counts[i])
+		sp.EstRows = estimateRows(sp.RowCount, sp.Preds)
+		chooseSide(sp)
 	}
+
+	// Adjacency over the join graph. Every table sharing an edge with a
+	// table is a potential stitch partner; the ordering below picks the
+	// lightest connected table next, so star and chain shapes both
+	// compile to a left-deep sequence of pairwise joins.
+	adj := make([][]int, len(sides))
+	for _, e := range edges {
+		adj[e.a] = append(adj[e.a], e.b)
+		adj[e.b] = append(adj[e.b], e.a)
+	}
+
+	order, partners, reason, err := chooseOrder(sides, adj)
+	if err != nil {
+		return nil, err
+	}
+
+	plan := &Plan{
+		Tables:      tables,
+		OrderReason: reason,
+		Explain:     q.Explain,
+		Workers:     c.workers,
+	}
+	for n := 1; n < len(order); n++ {
+		left, right := sides[partners[n]], sides[order[n]]
+		step := JoinStep{Left: *left, Right: *right, Stitch: n > 1}
+		if left.Prefilter || right.Prefilter {
+			step.Strategy = Prefiltered
+		}
+		plan.Steps = append(plan.Steps, step)
+		if step.Strategy == Prefiltered {
+			plan.Strategy = Prefiltered
+		}
+	}
+
+	// Legacy two-table projection of the first step.
+	first := plan.Steps[0]
+	plan.TableA, plan.TableB = first.Left.Table, first.Right.Table
+	plan.SelA, plan.SelB = first.Left.Sel, first.Right.Sel
+	plan.SideA, plan.SideB = first.Left, first.Right
 	return plan, nil
 }
 
+// resolveJoinSide maps one side of a join condition onto its FROM-table
+// position, enforcing that the referenced column is the table's
+// encrypted join column — the only column Secure Join can equate.
+func resolveJoinSide(ref ColRef, pos int, schemas []TableSchema, byName map[string]int) (int, error) {
+	i, ok := byName[strings.ToLower(ref.Table)]
+	if !ok {
+		return 0, fmt.Errorf("sql: join condition references table %q, which is not part of the join (offset %d)", ref.Table, pos)
+	}
+	if !strings.EqualFold(ref.Column, schemas[i].JoinColumn) {
+		return 0, fmt.Errorf("sql: table %q can only join on its encrypted join column %q, not %q (offset %d)",
+			schemas[i].Name, schemas[i].JoinColumn, ref.Column, pos)
+	}
+	return i, nil
+}
+
+// chooseOrder picks the left-deep join order and, for every table after
+// the first, its partner — the already-joined table the pairwise join
+// pairs it with (the build side, and the stitch table from the second
+// step on). The lightest table (by estimated effective rows) starts the
+// chain, each subsequent pick is the lightest remaining table connected
+// to the joined set, and its partner is its lightest already-joined
+// neighbor, so the build side of every pairwise join stays as small as
+// the statistics allow. With no row statistics every weight ties and
+// the walk degrades to declaration order, which is also the
+// deterministic tie-break. A two-table query always keeps its declared
+// side order: the pre-tree APIs expose side A/B directly (JoinedRow,
+// client.JoinPlan), so reordering them would flip user-visible columns
+// without reducing any work — both sides of a single pairwise join are
+// decrypted either way.
+func chooseOrder(sides []*SidePlan, adj [][]int) (order, partners []int, reason string, err error) {
+	n := len(sides)
+	known := 0
+	for _, sp := range sides {
+		if sp.RowCount > 0 {
+			known++
+		}
+	}
+	better := betterSide(sides)
+	start := -1
+	for i := 0; i < n; i++ {
+		if len(adj[i]) == 0 {
+			return nil, nil, "", fmt.Errorf("sql: table %q has no join condition relating it to the other tables", sides[i].Table)
+		}
+		if better(i, start) {
+			start = i
+		}
+	}
+	switch known {
+	case n:
+		reason = "row statistics (smallest estimated sides first)"
+	case 0:
+		reason = "declaration order (row statistics missing)"
+	default:
+		// Connectivity can still force a stats-less table early, so this
+		// only claims what is true: known weights were used where the
+		// graph allowed.
+		reason = "partial row statistics (known sides weighed, unknown heaviest)"
+	}
+	if n == 2 {
+		return []int{0, 1}, []int{-1, 0}, "declared side order (two-table plan)", nil
+	}
+	order, partners = []int{start}, []int{-1}
+	joined := map[int]bool{start: true}
+	for len(order) < n {
+		next := -1
+		for i := 0; i < n; i++ {
+			if joined[i] {
+				continue
+			}
+			connected := false
+			for _, nb := range adj[i] {
+				if joined[nb] {
+					connected = true
+					break
+				}
+			}
+			if connected && better(i, next) {
+				next = i
+			}
+		}
+		if next == -1 {
+			// Disconnected join graph: name one stranded table.
+			for i := 0; i < n; i++ {
+				if !joined[i] {
+					return nil, nil, "", fmt.Errorf("sql: table %q is not connected to the rest of the join (missing join condition)", sides[i].Table)
+				}
+			}
+		}
+		partner := -1
+		for _, nb := range adj[next] {
+			if joined[nb] && better(nb, partner) {
+				partner = nb
+			}
+		}
+		order, partners = append(order, next), append(partners, partner)
+		joined[next] = true
+	}
+	return order, partners, reason, nil
+}
+
+// betterSide builds the one ordering comparator both the chain walk
+// and the stitch-partner choice use: i is preferred over j (j == -1
+// means "no candidate yet") when its estimated weight is strictly
+// smaller — unknown statistics weigh heaviest — with declaration order
+// as the tie-break, so with no statistics at all the walk reproduces
+// the FROM clause.
+func betterSide(sides []*SidePlan) func(i, j int) bool {
+	return func(i, j int) bool {
+		if j == -1 {
+			return true
+		}
+		if wi, wj := sides[i].weight(), sides[j].weight(); wi != wj {
+			return wi < wj
+		}
+		return i < j
+	}
+}
+
+// estimateRows applies the default selectivity model: rows surviving
+// the side's predicates, assuming each predicate value matches
+// defaultEqSelectivity of the table and different columns are
+// independent. Returns -1 when the row count is unknown.
+func estimateRows(rowCount int, preds []PredSummary) int {
+	if rowCount <= 0 {
+		return -1
+	}
+	frac := 1.0
+	for _, p := range preds {
+		f := float64(p.Values) * defaultEqSelectivity
+		if f > 1 {
+			f = 1
+		}
+		frac *= f
+	}
+	est := int(math.Ceil(float64(rowCount) * frac))
+	if est > rowCount {
+		est = rowCount
+	}
+	return est
+}
+
 // chooseSide applies the per-side plan-selection rule: pre-filter iff
-// the side has predicates AND its table carries an SSE index.
+// the side has predicates, its table carries an SSE index, and — when
+// the catalog knows the row count — the estimated candidate set is
+// actually smaller than the table. Without statistics any predicate
+// counts as selective, the pre-statistics behavior.
 func chooseSide(sp *SidePlan) {
 	switch {
 	case len(sp.Preds) == 0:
 		sp.Reason = "no WHERE predicates"
 	case !sp.Indexed:
 		sp.Reason = "no SSE index"
+	case sp.EstRows >= 0 && sp.EstRows >= sp.RowCount:
+		sp.Reason = fmt.Sprintf("predicates not selective (est. %d of %d rows)", sp.EstRows, sp.RowCount)
 	default:
 		sp.Prefilter = true
 	}

@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -90,6 +91,194 @@ func TestPlanStrategySelection(t *testing.T) {
 					plan.SideA.Reason, plan.SideB.Reason, c.reasonA, c.reasonB)
 			}
 		})
+	}
+}
+
+// orderCatalog builds a three-table catalog (shared join-key domain)
+// with per-table row counts; rows == 0 leaves the count unknown.
+func orderCatalog(t *testing.T, rowsA, rowsB, rowsC int) *Catalog {
+	t.Helper()
+	cat, err := NewCatalog(
+		TableSchema{Name: "A", JoinColumn: "k", Attrs: map[string]int{"c": 0}, Indexed: true, RowCount: rowsA},
+		TableSchema{Name: "B", JoinColumn: "k", Attrs: map[string]int{"c": 0}, Indexed: true, RowCount: rowsB},
+		TableSchema{Name: "C", JoinColumn: "k", Attrs: map[string]int{"c": 0}, Indexed: true, RowCount: rowsC},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// steps renders a plan's chain compactly for pinning: "B*C B*A+" where
+// + marks a stitch step.
+func stepsString(p *Plan) string {
+	var parts []string
+	for _, st := range p.Steps {
+		s := st.Left.Table + "*" + st.Right.Table
+		if st.Stitch {
+			s += "+"
+		}
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, " ")
+}
+
+// TestJoinOrderFromRowCounts pins that the chain starts at the smallest
+// table and grows by the smallest connected table — the
+// small-table-first rule of the statistics-driven ordering.
+func TestJoinOrderFromRowCounts(t *testing.T) {
+	cat := orderCatalog(t, 1000, 10, 100)
+	plan, err := cat.Compile(`SELECT * FROM A, B, C WHERE A.k = B.k AND B.k = C.k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stepsString(plan); got != "B*C B*A+" {
+		t.Fatalf("steps = %q, want %q", got, "B*C B*A+")
+	}
+	if plan.OrderReason != "row statistics (smallest estimated sides first)" {
+		t.Fatalf("order reason = %q", plan.OrderReason)
+	}
+	// The FROM clause still dictates the result column order.
+	if len(plan.Tables) != 3 || plan.Tables[0] != "A" || plan.Tables[1] != "B" || plan.Tables[2] != "C" {
+		t.Fatalf("result tables = %v", plan.Tables)
+	}
+}
+
+// TestJoinOrderUsesSelectivity pins that predicate selectivity — not
+// just raw row counts — drives the order: a selective predicate shrinks
+// a big table's estimated weight below a smaller unfiltered one.
+func TestJoinOrderUsesSelectivity(t *testing.T) {
+	cat := orderCatalog(t, 1000, 10, 50)
+	// A carries one predicate value: est. 100 rows. Without it A (1000)
+	// would join last; with C at 50 the order is B, C, A either way, so
+	// sharpen: predicate brings A to 100, C stays 50 -> B, C, A. Then
+	// make the predicate two-column: est. 1000*0.1*0.1 = 10 rows... but
+	// the schema has one attr, so use an equality (0.1): est 100 > 50.
+	plan, err := cat.Compile(`SELECT * FROM A, B, C WHERE A.k = B.k AND B.k = C.k AND A.c = 'x'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stepsString(plan); got != "B*C B*A+" {
+		t.Fatalf("steps = %q, want %q", got, "B*C B*A+")
+	}
+
+	// Now give C no statistics edge: shrink A's estimate below C by
+	// raising C's rows.
+	cat = orderCatalog(t, 1000, 10, 500)
+	plan, err = cat.Compile(`SELECT * FROM A, B, C WHERE A.k = B.k AND B.k = C.k AND A.c = 'x'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// est(A) = 100 < rows(C) = 500: A joins before C.
+	if got := stepsString(plan); got != "B*A B*C+" {
+		t.Fatalf("steps = %q, want %q", got, "B*A B*C+")
+	}
+}
+
+// TestJoinOrderDeclarationFallback pins the no-statistics behavior: the
+// chain follows the FROM clause and says so.
+func TestJoinOrderDeclarationFallback(t *testing.T) {
+	cat := orderCatalog(t, 0, 0, 0)
+	plan, err := cat.Compile(`SELECT * FROM A JOIN B ON A.k = B.k JOIN C ON B.k = C.k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stepsString(plan); got != "A*B B*C+" {
+		t.Fatalf("steps = %q, want %q", got, "A*B B*C+")
+	}
+	if plan.OrderReason != "declaration order (row statistics missing)" {
+		t.Fatalf("order reason = %q", plan.OrderReason)
+	}
+}
+
+// TestJoinOrderStarStitch pins the star shape: two tables joined
+// against one hub both stitch on the hub.
+func TestJoinOrderStarStitch(t *testing.T) {
+	cat := orderCatalog(t, 5, 1000, 800)
+	plan, err := cat.Compile(`SELECT * FROM A JOIN B ON B.k = A.k JOIN C ON C.k = A.k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stepsString(plan); got != "A*C A*B+" {
+		t.Fatalf("steps = %q, want %q", got, "A*C A*B+")
+	}
+}
+
+// TestTwoTableKeepsDeclarationOrder pins that statistics never reorder
+// a two-table plan: side A/B are part of the legacy API surface.
+func TestTwoTableKeepsDeclarationOrder(t *testing.T) {
+	cat := orderCatalog(t, 1000, 10, 100)
+	plan, err := cat.Compile(`SELECT * FROM A JOIN B ON A.k = B.k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TableA != "A" || plan.TableB != "B" {
+		t.Fatalf("two-table sides reordered: %s, %s", plan.TableA, plan.TableB)
+	}
+	// The public OrderReason must not claim a statistics-driven order
+	// that the two-table compatibility rule overrides.
+	if plan.OrderReason != "declared side order (two-table plan)" {
+		t.Fatalf("order reason = %q", plan.OrderReason)
+	}
+}
+
+// TestPrefilterThreshold pins the row-count-aware prefilter rule that
+// replaced "any predicate is selective": the estimated candidate set
+// must be smaller than the table.
+func TestPrefilterThreshold(t *testing.T) {
+	cases := []struct {
+		name      string
+		rows      int
+		values    int
+		prefilter bool
+		reason    string
+	}{
+		{name: "selective predicate", rows: 100, values: 1, prefilter: true},
+		{name: "wide IN saturates", rows: 100, values: 10, reason: "predicates not selective (est. 100 of 100 rows)"},
+		{name: "tiny table never wins", rows: 1, values: 1, reason: "predicates not selective (est. 1 of 1 rows)"},
+		{name: "unknown rows keeps legacy rule", rows: 0, values: 10, prefilter: true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cat := orderCatalog(t, c.rows, 50, 50)
+			vals := make([]string, c.values)
+			for i := range vals {
+				vals[i] = fmt.Sprintf("'v%d'", i)
+			}
+			q := `SELECT * FROM A JOIN B ON A.k = B.k WHERE A.c IN (` + strings.Join(vals, ", ") + `)`
+			plan, err := cat.Compile(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.SideA.Prefilter != c.prefilter {
+				t.Fatalf("prefilter = %v, want %v (%+v)", plan.SideA.Prefilter, c.prefilter, plan.SideA)
+			}
+			if !c.prefilter && plan.SideA.Reason != c.reason {
+				t.Fatalf("reason = %q, want %q", plan.SideA.Reason, c.reason)
+			}
+		})
+	}
+}
+
+// TestSetStats pins the catalog sync surface the backends drive.
+func TestSetStats(t *testing.T) {
+	cat := planCatalog(t, false, false)
+	if err := cat.SetStats("teams", 42, true); err != nil {
+		t.Fatal(err) // case-insensitive lookup
+	}
+	s, err := cat.Schema("Teams")
+	if err != nil || !s.Indexed || s.RowCount != 42 {
+		t.Fatalf("stats not set: %+v, %v", s, err)
+	}
+	// Unknown rows are clamped, not stored negative.
+	if err := cat.SetStats("Teams", -7, false); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ = cat.Schema("Teams"); s.RowCount != 0 || s.Indexed {
+		t.Fatalf("negative rows not clamped: %+v", s)
+	}
+	if err := cat.SetStats("Nope", 1, true); err == nil {
+		t.Fatal("unknown table accepted")
 	}
 }
 

@@ -61,13 +61,24 @@ import (
 
 const (
 	manifestName = "MANIFEST"
-	tablesDir    = "tables"
-	tmpPrefix    = ".tmp-"
+	// compactName is the staging file of a manifest compaction; a crash
+	// mid-compaction leaves it behind and Open discards it (the old
+	// MANIFEST is still authoritative until the atomic rename).
+	compactName = "MANIFEST.compact"
+	tablesDir   = "tables"
+	tmpPrefix   = ".tmp-"
 
 	// maxRecordSize bounds one manifest record so a corrupt length
 	// header cannot force an unbounded allocation during replay.
 	// Records hold metadata only (never row data), so 1 MiB is generous.
 	maxRecordSize = 1 << 20
+
+	// compactThreshold is the replayed-record count past which Open
+	// rewrites the manifest: counter checkpoints append one record per
+	// join, so a busy server's manifest grows without bound until a
+	// compaction folds it to one record per live table plus the latest
+	// checkpoint.
+	compactThreshold = 64
 )
 
 // ErrClosed is returned by operations on a closed store.
@@ -131,6 +142,9 @@ type Store struct {
 	mu       sync.Mutex
 	manifest *os.File
 	seq      uint64
+	// records counts the manifest's framed records (replayed + appended
+	// since), the statistic the auto-compaction trigger watches.
+	records  int
 	entries  map[string]entry
 	tables   map[string]*engine.EncryptedTable
 	counters map[string]uint64
@@ -169,12 +183,24 @@ func Open(dir string) (*Store, error) {
 		tables:   make(map[string]*engine.EncryptedTable),
 		counters: make(map[string]uint64),
 	}
+	// A leftover compaction staging file means a compaction crashed
+	// before its atomic rename: the old MANIFEST (locked above) is
+	// still authoritative, so the partial rewrite is litter.
+	os.Remove(filepath.Join(dir, compactName))
 	if err := s.replay(); err != nil {
 		mf.Close()
 		return nil, err
 	}
 	s.loadTables()
 	s.sweep()
+	// Fold a record-heavy manifest down to its live state (Compact
+	// itself refuses when recovery found damage — compaction would drop
+	// the damaged tables' records, and with them the forensic trail
+	// sweep preserves). Best-effort — a failed compaction leaves the
+	// old manifest authoritative and the store fully usable.
+	if s.records > compactThreshold {
+		_ = s.Compact()
+	}
 	return s, nil
 }
 
@@ -199,6 +225,7 @@ func (s *Store) replay() error {
 			break
 		}
 		good += n
+		s.records++
 		if rec.Seq > s.seq {
 			s.seq = rec.Seq
 		}
@@ -485,20 +512,10 @@ func (s *Store) usable() error {
 // append writes one framed record and fsyncs the manifest. A failure is
 // sticky — the tail may be torn, so no further appends are accepted.
 func (s *Store) append(rec *record) error {
-	var buf bytes.Buffer
-	buf.Write([]byte{0, 0, 0, 0}) // length placeholder
-	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
-		return fmt.Errorf("store: encoding manifest record: %w", err)
+	b, err := encodeRecord(rec)
+	if err != nil {
+		return err
 	}
-	b := buf.Bytes()
-	payload := b[4:]
-	if len(payload) > maxRecordSize {
-		return fmt.Errorf("store: manifest record of %d bytes exceeds limit", len(payload))
-	}
-	binary.BigEndian.PutUint32(b[:4], uint32(len(payload)))
-	var trailer [4]byte
-	binary.BigEndian.PutUint32(trailer[:], crc32.Checksum(payload, crcTable))
-	b = append(b, trailer[:]...)
 	if _, err := s.manifest.Write(b); err != nil {
 		s.appendErr = err
 		return fmt.Errorf("store: appending manifest record: %w", err)
@@ -507,6 +524,132 @@ func (s *Store) append(rec *record) error {
 		s.appendErr = err
 		return fmt.Errorf("store: syncing manifest: %w", err)
 	}
+	s.records++
+	return nil
+}
+
+// encodeRecord frames one record the way append writes it: length
+// prefix, gob payload, CRC-32C trailer.
+func encodeRecord(rec *record) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0}) // length placeholder
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		return nil, fmt.Errorf("store: encoding manifest record: %w", err)
+	}
+	b := buf.Bytes()
+	payload := b[4:]
+	if len(payload) > maxRecordSize {
+		return nil, fmt.Errorf("store: manifest record of %d bytes exceeds limit", len(payload))
+	}
+	binary.BigEndian.PutUint32(b[:4], uint32(len(payload)))
+	var trailer [4]byte
+	binary.BigEndian.PutUint32(trailer[:], crc32.Checksum(payload, crcTable))
+	return append(b, trailer[:]...), nil
+}
+
+// RecordCount reports the number of framed records currently in the
+// manifest (replayed at Open plus appended since).
+func (s *Store) RecordCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.records
+}
+
+// Compact rewrites the manifest to its live state — one commit record
+// per live table plus one leakage-counter checkpoint — discarding the
+// history of overwrites, deletions and stale checkpoints that grow it
+// one record per join. The rewrite is crash-safe: the new manifest is
+// staged under MANIFEST.compact, fsynced, and atomically renamed over
+// MANIFEST; a crash at any point leaves either the old manifest intact
+// (plus staging litter Open discards) or the new one fully in place.
+// The staging file's lock is taken before the rename, so the directory
+// never has a moment where a second process could claim it.
+//
+// Compaction is refused while Damaged() is non-empty: damaged tables
+// have no live entry, so rewriting would erase their records and let
+// the next recovery sweep their snapshots — destroying both the
+// startup damage report and the forensic evidence. Heal the damage
+// (re-commit the tables) or clear it out of band first.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usable(); err != nil {
+		return err
+	}
+	if len(s.damaged) > 0 {
+		return fmt.Errorf("store: refusing to compact with %d damaged table(s)/regions; compaction would erase the forensic trail", len(s.damaged))
+	}
+	path := filepath.Join(s.dir, compactName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: staging compacted manifest: %w", err)
+	}
+	abort := func(e error) error {
+		f.Close()
+		os.Remove(path)
+		return e
+	}
+	// Lock the staging file NOW: after the rename below it is the
+	// manifest, and a successor process must find it locked from the
+	// first instant it exists under the MANIFEST name.
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		return abort(fmt.Errorf("store: locking compacted manifest: %w", err))
+	}
+	seq := s.seq
+	records := 0
+	for _, name := range sortedKeys(s.entries) {
+		e := s.entries[name]
+		seq++
+		b, err := encodeRecord(&record{
+			Seq: seq, Op: opCommit,
+			Table: name, Snapshot: e.snapshot, Digest: e.digest,
+			Rows: len(s.tables[name].Rows), Indexed: s.tables[name].Index != nil,
+		})
+		if err != nil {
+			return abort(err)
+		}
+		if _, err := f.Write(b); err != nil {
+			return abort(fmt.Errorf("store: writing compacted manifest: %w", err))
+		}
+		records++
+	}
+	if len(s.counters) > 0 {
+		seq++
+		cp := make(map[string]uint64, len(s.counters))
+		for k, v := range s.counters {
+			cp[k] = v
+		}
+		b, err := encodeRecord(&record{Seq: seq, Op: opCounters, Counters: cp})
+		if err != nil {
+			return abort(err)
+		}
+		if _, err := f.Write(b); err != nil {
+			return abort(fmt.Errorf("store: writing compacted manifest: %w", err))
+		}
+		records++
+	}
+	if err := f.Sync(); err != nil {
+		return abort(fmt.Errorf("store: syncing compacted manifest: %w", err))
+	}
+	if err := os.Rename(path, filepath.Join(s.dir, manifestName)); err != nil {
+		return abort(fmt.Errorf("store: installing compacted manifest: %w", err))
+	}
+	if err := syncDir(s.dir); err != nil {
+		// The rename happened but may not be durable; future appends go
+		// to the new file either way (both outcomes hold identical live
+		// state), so just surface the error.
+		s.manifest.Close()
+		s.manifest = f
+		s.seq = seq
+		s.records = records
+		return err
+	}
+	// Swap the handles: the old inode is unlinked and its lock dies
+	// with the close; f holds the lock on the live manifest.
+	s.manifest.Close()
+	s.manifest = f
+	s.seq = seq
+	s.records = records
 	return nil
 }
 
