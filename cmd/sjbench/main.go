@@ -27,6 +27,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/client"
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/securejoin"
 	"repro/internal/server"
 	sqlpkg "repro/internal/sql"
@@ -39,6 +40,7 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per Figure 2 measurement")
 	seed := flag.Int64("seed", 42, "dataset generator seed")
 	rows := flag.Int("rows", 200, "rows per table for -fig prefilter")
+	out := flag.String("out", ".", "directory for the BENCH_*.json reports of -fig prefilter and multijoin")
 	flag.Parse()
 
 	var err error
@@ -54,17 +56,17 @@ func main() {
 	case "concurrent":
 		err = concurrent()
 	case "prefilter":
-		err = prefilterWire(*rows)
+		err = prefilterWire(*rows, *out)
 	case "multijoin":
-		err = multijoin(*rows)
+		err = multijoin(*rows, *out)
 	case "all":
 		if err = fig2(*reps); err == nil {
 			if err = fig3(*scaleDiv, *seed); err == nil {
 				if err = fig4(*scaleDiv, *seed); err == nil {
 					if err = comparison(*scaleDiv, *seed); err == nil {
 						if err = concurrent(); err == nil {
-							if err = prefilterWire(*rows); err == nil {
-								err = multijoin(*rows)
+							if err = prefilterWire(*rows, *out); err == nil {
+								err = multijoin(*rows, *out)
 							}
 						}
 					}
@@ -253,7 +255,7 @@ func concurrent() error {
 // v2 wire protocol: a loopback server, indexed uploads, and one join
 // per selectivity executed three ways — full scan, SSE-prefiltered,
 // and prefiltered with the server's parallel SJ.Dec worker pool.
-func prefilterWire(rows int) error {
+func prefilterWire(rows int, outDir string) error {
 	fmt.Printf("== Prefiltered joins over the wire (%d rows per table, %d cores) ==\n",
 		rows, runtime.GOMAXPROCS(0))
 
@@ -311,6 +313,7 @@ func prefilterWire(rows int) error {
 		{"prefiltered", client.JoinOpts{Prefilter: true, Workers: 1}},
 		{"prefiltered_parallel", client.JoinOpts{Prefilter: true, Workers: runtime.GOMAXPROCS(0)}},
 	}
+	report := &benchReport{Fig: "prefilter", Rows: rows}
 	fmt.Println("selectivity  mode                  seconds  matches  revealed_pairs")
 	for _, sc := range sels {
 		for _, mode := range modes {
@@ -319,12 +322,21 @@ func prefilterWire(rows int) error {
 			if err != nil {
 				return err
 			}
+			elapsed := time.Since(start)
 			fmt.Printf("%11s  %-20s  %7.3f  %7d  %14d\n",
-				sc.label, mode.label, time.Since(start).Seconds(), len(results), revealed)
+				sc.label, mode.label, elapsed.Seconds(), len(results), revealed)
+			report.Series = append(report.Series, benchSeries{
+				Label: sc.label, Mode: mode.label,
+				Seconds: elapsed.Seconds(), Matches: len(results), RevealedPairs: revealed,
+			})
 		}
 	}
 	fmt.Println()
-	return nil
+	// The quantiles come from the loopback server's own registry — the
+	// very numbers its /metrics endpoint would export under this load.
+	report.Histograms = scrapeHistograms(srv.Registry(),
+		"sj_join_seconds", "sj_dec_seconds")
+	return writeReport(outDir, report)
 }
 
 // multijoin is the operator-tree ablation: a 3-table star (Orders with
@@ -335,7 +347,7 @@ func prefilterWire(rows int) error {
 // declaration order — the naive FROM clause lists Orders first, so its
 // chain decrypts the big table in both pairwise steps, while the
 // ordered plan anchors the chain on the filtered Customers side.
-func multijoin(rows int) error {
+func multijoin(rows int, outDir string) error {
 	small := rows / 10
 	if small < 2 {
 		small = 2
@@ -348,6 +360,10 @@ func multijoin(rows int) error {
 		return err
 	}
 	eng := engine.NewServer()
+	// In-process run, so build the registry by hand: engine histograms
+	// plus the stats-ordered catalog's planner counters in one scrape.
+	reg := metrics.NewRegistry()
+	eng.Instrument(reg)
 	mk := func(n, keyDomain int) []engine.PlainRow {
 		out := make([]engine.PlainRow, n)
 		for i := range out {
@@ -385,6 +401,7 @@ func multijoin(rows int) error {
 	if err != nil {
 		return err
 	}
+	ordered.Instrument(reg)
 	for _, st := range eng.TableStats() {
 		if err := ordered.SetStats(st.Name, st.Rows, st.Indexed); err != nil {
 			return err
@@ -415,6 +432,7 @@ func multijoin(rows int) error {
 		{"3way_stats_ordered", ordered, threeWay},
 		{"3way_naive_order", naive, threeWay},
 	}
+	report := &benchReport{Fig: "multijoin", Rows: rows}
 	fmt.Println("mode                seconds  result_rows  revealed_pairs  chain")
 	for _, c := range cases {
 		plan, err := c.cat.Compile(c.query)
@@ -432,11 +450,17 @@ func multijoin(rows int) error {
 		if err != nil {
 			return err
 		}
+		elapsed := time.Since(start)
 		fmt.Printf("%-18s  %7.3f  %11d  %14d  %s\n",
-			c.label, time.Since(start).Seconds(), n, revealed, strings.Join(chain, " -> "))
+			c.label, elapsed.Seconds(), n, revealed, strings.Join(chain, " -> "))
+		report.Series = append(report.Series, benchSeries{
+			Label: c.label, Seconds: elapsed.Seconds(),
+			Matches: n, RevealedPairs: revealed, Chain: strings.Join(chain, " -> "),
+		})
 	}
 	fmt.Println()
-	return nil
+	report.Histograms = scrapeHistograms(reg, "sj_join_seconds", "sj_dec_seconds")
+	return writeReport(outDir, report)
 }
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

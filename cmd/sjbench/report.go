@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/metrics"
+)
+
+// Machine-readable figure output: alongside the printed tables,
+// -fig prefilter and -fig multijoin write a BENCH_<fig>.json whose
+// latency quantiles come from the same metrics registry a production
+// server exposes on /metrics — the benchmark measures the measurement
+// path operators will dashboard, not a parallel stopwatch.
+
+// benchSeries is one measured configuration of a figure.
+type benchSeries struct {
+	Label         string  `json:"label"`
+	Mode          string  `json:"mode,omitempty"`
+	Seconds       float64 `json:"seconds"`
+	Matches       int     `json:"matches"`
+	RevealedPairs int     `json:"revealed_pairs"`
+	Chain         string  `json:"chain,omitempty"`
+}
+
+// histSummary is one histogram's registry-sourced summary.
+type histSummary struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum_seconds"`
+	P50   float64 `json:"p50_seconds"`
+	P90   float64 `json:"p90_seconds"`
+	P99   float64 `json:"p99_seconds"`
+}
+
+// benchReport is the BENCH_<fig>.json document.
+type benchReport struct {
+	Fig        string                 `json:"fig"`
+	Rows       int                    `json:"rows"`
+	Series     []benchSeries          `json:"series"`
+	Histograms map[string]histSummary `json:"histograms"`
+}
+
+// scrapeHistograms summarizes the named histograms from the registry
+// the figure ran against, skipping names the registry does not hold.
+func scrapeHistograms(reg *metrics.Registry, names ...string) map[string]histSummary {
+	out := make(map[string]histSummary, len(names))
+	for _, name := range names {
+		h, ok := reg.Get(name).(*metrics.Histogram)
+		if !ok || h == nil {
+			continue
+		}
+		out[name] = histSummary{
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			P50:   h.Quantile(0.50),
+			P90:   h.Quantile(0.90),
+			P99:   h.Quantile(0.99),
+		}
+	}
+	return out
+}
+
+// writeReport writes the report as BENCH_<fig>.json under dir.
+func writeReport(dir string, r *benchReport) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+r.Fig+".json")
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -22,6 +22,9 @@ func main() {
 	quiet := flag.Bool("quiet", false, "disable request logging")
 	batch := flag.Int("batch", 0, "joined rows per response frame (0 = protocol default)")
 	data := flag.String("data", "", "directory for the durable table store (empty = in-memory only)")
+	metricsAddr := flag.String("metrics", "", "address for the HTTP /metrics + /healthz endpoint (empty = disabled)")
+	maxJoins := flag.Int("maxjoins", 0, "max joins executing at once across all connections; excess joins are shed (0 = unlimited)")
+	idleTimeout := flag.Duration("idletimeout", 0, "close connections idle longer than this, e.g. 5m (0 = never)")
 	flag.Parse()
 
 	var logger *log.Logger
@@ -34,12 +37,22 @@ func main() {
 		os.Exit(1)
 	}
 	srv.SetBatchSize(*batch)
+	srv.SetMaxConcurrentJoins(*maxJoins)
+	srv.SetIdleTimeout(*idleTimeout)
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sjserver:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("sjserver listening on %s\n", addr)
+	if *metricsAddr != "" {
+		maddr, err := srv.ServeMetrics(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sjserver:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics on http://%s/metrics, health on http://%s/healthz\n", maddr, maddr)
+	}
 
 	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, let in-flight
 	// joins finish writing their terminal frames, then exit. A second

@@ -227,7 +227,14 @@ func (a *app) exec(stmt string) error {
 	if a.eng != nil {
 		revealed, err = sql.Execute(sql.EngineRunner{Eng: a.eng, Keys: a.keys}, plan, emit)
 	} else {
-		revealed, err = a.cli.ExecutePlan(plan, emit)
+		// A shed join (client.ErrOverloaded) is rejected by admission
+		// control before any result batch is streamed, so no rows were
+		// emitted yet and re-running the whole plan is safe.
+		err = client.WithRetry(client.RetryConfig{}, func() error {
+			var rerr error
+			revealed, rerr = a.cli.ExecutePlan(plan, emit)
+			return rerr
+		})
 	}
 	if err != nil {
 		return err

@@ -30,6 +30,27 @@ import (
 // closed.
 var ErrClosed = errors.New("client: connection closed")
 
+// ErrOverloaded is wrapped by errors of requests the server shed under
+// admission control (wire.CodeOverloaded): no work ran, and retrying
+// after a backoff is safe — see WithRetry. Test with errors.Is.
+var ErrOverloaded = errors.New("client: server overloaded")
+
+// ErrIdleClosed is wrapped by errors of calls that failed because the
+// server closed the connection for idling past its idle timeout
+// (wire.CodeIdleTimeout). The client must re-dial to continue.
+var ErrIdleClosed = errors.New("client: connection closed by server idle timeout")
+
+// frameErr maps a terminal error frame to a client error, threading
+// the wire code into a typed, errors.Is-testable error.
+func frameErr(op string, f *wire.Frame) error {
+	switch f.Code {
+	case wire.CodeOverloaded:
+		return fmt.Errorf("%w: %s rejected: %s", ErrOverloaded, op, f.Err)
+	default:
+		return fmt.Errorf("client: %s rejected: %s", op, f.Err)
+	}
+}
+
 // pending is one in-flight request's response queue. The reader
 // goroutine pushes every frame carrying the request's ID and closes
 // the queue after the terminal frame, or when the connection dies.
@@ -149,6 +170,18 @@ func (c *Client) readLoop() {
 			c.fail(err)
 			return
 		}
+		// ID 0 is a connection-level notice (never a response: request
+		// IDs start at 1): the server announces why it is about to close
+		// the connection, so in-flight and future calls fail typed
+		// instead of with a bare EOF.
+		if f.ID == 0 {
+			if f.Code == wire.CodeIdleTimeout {
+				c.fail(ErrIdleClosed)
+			} else {
+				c.fail(fmt.Errorf("connection closed by server: %s (%s)", f.Err, f.Code))
+			}
+			return
+		}
 		c.mu.Lock()
 		p := c.calls[f.ID]
 		if f.Terminal() {
@@ -188,6 +221,9 @@ func (c *Client) connErr() error {
 	if err == nil || err == io.EOF || errors.Is(err, net.ErrClosed) {
 		return ErrClosed
 	}
+	if errors.Is(err, ErrIdleClosed) {
+		return err
+	}
 	return fmt.Errorf("client: receive: %w", err)
 }
 
@@ -221,17 +257,25 @@ func (c *Client) send(req *wire.Request) (*pending, error) {
 
 // ack waits for a request's single terminal frame (Ok or Err).
 func (c *Client) ack(p *pending, op string) error {
+	_, err := c.ackFrame(p, op)
+	return err
+}
+
+// ackFrame waits for a request's terminal frame and validates it is an
+// Ok ack, returning the frame so callers can read additive payloads
+// (e.g. Health on a Ping ack).
+func (c *Client) ackFrame(p *pending, op string) (*wire.Frame, error) {
 	f := p.pop()
 	if f == nil {
-		return c.connErr()
+		return nil, c.connErr()
 	}
 	if f.Err != "" {
-		return fmt.Errorf("client: %s rejected: %s", op, f.Err)
+		return nil, frameErr(op, f)
 	}
 	if !f.Ok {
-		return fmt.Errorf("client: unexpected %s response frame", op)
+		return nil, fmt.Errorf("client: unexpected %s response frame", op)
 	}
-	return nil
+	return f, nil
 }
 
 // Ping round-trips an empty request.
@@ -241,6 +285,22 @@ func (c *Client) Ping() error {
 		return err
 	}
 	return c.ack(p, "ping")
+}
+
+// Health round-trips a Ping and returns the server's health report:
+// readiness plus key gauges (connections, in-flight joins, shed count,
+// leakage total, uptime). Servers predating the health field ack pings
+// without one; Health then returns nil with no error.
+func (c *Client) Health() (*wire.HealthInfo, error) {
+	p, err := c.send(&wire.Request{Ping: true})
+	if err != nil {
+		return nil, err
+	}
+	f, err := c.ackFrame(p, "ping")
+	if err != nil {
+		return nil, err
+	}
+	return f.Health, nil
 }
 
 // TableInfo summarizes one server-side table: its name, row count and
@@ -422,7 +482,7 @@ func (s *JoinStream) Next() ([]JoinResult, error) {
 	switch {
 	case f.Err != "":
 		s.done = true
-		s.err = fmt.Errorf("client: join rejected: %s", f.Err)
+		s.err = frameErr("join", f)
 		return nil, s.err
 	case f.Summary != nil:
 		s.done = true

@@ -1,0 +1,67 @@
+package client
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// RetryConfig tunes WithRetry. The zero value selects the defaults.
+type RetryConfig struct {
+	// Attempts is the total number of tries (first call included);
+	// <= 0 selects 4.
+	Attempts int
+	// Base is the delay before the first retry; it doubles per attempt.
+	// <= 0 selects 50ms.
+	Base time.Duration
+	// Max caps the (pre-jitter) delay; <= 0 selects 2s.
+	Max time.Duration
+	// Sleep replaces time.Sleep, for tests; nil selects time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (cfg *RetryConfig) defaults() {
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = 4
+	}
+	if cfg.Base <= 0 {
+		cfg.Base = 50 * time.Millisecond
+	}
+	if cfg.Max <= 0 {
+		cfg.Max = 2 * time.Second
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+}
+
+// WithRetry runs op, retrying it with jittered exponential backoff as
+// long as the error wraps ErrOverloaded — the one failure the server
+// promises is safe to retry, since admission control sheds before any
+// pairing work runs. Any other error (including success) returns
+// immediately; an overloaded final attempt returns its ErrOverloaded
+// so callers can still classify it.
+//
+// The delay before retry n is Base<<n capped at Max, with ±50% uniform
+// jitter so a fleet of shed clients does not reconverge on the server
+// in lockstep.
+func WithRetry(cfg RetryConfig, op func() error) error {
+	cfg.defaults()
+	var err error
+	for attempt := 0; attempt < cfg.Attempts; attempt++ {
+		if err = op(); !errors.Is(err, ErrOverloaded) {
+			return err
+		}
+		if attempt == cfg.Attempts-1 {
+			break
+		}
+		delay := cfg.Base << attempt
+		if delay > cfg.Max {
+			delay = cfg.Max
+		}
+		// ±50% jitter: delay/2 + rand[0, delay).
+		delay = delay/2 + time.Duration(rand.Int63n(int64(delay)))
+		cfg.Sleep(delay)
+	}
+	return err
+}

@@ -1,0 +1,86 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestWithRetryRetriesOverloadedOnly: overload errors retry with
+// backoff until success; anything else returns immediately.
+func TestWithRetryRetriesOverloadedOnly(t *testing.T) {
+	var slept []time.Duration
+	cfg := RetryConfig{Sleep: func(d time.Duration) { slept = append(slept, d) }}
+
+	calls := 0
+	err := WithRetry(cfg, func() error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("join rejected: %w", ErrOverloaded)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("WithRetry = %v, want success on third attempt", err)
+	}
+	if calls != 3 {
+		t.Fatalf("op called %d times, want 3", calls)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+	// Jittered delay of attempt n lands in [base<<n / 2, base<<n * 1.5).
+	for n, d := range slept {
+		lo, hi := (50*time.Millisecond<<n)/2, 50*time.Millisecond<<n*3/2
+		if d < lo || d >= hi {
+			t.Errorf("delay %d = %v, want in [%v, %v)", n, d, lo, hi)
+		}
+	}
+
+	// A non-overload error is not retried.
+	calls = 0
+	permanent := errors.New("no such table")
+	err = WithRetry(cfg, func() error { calls++; return permanent })
+	if !errors.Is(err, permanent) || calls != 1 {
+		t.Fatalf("permanent error: err=%v after %d calls, want immediate return", err, calls)
+	}
+}
+
+// TestWithRetryExhaustsAttempts: a persistently overloaded server
+// yields the typed error after the configured attempts.
+func TestWithRetryExhaustsAttempts(t *testing.T) {
+	slept := 0
+	cfg := RetryConfig{Attempts: 3, Sleep: func(time.Duration) { slept++ }}
+	calls := 0
+	err := WithRetry(cfg, func() error {
+		calls++
+		return fmt.Errorf("shed: %w", ErrOverloaded)
+	})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("WithRetry = %v, want ErrOverloaded after exhaustion", err)
+	}
+	if calls != 3 {
+		t.Fatalf("op called %d times, want 3", calls)
+	}
+	if slept != 2 {
+		t.Fatalf("slept %d times, want 2 (no sleep after the final attempt)", slept)
+	}
+}
+
+// TestWithRetryDelayCap: the pre-jitter delay saturates at Max.
+func TestWithRetryDelayCap(t *testing.T) {
+	var slept []time.Duration
+	cfg := RetryConfig{
+		Attempts: 6,
+		Base:     40 * time.Millisecond,
+		Max:      100 * time.Millisecond,
+		Sleep:    func(d time.Duration) { slept = append(slept, d) },
+	}
+	WithRetry(cfg, func() error { return ErrOverloaded })
+	for n, d := range slept {
+		if max := 100 * time.Millisecond * 3 / 2; d >= max {
+			t.Errorf("delay %d = %v, want < %v (cap plus jitter)", n, d, max)
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/leakage"
 	"repro/internal/securejoin"
@@ -206,6 +207,10 @@ type Server struct {
 	cumulative leakage.PairSet
 	perQuery   []leakage.PairSet
 	leakCounts map[string]uint64
+
+	// met is the instrumentation surface (see metrics.go). The zero
+	// value records nothing; Instrument replaces it before serving.
+	met Metrics
 }
 
 // NewServer returns an empty server.
@@ -334,11 +339,17 @@ func (s *Server) recordTrace(trace *QueryTrace) {
 	s.traceMu.Lock()
 	s.perQuery = append(s.perQuery, trace.Pairs)
 	s.cumulative.AddAll(trace.Pairs)
+	touched := make(map[string]bool, 2)
 	for p := range trace.Pairs {
 		s.leakCounts[p.A.Table]++
+		touched[p.A.Table] = true
 		if p.B.Table != p.A.Table {
 			s.leakCounts[p.B.Table]++
+			touched[p.B.Table] = true
 		}
+	}
+	for table := range touched {
+		s.met.RevealedPairs.With(table).Set(int64(s.leakCounts[table]))
 	}
 	s.traceMu.Unlock()
 }
@@ -364,6 +375,7 @@ func (s *Server) SeedLeakageCounters(counters map[string]uint64) {
 	s.traceMu.Lock()
 	for k, v := range counters {
 		s.leakCounts[k] = v
+		s.met.RevealedPairs.With(k).Set(int64(v))
 	}
 	s.traceMu.Unlock()
 }
@@ -435,7 +447,8 @@ type JoinStream struct {
 	next     int              // next entry of probe to decrypt
 	trace    *QueryTrace
 	done     bool
-	err      error // sticky terminal error, re-returned by Next
+	err      error     // sticky terminal error, re-returned by Next
+	started  time.Time // stream open time, for the join wall-time histogram
 }
 
 // OpenJoin starts one planned equi-join query: candidate selection and
@@ -451,6 +464,8 @@ func (s *Server) OpenJoin(tableA, tableB string, spec JoinSpec) (*JoinStream, er
 	if err != nil {
 		return nil, err
 	}
+	started := time.Now()
+	s.met.JoinsStarted.Inc()
 
 	// Candidate selection: with a pre-filter, SSE resolves each side's
 	// selection to the matching rows; otherwise every row is probed.
@@ -469,10 +484,13 @@ func (s *Server) OpenJoin(tableA, tableB string, spec JoinSpec) (*JoinStream, er
 
 	// Build side: parallel SJ.Dec over A's candidates, indexed by D
 	// value under the original row numbers.
+	decStart := time.Now()
 	das, err := decryptRows(q.TokenA, ta, candA, spec.Workers)
 	if err != nil {
 		return nil, err
 	}
+	s.met.DecSeconds.Observe(time.Since(decStart).Seconds())
+	s.met.RowsDecrypted.Add(uint64(len(das)))
 	index := make(map[string][]int, len(das))
 	for i, d := range das {
 		index[string(d)] = append(index[string(d)], candRow(candA, i))
@@ -502,6 +520,7 @@ func (s *Server) OpenJoin(tableA, tableB string, spec JoinSpec) (*JoinStream, er
 		probe:    candB,
 		bucketsB: make(map[string][]int),
 		pairs:    pairs,
+		started:  started,
 	}, nil
 }
 
@@ -536,12 +555,15 @@ func (st *JoinStream) Next() ([]JoinedRow, error) {
 	for i := range cts {
 		cts[i] = st.tb.Rows[candRow(st.probe, st.next+i)].Join
 	}
+	decStart := time.Now()
 	chunk, err := securejoin.DecryptTableParallel(st.tokenB, cts, st.workers)
 	if err != nil {
 		st.err = err
 		st.finish() // the pairs observed before the failure still leaked
 		return nil, err
 	}
+	st.srv.met.DecSeconds.Observe(time.Since(decStart).Seconds())
+	st.srv.met.RowsDecrypted.Add(uint64(len(chunk)))
 	var out []JoinedRow
 	for j, db := range chunk {
 		rowB := candRow(st.probe, st.next+j)
@@ -583,6 +605,8 @@ func (st *JoinStream) finish() {
 	st.done = true
 	st.trace = &QueryTrace{Pairs: st.pairs}
 	st.srv.recordTrace(st.trace)
+	st.srv.met.JoinsCompleted.Inc()
+	st.srv.met.JoinSeconds.Observe(time.Since(st.started).Seconds())
 }
 
 // Close releases a stream without draining it. The leakage observed up

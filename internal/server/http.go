@@ -1,0 +1,61 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// This file exposes the server's registry and health report over plain
+// HTTP — the scrape/probe sidecar of the wire protocol. It is served on
+// a separate address (sjserver -metrics) so operational traffic never
+// shares a port, a listener or a protocol with client ciphertext
+// traffic.
+
+// MetricsHandler serves the server's metric registry in Prometheus text
+// exposition format.
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WritePrometheus(w)
+	})
+}
+
+// HealthzHandler serves the health report as JSON: HTTP 200 while the
+// server is ready (accepting new work), 503 once it is draining — the
+// contract a load balancer's readiness probe keys on. The body is the
+// same wire.HealthInfo that rides Ping acks.
+func (s *Server) HealthzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h := s.health()
+		w.Header().Set("Content-Type", "application/json")
+		if !h.Ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(h)
+	})
+}
+
+// ServeMetrics starts the HTTP observability endpoint on addr (e.g.
+// "127.0.0.1:0"), serving /metrics and /healthz on background
+// goroutines until Close, and returns the bound address. Call at most
+// once, before Close.
+func (s *Server) ServeMetrics(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("server: metrics listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", s.MetricsHandler())
+	mux.Handle("/healthz", s.HealthzHandler())
+	s.http = &http.Server{Handler: mux}
+	go func() {
+		if err := s.http.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.logf("metrics endpoint: %v", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}

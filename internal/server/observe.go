@@ -1,0 +1,171 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// This file is the server's observability and admission-control
+// surface: the wire-layer metric set, the load-shedding limits that
+// keep unbounded concurrent pairing work from toppling the process,
+// and the health report served on Ping acks and /healthz.
+//
+// Shedding beats queueing here because join work is extreme: a single
+// join costs thousands of bn256 pairings, so a queue one request deep
+// per connection already represents minutes of CPU. Rejecting with a
+// typed retryable error (wire.CodeOverloaded) keeps latency bounded
+// and lets clients back off — see client.WithRetry.
+
+// serverMetrics is the wire-layer metric set, registered next to the
+// engine's in one registry. All fields are nil-safe no-ops when the
+// server is built without a registry (never the case in practice:
+// NewWithStore always creates one).
+type serverMetrics struct {
+	ActiveConns   *metrics.Gauge
+	ConnsTotal    *metrics.Counter
+	ReqSeconds    *metrics.HistogramVec // by request type
+	FramesIn      *metrics.Counter
+	FramesOut     *metrics.Counter
+	BatchBytes    *metrics.Counter
+	InflightJoins *metrics.Gauge
+	ShedTotal     *metrics.Counter
+	IdleClosed    *metrics.Counter
+}
+
+func newServerMetrics(reg *metrics.Registry) serverMetrics {
+	return serverMetrics{
+		ActiveConns:   metrics.NewGauge(reg, "sj_server_connections_active", "live client connections"),
+		ConnsTotal:    metrics.NewCounter(reg, "sj_server_connections_total", "client connections accepted"),
+		ReqSeconds:    metrics.NewHistogramVec(reg, "sj_server_request_seconds", "request handling latency by request type", "type", nil),
+		FramesIn:      metrics.NewCounter(reg, "sj_server_frames_in_total", "request frames received"),
+		FramesOut:     metrics.NewCounter(reg, "sj_server_frames_out_total", "response frames sent"),
+		BatchBytes:    metrics.NewCounter(reg, "sj_server_batch_bytes_total", "join result payload bytes streamed in batches"),
+		InflightJoins: metrics.NewGauge(reg, "sj_server_joins_inflight", "joins currently admitted and executing"),
+		ShedTotal:     metrics.NewCounter(reg, "sj_server_shed_total", "requests rejected by admission control"),
+		IdleClosed:    metrics.NewCounter(reg, "sj_server_idle_closed_total", "connections closed by the idle timeout"),
+	}
+}
+
+// Registry returns the server's metric registry — engine, store and
+// wire-layer series together. sjbench scrapes it after figure runs so
+// perf trajectories and production dashboards read one measurement
+// path; the HTTP /metrics endpoint renders it.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// SetMaxConcurrentJoins bounds the joins executing at once across all
+// connections — the global join-worker semaphore. A join arriving at
+// the bound is shed immediately with wire.CodeOverloaded instead of
+// queueing (each queued join would hold thousands of pairings of
+// latent CPU work). n <= 0 removes the bound (the default). Call
+// before Listen.
+func (s *Server) SetMaxConcurrentJoins(n int) {
+	if n <= 0 {
+		s.joinSem = nil
+		return
+	}
+	s.joinSem = make(chan struct{}, n)
+}
+
+// SetMaxJoinsPerConn bounds the joins in flight on one connection;
+// beyond it the connection's further joins are shed with
+// wire.CodeOverloaded so one client cannot monopolize the join
+// capacity. n <= 0 restores the default (maxInFlight). Call before
+// Listen.
+func (s *Server) SetMaxJoinsPerConn(n int) {
+	if n <= 0 {
+		n = maxInFlight
+	}
+	s.maxJoinsPerConn = n
+}
+
+// SetIdleTimeout closes connections that sit completely idle — no
+// request in flight, none arriving — longer than d, after sending a
+// connection-level wire.CodeIdleTimeout notice so the client fails
+// typed (client.ErrIdleClosed) instead of with a bare EOF. d <= 0
+// disables the timeout (the default). The timeout bounds the gap
+// between requests; a connection streaming or executing work is never
+// idle-closed. May be changed at runtime; a live connection picks the
+// new value up with its next request.
+func (s *Server) SetIdleTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.idleTimeout.Store(int64(d))
+}
+
+// joinGate tracks one connection's in-flight joins.
+type joinGate struct {
+	joins atomic.Int64
+}
+
+// admitJoin applies admission control to one join request: the
+// connection's in-flight join cap first, then the global join-worker
+// semaphore, both without blocking — a rejected join is shed with a
+// typed frame, not queued. Returns false when the request was shed
+// (its terminal frame has been sent).
+func (ss *session) admitJoin(id uint64) bool {
+	s := ss.srv
+	if int(ss.gate.joins.Load()) >= s.maxJoinsPerConn {
+		s.shed(ss, id, "connection join cap reached")
+		return false
+	}
+	if s.joinSem != nil {
+		select {
+		case s.joinSem <- struct{}{}:
+		default:
+			s.shed(ss, id, "server join capacity reached")
+			return false
+		}
+	}
+	ss.gate.joins.Add(1)
+	s.met.InflightJoins.Inc()
+	return true
+}
+
+// releaseJoin returns an admitted join's slots.
+func (ss *session) releaseJoin() {
+	s := ss.srv
+	ss.gate.joins.Add(-1)
+	s.met.InflightJoins.Dec()
+	if s.joinSem != nil {
+		<-s.joinSem
+	}
+}
+
+// shed rejects a request with the typed overload code. The send runs
+// on the read loop, so a shed flood is bounded by the same TCP
+// backpressure as every other inline response.
+func (s *Server) shed(ss *session, id uint64, reason string) {
+	s.met.ShedTotal.Inc()
+	s.logf("request %d shed: %s", id, reason)
+	if err := ss.send(&wire.Frame{ID: id, Err: "server overloaded: " + reason, Code: wire.CodeOverloaded}); err != nil {
+		s.logf("request %d: writing shed response: %v", id, err)
+	}
+}
+
+// health snapshots the server's readiness and key gauges — the payload
+// of Ping acks and of the HTTP /healthz probe.
+func (s *Server) health() *wire.HealthInfo {
+	ready := true
+	select {
+	case <-s.done:
+		ready = false
+	default:
+	}
+	var leaked uint64
+	for _, v := range s.eng.LeakageCounters() {
+		leaked += v
+	}
+	return &wire.HealthInfo{
+		Ready:         ready,
+		Tables:        len(s.eng.TableStats()),
+		ActiveConns:   int(s.met.ActiveConns.Value()),
+		InflightJoins: int(s.met.InflightJoins.Value()),
+		ShedTotal:     s.met.ShedTotal.Value(),
+		RevealedPairs: leaked,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	}
+}

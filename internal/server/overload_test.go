@@ -1,0 +1,231 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/securejoin"
+)
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestOverloadedServerShedsJoins pins the admission-control contract:
+// with a join-worker semaphore of one, the first join is admitted and
+// completes, every concurrent join is shed with a typed retryable
+// error, capacity frees afterwards, and no goroutine leaks.
+func TestOverloadedServerShedsJoins(t *testing.T) {
+	srv := New(nil)
+	srv.SetMaxConcurrentJoins(1)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c := dial(t, addr)
+	const rows = 24
+	uploadPair(t, c, rows)
+
+	before := runtime.NumGoroutine()
+
+	// Join 1: admitted. Waiting for the in-flight gauge guarantees it
+	// holds the semaphore before any competitor is sent; the join's
+	// thousands of pairings keep it held far longer than the sheds take.
+	done := make(chan error, 1)
+	go func() {
+		results, _, err := c.Join("L", "R", securejoin.Selection{}, securejoin.Selection{})
+		if err == nil && len(results) != rows {
+			err = fmt.Errorf("admitted join returned %d rows, want %d", len(results), rows)
+		}
+		done <- err
+	}()
+	waitFor(t, "join 1 admission", func() bool { return srv.met.InflightJoins.Value() == 1 })
+
+	// Joins 2..N: all must shed, none may queue or execute.
+	const extra = 4
+	var wg sync.WaitGroup
+	shedErrs := make(chan error, extra)
+	for i := 0; i < extra; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := c.Join("L", "R", securejoin.Selection{}, securejoin.Selection{})
+			shedErrs <- err
+		}()
+	}
+	wg.Wait()
+	close(shedErrs)
+	shed := 0
+	for err := range shedErrs {
+		if err == nil {
+			t.Fatal("join admitted beyond the semaphore capacity")
+		}
+		if !errors.Is(err, client.ErrOverloaded) {
+			t.Fatalf("shed join failed with %v, want client.ErrOverloaded", err)
+		}
+		shed++
+	}
+	if shed != extra {
+		t.Fatalf("%d joins shed, want %d", shed, extra)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("admitted join: %v", err)
+	}
+	if got := srv.met.ShedTotal.Value(); got != extra {
+		t.Fatalf("shed counter = %d, want %d", got, extra)
+	}
+
+	// The admitted join released its slot: the next join is admitted.
+	if _, _, err := c.Join("L", "R", securejoin.Selection{}, securejoin.Selection{}); err != nil {
+		t.Fatalf("join after load drained: %v", err)
+	}
+
+	// Shed requests must not leave request goroutines (or engine worker
+	// pools) behind. Finished goroutines unwind asynchronously, so poll.
+	waitFor(t, "goroutines to drain", func() bool { return runtime.NumGoroutine() <= before+2 })
+}
+
+// TestPerConnectionJoinCapSheds: one connection's in-flight join cap
+// sheds its second join while another connection is unaffected.
+func TestPerConnectionJoinCapSheds(t *testing.T) {
+	srv := New(nil)
+	srv.SetMaxJoinsPerConn(1)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c := dial(t, addr)
+	uploadPair(t, c, 24)
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Join("L", "R", securejoin.Selection{}, securejoin.Selection{})
+		done <- err
+	}()
+	waitFor(t, "join 1 admission", func() bool { return srv.met.InflightJoins.Value() == 1 })
+
+	if _, _, err := c.Join("L", "R", securejoin.Selection{}, securejoin.Selection{}); !errors.Is(err, client.ErrOverloaded) {
+		t.Fatalf("second join on the capped connection: %v, want client.ErrOverloaded", err)
+	}
+	// The cap is per connection: a second client joins concurrently
+	// (under its own keys, so it matches nothing — but it executes).
+	c2 := dial(t, addr)
+	if _, _, err := c2.Join("L", "R", securejoin.Selection{}, securejoin.Selection{}); err != nil {
+		t.Fatalf("join on a second connection: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("admitted join: %v", err)
+	}
+}
+
+// TestWithRetrySucceedsAfterShed drives client.WithRetry end-to-end
+// against a genuinely overloaded server: the semaphore is held by the
+// test, released after the first shed, and the retried join succeeds.
+func TestWithRetrySucceedsAfterShed(t *testing.T) {
+	srv := New(nil)
+	srv.SetMaxConcurrentJoins(1)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c := dial(t, addr)
+	uploadPair(t, c, 4)
+
+	// Occupy the only join slot directly; the first attempt must shed.
+	srv.joinSem <- struct{}{}
+	attempts := 0
+	err = client.WithRetry(client.RetryConfig{Base: time.Millisecond}, func() error {
+		attempts++
+		if attempts == 1 {
+			defer func() { <-srv.joinSem }() // free the slot after the shed
+		}
+		_, _, err := c.Join("L", "R", securejoin.Selection{}, securejoin.Selection{})
+		return err
+	})
+	if err != nil {
+		t.Fatalf("retried join: %v", err)
+	}
+	if attempts < 2 {
+		t.Fatalf("join succeeded on attempt %d; the first should have shed", attempts)
+	}
+}
+
+// TestIdleTimeoutClosesIdleConnection: an idle connection is closed
+// after the timeout with a typed notice, while work in flight keeps it
+// alive past the deadline. The timeout is configured only after the
+// upload, because client-side row encryption between requests is an
+// idle gap by design — the test's setup must not be idle-closed.
+func TestIdleTimeoutClosesIdleConnection(t *testing.T) {
+	srv := New(nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c := dial(t, addr)
+	uploadPair(t, c, 16)
+	srv.SetIdleTimeout(100 * time.Millisecond)
+
+	// A join outlasting the idle timeout is not idleness: the deadline
+	// expiring while its request executes just re-arms, and the join
+	// completes (its ~32 SJ.Dec pairings take well over the timeout).
+	if _, _, err := c.Join("L", "R", securejoin.Selection{}, securejoin.Selection{}); err != nil {
+		t.Fatalf("join under idle timeout: %v", err)
+	}
+
+	// True idleness: no request for 10x the timeout. The server sends
+	// the CodeIdleTimeout notice and closes; the client must fail typed.
+	time.Sleep(time.Second)
+	err = c.Ping()
+	if err == nil {
+		t.Fatal("ping on an idle-closed connection succeeded")
+	}
+	if !errors.Is(err, client.ErrIdleClosed) {
+		t.Fatalf("ping after idle close: %v, want client.ErrIdleClosed", err)
+	}
+	if got := srv.met.IdleClosed.Value(); got != 1 {
+		t.Fatalf("idle-closed counter = %d, want 1", got)
+	}
+}
+
+// TestHealthOverPing: the health report rides the Ping ack.
+func TestHealthOverPing(t *testing.T) {
+	addr := startServer(t)
+	c := dial(t, addr)
+	uploadPair(t, c, 2)
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h == nil {
+		t.Fatal("no health payload on the ping ack")
+	}
+	if !h.Ready {
+		t.Error("server not ready")
+	}
+	if h.Tables != 2 {
+		t.Errorf("health reports %d tables, want 2", h.Tables)
+	}
+	if h.ActiveConns != 1 {
+		t.Errorf("health reports %d connections, want 1", h.ActiveConns)
+	}
+	if h.UptimeSeconds <= 0 {
+		t.Errorf("uptime = %v, want > 0", h.UptimeSeconds)
+	}
+}

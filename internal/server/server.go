@@ -16,11 +16,15 @@ import (
 	"io"
 	"log"
 	"net"
+	"net/http"
+	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/securejoin"
 	"repro/internal/sse"
 	"repro/internal/store"
@@ -39,6 +43,17 @@ type Server struct {
 	logger *log.Logger
 	batch  int
 	store  *store.Store
+
+	// Observability and admission control (see observe.go). The
+	// registry holds the engine's, the store's and the wire layer's
+	// metrics together; limits are configured before Listen.
+	reg             *metrics.Registry
+	met             serverMetrics
+	started         time.Time
+	joinSem         chan struct{} // global join-worker semaphore; nil = unlimited
+	maxJoinsPerConn int
+	idleTimeout     atomic.Int64 // nanoseconds; 0 = no idle timeout
+	http            *http.Server // optional /metrics + /healthz endpoint
 
 	// countersMu makes each leakage-counter checkpoint a consistent
 	// read-then-append: without it two finishing joins could write
@@ -68,15 +83,24 @@ func New(logger *log.Logger) *Server {
 // be nil for the in-memory behavior of New. The server owns the store
 // from here on: Close closes it.
 func NewWithStore(logger *log.Logger, st *store.Store) *Server {
+	reg := metrics.NewRegistry()
 	s := &Server{
-		eng:    engine.NewServer(),
-		logger: logger,
-		batch:  engine.DefaultBatchSize,
-		store:  st,
-		done:   make(chan struct{}),
-		conns:  make(map[net.Conn]struct{}),
+		eng:             engine.NewServer(),
+		logger:          logger,
+		batch:           engine.DefaultBatchSize,
+		store:           st,
+		reg:             reg,
+		met:             newServerMetrics(reg),
+		started:         time.Now(),
+		maxJoinsPerConn: maxInFlight,
+		done:            make(chan struct{}),
+		conns:           make(map[net.Conn]struct{}),
 	}
+	// Instrument the engine before the recovery below so the seeded
+	// leakage counters land in the gauges too.
+	s.eng.Instrument(reg)
 	if st != nil {
+		st.Instrument(reg)
 		tables := st.Tables()
 		for _, t := range tables {
 			// Upload, not RegisterTable: these versions are already
@@ -132,6 +156,9 @@ func (s *Server) Close() error {
 		close(s.done)
 		if s.ln != nil {
 			err = s.ln.Close()
+		}
+		if s.http != nil {
+			s.http.Close()
 		}
 		// Half-close live connections: the read side unblocks the
 		// request reader, while the write side stays open so in-flight
@@ -219,6 +246,8 @@ func (s *Server) track(conn net.Conn) bool {
 	default:
 	}
 	s.conns[conn] = struct{}{}
+	s.met.ConnsTotal.Inc()
+	s.met.ActiveConns.Inc()
 	return true
 }
 
@@ -239,6 +268,7 @@ type session struct {
 	writeMu sync.Mutex
 	reqs    sync.WaitGroup
 	sem     chan struct{}
+	gate    joinGate // per-connection join admission (see observe.go)
 
 	// staging is touched only by the connection's read loop (uploads
 	// run inline there for ordering), so it needs no lock.
@@ -289,7 +319,11 @@ func (ss *session) clearCancel(id uint64) {
 func (ss *session) send(f *wire.Frame) error {
 	ss.writeMu.Lock()
 	defer ss.writeMu.Unlock()
-	return ss.conn.Send(f)
+	if err := ss.conn.Send(f); err != nil {
+		return err
+	}
+	ss.srv.met.FramesOut.Inc()
+	return nil
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -299,6 +333,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.connMu.Unlock()
 		conn.Close()
+		s.met.ActiveConns.Dec()
 	}()
 
 	wc := wire.NewConn(conn)
@@ -314,38 +349,71 @@ func (s *Server) serveConn(conn net.Conn) {
 		cancels: make(map[uint64]chan struct{}),
 	}
 	for {
+		// With an idle timeout configured, every blocking read carries a
+		// deadline. Expiry while requests are still executing is not
+		// idleness (the client is waiting on us, not the reverse) — the
+		// loop just re-arms and keeps reading.
+		idle := time.Duration(s.idleTimeout.Load())
+		if idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(idle))
+		}
 		var req wire.Request
 		if err := wc.Recv(&req); err != nil {
+			if idle > 0 && errors.Is(err, os.ErrDeadlineExceeded) {
+				if len(ss.sem) > 0 {
+					continue
+				}
+				// Typed close notice (ID 0 = connection-level, see wire)
+				// so the client reports ErrIdleClosed, not a bare EOF.
+				s.met.IdleClosed.Inc()
+				s.logf("closing idle connection %s after %v", conn.RemoteAddr(), idle)
+				ss.send(&wire.Frame{Code: wire.CodeIdleTimeout, Err: "connection idle timeout exceeded"})
+				break
+			}
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
 				s.logf("read from %s: %v", conn.RemoteAddr(), err)
 			}
 			break
 		}
+		s.met.FramesIn.Inc()
 		// Cancels are handled on the read loop itself — they must not
 		// queue behind the heavy requests they are trying to cancel —
 		// and so is their ack, keeping a cancel flood bounded by the
 		// same TCP backpressure as everything else.
 		if req.Cancel != 0 {
+			started := time.Now()
 			ss.cancel(req.Cancel)
 			ss.send(&wire.Frame{ID: req.ID, Ok: true})
+			s.met.ReqSeconds.With("cancel").Observe(time.Since(started).Seconds())
 			continue
 		}
 		// Uploads run inline too: chunks of one staged upload sequence
 		// are order-dependent, and read-loop execution is the ordering
 		// guarantee (they are cheap — no pairings — unlike joins).
 		if req.Upload != nil {
+			started := time.Now()
 			if err := ss.handleUpload(req.ID, req.Upload); err != nil {
 				s.logf("request %d: writing response: %v", req.ID, err)
 			}
+			s.met.ReqSeconds.With("upload").Observe(time.Since(started).Seconds())
 			continue
 		}
 		if req.Join != nil {
+			// Admission control runs on the read loop, before the
+			// blocking per-connection semaphore: a shed response must
+			// never queue behind the very load it is reporting.
+			if !ss.admitJoin(req.ID) {
+				continue
+			}
 			ss.registerCancel(req.ID)
 		}
 		ss.sem <- struct{}{}
 		ss.reqs.Add(1)
 		go func(req wire.Request) {
 			defer func() {
+				if req.Join != nil {
+					ss.releaseJoin()
+				}
 				<-ss.sem
 				ss.reqs.Done()
 			}()
@@ -366,15 +434,26 @@ func (s *Server) serveConn(conn net.Conn) {
 // (uploads and cancels are handled on the read loop, see serveConn).
 func (ss *session) handle(req *wire.Request) {
 	var err error
+	started := time.Now()
+	kind := ""
 	switch {
 	case req.Join != nil:
+		kind = "join"
 		err = ss.handleJoin(req.ID, req.Join)
 	case req.Describe:
+		kind = "describe"
 		err = ss.handleDescribe(req.ID)
 	case req.Ping:
-		err = ss.send(&wire.Frame{ID: req.ID, Ok: true})
+		// The ack doubles as the protocol's health probe: readiness and
+		// key gauges ride the Ok frame (gob-additive — old clients just
+		// see the ack).
+		kind = "ping"
+		err = ss.send(&wire.Frame{ID: req.ID, Ok: true, Health: ss.srv.health()})
 	default:
 		err = ss.sendErr(req.ID, errors.New("server: empty request"))
+	}
+	if kind != "" {
+		ss.srv.met.ReqSeconds.With(kind).Observe(time.Since(started).Seconds())
 	}
 	if err != nil {
 		ss.srv.logf("request %d: writing response: %v", req.ID, err)
@@ -535,6 +614,7 @@ func (ss *session) handleJoin(id uint64, jr *wire.JoinRequest) error {
 				}
 			}
 			sent += n
+			ss.srv.met.BatchBytes.Add(uint64(bytes))
 			if err := ss.send(&wire.Frame{ID: id, Batch: batch}); err != nil {
 				// Best effort: if the conn is still alive (e.g. a
 				// single row overflowed the frame limit) the client

@@ -1,0 +1,40 @@
+package sql
+
+import "repro/internal/metrics"
+
+// sqlMetrics counts what the planner decides — how many plans compile,
+// how many pairwise join steps they carry, and how often the
+// statistics-driven prefilter heuristic picks SSE pre-filtering over a
+// full scan per side. All fields are nil-safe no-ops until Instrument
+// is called, so planning costs nothing extra by default.
+type sqlMetrics struct {
+	plans     *metrics.Counter
+	steps     *metrics.Counter
+	decisions *metrics.CounterVec // by decision: "prefilter" | "scan"
+}
+
+// Instrument registers the planner's metrics with reg and starts
+// recording. Pass the same registry the serving layer scrapes (e.g.
+// server.Registry()) so plan decisions land next to execution metrics.
+func (c *Catalog) Instrument(reg *metrics.Registry) {
+	c.met = sqlMetrics{
+		plans:     metrics.NewCounter(reg, "sj_sql_plans_total", "join plans compiled"),
+		steps:     metrics.NewCounter(reg, "sj_sql_plan_steps_total", "pairwise join steps across compiled plans"),
+		decisions: metrics.NewCounterVec(reg, "sj_sql_prefilter_decisions_total", "per-side planner decisions between SSE prefilter and full scan", "decision"),
+	}
+}
+
+// record counts one successfully compiled plan. sides holds one entry
+// per FROM table, so each table's prefilter decision counts exactly
+// once however the join order stitched it in.
+func (m *sqlMetrics) record(plan *Plan, sides []*SidePlan) {
+	m.plans.Inc()
+	m.steps.Add(uint64(len(plan.Steps)))
+	for _, sp := range sides {
+		if sp.Prefilter {
+			m.decisions.With("prefilter").Inc()
+		} else {
+			m.decisions.With("scan").Inc()
+		}
+	}
+}

@@ -39,6 +39,8 @@ type Catalog struct {
 	// workers is the SJ.Dec worker hint stamped onto every plan;
 	// 0 keeps the engine default.
 	workers int
+	// met records planner decisions; nil-safe no-op until Instrument.
+	met sqlMetrics
 }
 
 // NewCatalog builds a catalog from schemas, rejecting duplicates and
@@ -402,6 +404,7 @@ func (c *Catalog) PlanQuery(q *JoinQuery) (*Plan, error) {
 	plan.TableA, plan.TableB = first.Left.Table, first.Right.Table
 	plan.SelA, plan.SelB = first.Left.Sel, first.Right.Sel
 	plan.SideA, plan.SideB = first.Left, first.Right
+	c.met.record(plan, sides)
 	return plan, nil
 }
 

@@ -57,6 +57,7 @@ import (
 	"syscall"
 
 	"repro/internal/engine"
+	"repro/internal/metrics"
 )
 
 const (
@@ -153,6 +154,22 @@ type Store struct {
 	// may have a torn tail, and appending after it would bury valid
 	// records behind garbage replay cannot cross.
 	appendErr error
+
+	// Byte counters for the durability write paths; nil-safe no-ops
+	// until Instrument attaches registered counters.
+	snapshotBytes *metrics.Counter
+	walBytes      *metrics.Counter
+}
+
+// Instrument registers the store's write-volume counters in reg:
+// sj_store_snapshot_bytes_total (table snapshot bytes written) and
+// sj_store_wal_bytes_total (manifest record bytes appended). Call
+// before serving traffic; an uninstrumented store records nothing.
+func (s *Store) Instrument(reg *metrics.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snapshotBytes = metrics.NewCounter(reg, "sj_store_snapshot_bytes_total", "table snapshot bytes written to the data dir")
+	s.walBytes = metrics.NewCounter(reg, "sj_store_wal_bytes_total", "manifest (WAL) record bytes appended")
 }
 
 // Open creates or recovers a store in dir, re-registering every durable
@@ -401,10 +418,11 @@ func (s *Store) Commit(t *engine.EncryptedTable) error {
 	snap := fmt.Sprintf("%016x.snap", seq)
 	tmp := filepath.Join(s.dir, tablesDir, tmpPrefix+snap)
 	final := filepath.Join(s.dir, tablesDir, snap)
-	digest, err := writeSnapshot(tmp, t)
+	digest, snapBytes, err := writeSnapshot(tmp, t)
 	if err != nil {
 		return err
 	}
+	s.snapshotBytes.Add(uint64(snapBytes))
 	if err := os.Rename(tmp, final); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("store: installing snapshot: %w", err)
@@ -524,6 +542,7 @@ func (s *Store) append(rec *record) error {
 		s.appendErr = err
 		return fmt.Errorf("store: syncing manifest: %w", err)
 	}
+	s.walBytes.Add(uint64(len(b)))
 	s.records++
 	return nil
 }
@@ -653,30 +672,42 @@ func (s *Store) Compact() error {
 	return nil
 }
 
+// countingWriter counts bytes passing through, for the snapshot-bytes
+// metric (hashed and counted during the write, never read back).
+type countingWriter struct {
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
 // writeSnapshot serializes a table to path, fsyncs it, and returns the
-// SHA-256 of the written bytes — hashed during the write, so the
-// snapshot is never read back.
-func writeSnapshot(path string, t *engine.EncryptedTable) ([]byte, error) {
+// SHA-256 of the written bytes along with their count — both computed
+// during the write, so the snapshot is never read back.
+func writeSnapshot(path string, t *engine.EncryptedTable) ([]byte, int64, error) {
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("store: creating snapshot: %w", err)
+		return nil, 0, fmt.Errorf("store: creating snapshot: %w", err)
 	}
 	h := sha256.New()
-	if err := engine.SaveTable(io.MultiWriter(f, h), t); err != nil {
+	var cw countingWriter
+	if err := engine.SaveTable(io.MultiWriter(f, h, &cw), t); err != nil {
 		f.Close()
 		os.Remove(path)
-		return nil, fmt.Errorf("store: writing snapshot: %w", err)
+		return nil, 0, fmt.Errorf("store: writing snapshot: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(path)
-		return nil, fmt.Errorf("store: syncing snapshot: %w", err)
+		return nil, 0, fmt.Errorf("store: syncing snapshot: %w", err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(path)
-		return nil, fmt.Errorf("store: closing snapshot: %w", err)
+		return nil, 0, fmt.Errorf("store: closing snapshot: %w", err)
 	}
-	return h.Sum(nil), nil
+	return h.Sum(nil), cw.n, nil
 }
 
 // syncDir fsyncs a directory so a just-renamed entry is durable.
