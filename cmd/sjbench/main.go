@@ -8,6 +8,7 @@
 //	sjbench -fig concurrent   # engine throughput under concurrent joins
 //	sjbench -fig prefilter    # full-scan vs SSE-prefiltered vs parallel, over the wire
 //	sjbench -fig multijoin    # 2-way vs 3-way, statistics-ordered vs naive join order
+//	sjbench -fig decrypt      # SJ.Dec ablation: naive vs precomputed vs decrypt-cache cold/warm
 //	sjbench -fig all
 //
 // The pure-Go pairing is slower than the authors' C library, so by
@@ -35,12 +36,12 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, comparison, concurrent, prefilter, multijoin, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, comparison, concurrent, prefilter, multijoin, decrypt, all")
 	scaleDiv := flag.Float64("scalediv", 100, "divide the paper's TPC-H scale factors by this factor")
 	reps := flag.Int("reps", 3, "repetitions per Figure 2 measurement")
 	seed := flag.Int64("seed", 42, "dataset generator seed")
-	rows := flag.Int("rows", 200, "rows per table for -fig prefilter")
-	out := flag.String("out", ".", "directory for the BENCH_*.json reports of -fig prefilter and multijoin")
+	rows := flag.Int("rows", 200, "rows per table for -fig prefilter, multijoin and decrypt")
+	out := flag.String("out", ".", "directory for the BENCH_*.json reports of -fig prefilter, multijoin and decrypt")
 	flag.Parse()
 
 	var err error
@@ -59,6 +60,8 @@ func main() {
 		err = prefilterWire(*rows, *out)
 	case "multijoin":
 		err = multijoin(*rows, *out)
+	case "decrypt":
+		err = decryptAblation(*rows, *out)
 	case "all":
 		if err = fig2(*reps); err == nil {
 			if err = fig3(*scaleDiv, *seed); err == nil {
@@ -66,7 +69,9 @@ func main() {
 					if err = comparison(*scaleDiv, *seed); err == nil {
 						if err = concurrent(); err == nil {
 							if err = prefilterWire(*rows, *out); err == nil {
-								err = multijoin(*rows, *out)
+								if err = multijoin(*rows, *out); err == nil {
+									err = decryptAblation(*rows, *out)
+								}
 							}
 						}
 					}
@@ -459,6 +464,175 @@ func multijoin(rows int, outDir string) error {
 		})
 	}
 	fmt.Println()
+	report.Histograms = scrapeHistograms(reg, "sj_join_seconds", "sj_dec_seconds")
+	return writeReport(outDir, report)
+}
+
+// decryptAblation isolates what each stacked decrypt-path optimization
+// buys on one L x R join with a single reused query token: the naive
+// per-row Miller loop, the fixed-token precomputed pairing, and the
+// engine's decrypt-result cache cold (first execution, every row a
+// miss) versus warm (same token re-executed, served from cache). The
+// warm run re-reveals only sigma(q) values the server computed in the
+// cold run, which is why caching them adds no leakage — and why only
+// literal token reuse can hit: a fresh NewQuery carries a fresh join
+// key and never matches a cached entry.
+func decryptAblation(rows int, outDir string) error {
+	fmt.Printf("== Decrypt ablation: naive vs precomputed vs cached (%d rows per table, %d cores) ==\n",
+		rows, runtime.GOMAXPROCS(0))
+
+	keys, err := engine.NewClient(securejoin.Params{M: 1, T: 1}, nil)
+	if err != nil {
+		return err
+	}
+	eng := engine.NewServer()
+	eng.SetDecryptCache(64 << 20)
+	reg := metrics.NewRegistry()
+	eng.Instrument(reg)
+
+	// First ~10% of each table carries the "hot" attribute the
+	// prefiltered cold/warm pair below selects on.
+	mk := func(n int) []engine.PlainRow {
+		out := make([]engine.PlainRow, n)
+		for i := range out {
+			attr := "bulk"
+			if i < (n+9)/10 {
+				attr = "hot"
+			}
+			out[i] = engine.PlainRow{
+				JoinValue: []byte(fmt.Sprintf("k-%d", i)),
+				Attrs:     [][]byte{[]byte(attr)},
+				Payload:   []byte(fmt.Sprintf("row-%d", i)),
+			}
+		}
+		return out
+	}
+	cts := make(map[string][]*securejoin.RowCiphertext, 2)
+	for _, name := range []string{"L", "R"} {
+		tab, err := keys.EncryptTableIndexed(name, mk(rows))
+		if err != nil {
+			return err
+		}
+		eng.Upload(tab)
+		rcs := make([]*securejoin.RowCiphertext, len(tab.Rows))
+		for i, r := range tab.Rows {
+			rcs[i] = r.Join
+		}
+		cts[name] = rcs
+	}
+
+	// One query for every mode: the cache keys on the token bytes.
+	q, err := keys.NewQuery(securejoin.Selection{}, securejoin.Selection{})
+	if err != nil {
+		return err
+	}
+
+	report := &benchReport{Fig: "decrypt", Rows: rows}
+	addSeries := func(mode string, seconds float64, matches int) {
+		fmt.Printf("%-24s  %8.3f  %7d\n", mode, seconds, matches)
+		report.Series = append(report.Series, benchSeries{
+			Mode: mode, Seconds: seconds, Matches: matches,
+		})
+	}
+	fmt.Println("mode                       seconds  matches")
+
+	// 1. Naive: a full Miller loop per row, token side re-derived
+	// every time.
+	start := time.Now()
+	da, err := securejoin.DecryptTable(q.TokenA, cts["L"])
+	if err != nil {
+		return err
+	}
+	db, err := securejoin.DecryptTable(q.TokenB, cts["R"])
+	if err != nil {
+		return err
+	}
+	addSeries("naive", time.Since(start).Seconds(), len(securejoin.HashJoin(da, db)))
+
+	// 2. Precomputed: record each token's Miller program once, replay
+	// it against every row.
+	start = time.Now()
+	da, err = securejoin.DecryptTableWith(q.TokenA.Precompute(), cts["L"])
+	if err != nil {
+		return err
+	}
+	db, err = securejoin.DecryptTableWith(q.TokenB.Precompute(), cts["R"])
+	if err != nil {
+		return err
+	}
+	addSeries("precomputed", time.Since(start).Seconds(), len(securejoin.HashJoin(da, db)))
+
+	// 3 + 4. End-to-end through the engine (precomputed + parallel
+	// workers), first with a cold decrypt cache, then re-executing the
+	// same query so every row is served from cache.
+	before := eng.DecryptCacheStats()
+	start = time.Now()
+	res, _, err := eng.ExecuteJoin("L", "R", q)
+	if err != nil {
+		return err
+	}
+	coldSecs := time.Since(start).Seconds()
+	addSeries("precomputed_cache_cold", coldSecs, len(res))
+
+	mid := eng.DecryptCacheStats()
+	start = time.Now()
+	res, _, err = eng.ExecuteJoin("L", "R", q)
+	if err != nil {
+		return err
+	}
+	warmSecs := time.Since(start).Seconds()
+	addSeries("precomputed_cache_warm", warmSecs, len(res))
+	after := eng.DecryptCacheStats()
+
+	// 5 + 6. The acceptance case: a repeated *prefiltered* join under
+	// its own token — cold decrypts only the candidate rows, warm
+	// serves them from cache.
+	sel := securejoin.Selection{0: [][]byte{[]byte("hot")}}
+	pq, err := keys.NewPrefilterQuery(sel, sel)
+	if err != nil {
+		return err
+	}
+	start = time.Now()
+	pres, _, err := eng.ExecuteJoinPrefiltered("L", "R", pq)
+	if err != nil {
+		return err
+	}
+	preColdSecs := time.Since(start).Seconds()
+	addSeries("prefiltered_cache_cold", preColdSecs, len(pres))
+
+	start = time.Now()
+	pres, _, err = eng.ExecuteJoinPrefiltered("L", "R", pq)
+	if err != nil {
+		return err
+	}
+	preWarmSecs := time.Since(start).Seconds()
+	addSeries("prefiltered_cache_warm", preWarmSecs, len(pres))
+
+	warmHits := after.Hits - mid.Hits
+	warmMisses := after.Misses - mid.Misses
+	summary := &decryptCacheSummary{
+		ColdMisses:             mid.Misses - before.Misses,
+		WarmHits:               warmHits,
+		WarmMisses:             warmMisses,
+		ColdSeconds:            coldSecs,
+		WarmSeconds:            warmSecs,
+		PrefilteredColdSeconds: preColdSecs,
+		PrefilteredWarmSeconds: preWarmSecs,
+	}
+	if warmHits+warmMisses > 0 {
+		summary.WarmHitRate = float64(warmHits) / float64(warmHits+warmMisses)
+	}
+	if warmSecs > 0 {
+		summary.WarmSpeedup = coldSecs / warmSecs
+	}
+	if preWarmSecs > 0 {
+		summary.PrefilteredWarmSpeedup = preColdSecs / preWarmSecs
+	}
+	report.DecryptCache = summary
+	fmt.Printf("warm hit rate %.2f (%d of %d), warm speedup %.1fx over cold (prefiltered: %.1fx)\n\n",
+		summary.WarmHitRate, warmHits, warmHits+warmMisses,
+		summary.WarmSpeedup, summary.PrefilteredWarmSpeedup)
+
 	report.Histograms = scrapeHistograms(reg, "sj_join_seconds", "sj_dec_seconds")
 	return writeReport(outDir, report)
 }

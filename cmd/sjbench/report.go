@@ -34,12 +34,32 @@ type histSummary struct {
 	P99   float64 `json:"p99_seconds"`
 }
 
+// decryptCacheSummary is the -fig decrypt cold-vs-warm verdict: the
+// decrypt-cache counters attributable to each execution and the
+// derived warm-over-cold speedup. WarmHitRate is hits/(hits+misses)
+// during the warm re-execution — 1.0 when the cache served every row.
+type decryptCacheSummary struct {
+	ColdMisses  uint64  `json:"cold_misses"`
+	WarmHits    uint64  `json:"warm_hits"`
+	WarmMisses  uint64  `json:"warm_misses"`
+	WarmHitRate float64 `json:"warm_hit_rate"`
+	ColdSeconds float64 `json:"cold_seconds"`
+	WarmSeconds float64 `json:"warm_seconds"`
+	WarmSpeedup float64 `json:"warm_speedup"`
+	// The same cold/warm pair for a repeated prefiltered join (its own
+	// query token, candidate rows only).
+	PrefilteredColdSeconds float64 `json:"prefiltered_cold_seconds"`
+	PrefilteredWarmSeconds float64 `json:"prefiltered_warm_seconds"`
+	PrefilteredWarmSpeedup float64 `json:"prefiltered_warm_speedup"`
+}
+
 // benchReport is the BENCH_<fig>.json document.
 type benchReport struct {
-	Fig        string                 `json:"fig"`
-	Rows       int                    `json:"rows"`
-	Series     []benchSeries          `json:"series"`
-	Histograms map[string]histSummary `json:"histograms"`
+	Fig          string                 `json:"fig"`
+	Rows         int                    `json:"rows"`
+	Series       []benchSeries          `json:"series"`
+	DecryptCache *decryptCacheSummary   `json:"decrypt_cache,omitempty"`
+	Histograms   map[string]histSummary `json:"histograms"`
 }
 
 // scrapeHistograms summarizes the named histograms from the registry

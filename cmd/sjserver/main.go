@@ -25,6 +25,7 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "address for the HTTP /metrics + /healthz endpoint (empty = disabled)")
 	maxJoins := flag.Int("maxjoins", 0, "max joins executing at once across all connections; excess joins are shed (0 = unlimited)")
 	idleTimeout := flag.Duration("idletimeout", 0, "close connections idle longer than this, e.g. 5m (0 = never)")
+	decCacheBytes := flag.Int64("decrypt-cache-bytes", 64<<20, "byte budget for the decrypt-result cache (0 = disabled)")
 	flag.Parse()
 
 	var logger *log.Logger
@@ -39,6 +40,7 @@ func main() {
 	srv.SetBatchSize(*batch)
 	srv.SetMaxConcurrentJoins(*maxJoins)
 	srv.SetIdleTimeout(*idleTimeout)
+	srv.SetDecryptCache(*decCacheBytes)
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sjserver:", err)

@@ -146,6 +146,10 @@ func setup(out io.Writer, scale float64, seed int64, maxRows int, connect string
 			return nil, nil, err
 		}
 		a.eng = engine.NewServer()
+		a.eng.SetDecryptCache(64 << 20)
+		// EXPLAIN's "decrypt cache:" line reads the engine's counters at
+		// compile time through this hook.
+		catalog.SetDecryptCacheStats(a.eng.DecryptCacheStats)
 		for name, rows := range tables {
 			var enc *engine.EncryptedTable
 			if index {

@@ -19,6 +19,9 @@ var (
 	xi gfP2
 	// xiInv is xi^-1, used for the twist curve coefficient b' = 3/xi.
 	xiInv gfP2
+	// xiN is the small integer n with xi = n + i, letting MulXi run on
+	// additions instead of a full Fp2 multiplication.
+	xiN int64
 	// p2Minus1Over2 and p2Minus1Over3 are residue-test exponents.
 	p2Minus1Over2 *big.Int
 	p2Minus1Over3 *big.Int
@@ -50,6 +53,7 @@ func initGFp2() {
 			continue
 		}
 		xi = cand
+		xiN = n
 		break
 	}
 	xiInv.Invert(&xi)
@@ -171,11 +175,44 @@ func (e *gfP2) Square(a *gfP2) *gfP2 {
 	return e
 }
 
-// MulXi sets e = a * xi and returns e.
+// MulXi sets e = a * xi and returns e. Since xi = n + i for a small n,
+// the product is (n*a0 - a1) + (a0 + n*a1)*i, computed with a short
+// double-and-add chain instead of a full Fp2 multiplication. MulXi sits
+// on every tau-reduction in the tower, so this is one of the hottest
+// field operations in the pairing.
 func (e *gfP2) MulXi(a *gfP2) *gfP2 {
-	var t gfP2
-	t.Mul(a, &xi)
-	return e.Set(&t)
+	var na0, na1, r0, r1 gfP
+	mulSmall(&na0, &a.a0, xiN)
+	mulSmall(&na1, &a.a1, xiN)
+	r0.Sub(&na0, &a.a1)
+	r1.Add(&a.a0, &na1)
+	e.a0.Set(&r0)
+	e.a1.Set(&r1)
+	return e
+}
+
+// mulSmall sets e = n*a for a small positive integer n using
+// double-and-add on field additions.
+func mulSmall(e, a *gfP, n int64) {
+	var acc gfP
+	started := false
+	for bit := 62; bit >= 0; bit-- {
+		if started {
+			acc.Double(&acc)
+		}
+		if n&(1<<uint(bit)) != 0 {
+			if started {
+				acc.Add(&acc, a)
+			} else {
+				acc.Set(a)
+				started = true
+			}
+		}
+	}
+	if !started {
+		acc.SetZero()
+	}
+	e.Set(&acc)
 }
 
 // Invert sets e = a^-1 and returns e. Inverting zero yields zero.

@@ -1,0 +1,339 @@
+package bn256
+
+// Fixed-argument pairing precomputation. SJ.Dec pairs one token (G1
+// side) against every row ciphertext (G2 side) of a table. The Miller
+// loop's doubling chain, batched inversions, and line slopes depend
+// only on the G1 points, so a fixed G1 batch can be walked once and
+// replayed per row: PrecomputePairBatch records the loop as a flat
+// program of accumulator squarings and per-slot line coefficients, and
+// PairBatchPrecomputed evaluates that program at a row's G2 points.
+// What remains per row is exactly the Fp12 work — line evaluations at
+// Q, accumulator squarings, and the final exponentiation — while the
+// per-step field inversions and T-chain updates disappear.
+
+// ppOp is one step of a recorded Miller program: an accumulator
+// squaring (slot < 0), or a line multiplication for slot. The line
+//
+//	l = (lambda*Tx - Ty) + (-lambda*Qx) tau + (Qy) tau*omega
+//
+// is an Fp12 element only determined up to Fp scalars: the final
+// exponentiation erases any Fp factor (because p-1 divides
+// (p^12-1)/r), so the recorded program normalizes each line by its
+// base-field constant c = lambda*Tx - Ty. A monic op stores
+// a = -lambda/c and b = 1/c and evaluates as 1 + (a*Qx) tau +
+// (b*Qy) tau*omega, which mulLineMonic multiplies in with 9 Fp2
+// multiplications instead of 12. The rare c == 0 lines (monic ==
+// false) keep the generic form a = -lambda, b = 1 with a zero
+// constant term. The inversions that make lines monic are batched at
+// precompute time, where they are paid once per token rather than
+// once per row.
+type ppOp struct {
+	slot  int32
+	monic bool
+	a, b  gfP
+}
+
+// PairingPrecomp is the recorded G1-side Miller program of a fixed
+// batch of points. It is immutable after construction and safe for
+// concurrent use by multiple goroutines.
+type PairingPrecomp struct {
+	n   int
+	ops []ppOp
+}
+
+// Size returns the number of G1 slots the program was built for.
+func (pc *PairingPrecomp) Size() int { return pc.n }
+
+// ppSlot carries the per-pair precomputation state: the P-side half of
+// pairSlot.
+type ppSlot struct {
+	px, py gfP
+	tx, ty gfP
+	inf    bool
+	skip   bool
+}
+
+// recordLine appends the line coefficients for slot j with slope
+// lambda, evaluated against the slot's current T. The raw slope and
+// constant are stored; normalizeLines rewrites them into monic form
+// once the whole program is recorded.
+func (pc *PairingPrecomp) recordLine(j int, s *ppSlot, lambda *gfP) {
+	var op ppOp
+	op.slot = int32(j)
+	op.a.Set(lambda)
+	op.b.Mul(lambda, &s.tx)
+	op.b.Sub(&op.b, &s.ty) // c = lambda*Tx - Ty
+	pc.ops = append(pc.ops, op)
+}
+
+// normalizeLines divides every recorded line by its base-field
+// constant, batching the inversions with Montgomery's trick. Lines
+// whose constant is zero keep the generic form.
+func (pc *PairingPrecomp) normalizeLines() {
+	invs := make([]*gfP, 0, len(pc.ops))
+	for i := range pc.ops {
+		op := &pc.ops[i]
+		if op.slot >= 0 && !op.b.IsZero() {
+			invs = append(invs, &op.b)
+		}
+	}
+	batchInvert(invs)
+	for i := range pc.ops {
+		op := &pc.ops[i]
+		if op.slot < 0 {
+			continue
+		}
+		if op.b.IsZero() {
+			// c == 0: keep l = (-lambda*Qx) tau + (Qy) tau*omega.
+			op.a.Neg(&op.a)
+			op.b.Set(&rOne)
+			continue
+		}
+		op.monic = true
+		var t gfP
+		t.Mul(&op.a, &op.b) // lambda/c
+		op.a.Neg(&t)
+	}
+}
+
+// precomputePairBatch walks millerBatch's loop over the P side only,
+// recording every squaring and line it would perform. The control flow
+// mirrors millerBatch exactly — including the degenerate branches where
+// T reaches infinity — so that replaying the program against any G2
+// batch reproduces millerBatch's output up to the Fp line scalings,
+// which the final exponentiation erases.
+func precomputePairBatch(cps []*curvePoint) *PairingPrecomp {
+	n := len(cps)
+	pc := &PairingPrecomp{n: n}
+	// 254 squarings plus ~1.5 lines per bit per slot.
+	pc.ops = make([]ppOp, 0, Order.BitLen()*(1+n+n/2))
+
+	slots := make([]*ppSlot, n)
+	for i, p := range cps {
+		s := &ppSlot{}
+		if p.IsInfinity() {
+			s.skip = true
+		} else {
+			var pa curvePoint
+			pa.Set(p)
+			pa.MakeAffine()
+			s.px.Set(&pa.x)
+			s.py.Set(&pa.y)
+			s.tx.Set(&pa.x)
+			s.ty.Set(&pa.y)
+		}
+		slots[i] = s
+	}
+
+	type active struct {
+		j int
+		s *ppSlot
+	}
+	actives := func() []active {
+		as := make([]active, 0, n)
+		for j, s := range slots {
+			if !s.skip && !s.inf {
+				as = append(as, active{j, s})
+			}
+		}
+		return as
+	}
+
+	denoms := make([]*gfP, 0, n)
+	lambdas := make([]gfP, n)
+
+	for i := Order.BitLen() - 2; i >= 0; i-- {
+		pc.ops = append(pc.ops, ppOp{slot: -1}) // f.Square(&f)
+
+		// Doubling step: lambda = 3Tx^2 / (2Ty).
+		as := actives()
+		denoms = denoms[:0]
+		dblSlots := as[:0]
+		for _, a := range as {
+			if a.s.ty.IsZero() {
+				a.s.inf = true
+				continue
+			}
+			idx := len(dblSlots)
+			lambdas[idx].Double(&a.s.ty)
+			denoms = append(denoms, &lambdas[idx])
+			dblSlots = append(dblSlots, a)
+		}
+		batchInvert(denoms)
+		for j, a := range dblSlots {
+			s := a.s
+			var num, lambda, t2 gfP
+			num.Square(&s.tx)
+			t2.Double(&num)
+			num.Add(&t2, &num)
+			lambda.Mul(&num, &lambdas[j])
+
+			pc.recordLine(a.j, s, &lambda)
+
+			var x3, y3, t gfP
+			x3.Square(&lambda)
+			t.Double(&s.tx)
+			x3.Sub(&x3, &t)
+			t.Sub(&s.tx, &x3)
+			y3.Mul(&lambda, &t)
+			y3.Sub(&y3, &s.ty)
+			s.tx.Set(&x3)
+			s.ty.Set(&y3)
+		}
+
+		if Order.Bit(i) == 0 {
+			continue
+		}
+
+		// Addition step: T = T + P with lambda = (Py - Ty)/(Px - Tx).
+		as = actives()
+		denoms = denoms[:0]
+		addSlots := as[:0]
+		for _, a := range as {
+			s := a.s
+			var dx gfP
+			dx.Sub(&s.px, &s.tx)
+			if dx.IsZero() {
+				var sumY gfP
+				sumY.Add(&s.ty, &s.py)
+				if sumY.IsZero() {
+					s.inf = true
+					continue
+				}
+				// T = P: tangent line.
+				var twoY, num, lambda gfP
+				twoY.Double(&s.ty)
+				twoY.Invert(&twoY)
+				num.Square(&s.tx)
+				var tmp gfP
+				tmp.Double(&num)
+				num.Add(&tmp, &num)
+				lambda.Mul(&num, &twoY)
+				pc.recordLine(a.j, s, &lambda)
+				var x3, y3, t gfP
+				x3.Square(&lambda)
+				t.Double(&s.tx)
+				x3.Sub(&x3, &t)
+				t.Sub(&s.tx, &x3)
+				y3.Mul(&lambda, &t)
+				y3.Sub(&y3, &s.ty)
+				s.tx.Set(&x3)
+				s.ty.Set(&y3)
+				continue
+			}
+			idx := len(addSlots)
+			lambdas[idx].Set(&dx)
+			denoms = append(denoms, &lambdas[idx])
+			addSlots = append(addSlots, a)
+		}
+		batchInvert(denoms)
+		for j, a := range addSlots {
+			s := a.s
+			var num, lambda gfP
+			num.Sub(&s.py, &s.ty)
+			lambda.Mul(&num, &lambdas[j])
+
+			pc.recordLine(a.j, s, &lambda)
+
+			var x3, y3, t gfP
+			x3.Square(&lambda)
+			t.Add(&s.tx, &s.px)
+			x3.Sub(&x3, &t)
+			t.Sub(&s.tx, &x3)
+			y3.Mul(&lambda, &t)
+			y3.Sub(&y3, &s.ty)
+			s.tx.Set(&x3)
+			s.ty.Set(&y3)
+		}
+	}
+	pc.normalizeLines()
+	return pc
+}
+
+// miller replays the recorded program against one batch of G2 points,
+// producing the same Fp12 element millerBatch would. Slots whose Q is
+// infinite contribute the identity, exactly as millerBatch's skip
+// handling does. Accumulator squarings are elided while the accumulator
+// is still one.
+func (pc *PairingPrecomp) miller(qs []*twistPoint) gfP12 {
+	qx := make([]gfP2, pc.n)
+	qy := make([]gfP2, pc.n)
+	qskip := make([]bool, pc.n)
+	for i, q := range qs {
+		if q.IsInfinity() {
+			qskip[i] = true
+			continue
+		}
+		var qa twistPoint
+		qa.Set(q)
+		qa.MakeAffine()
+		qx[i].Set(&qa.x)
+		qy[i].Set(&qa.y)
+	}
+
+	var f gfP12
+	f.SetOne()
+	one := true
+	var l01, l11 gfP2
+	var zeroC gfP
+	for i := range pc.ops {
+		op := &pc.ops[i]
+		if op.slot < 0 {
+			if !one {
+				f.Square(&f)
+			}
+			continue
+		}
+		if qskip[op.slot] {
+			continue
+		}
+		l01.MulScalar(&qx[op.slot], &op.a)
+		l11.MulScalar(&qy[op.slot], &op.b)
+		if one {
+			// f = 1 * l: install the sparse line directly.
+			f.SetZero()
+			if op.monic {
+				f.c0.b0.a0.Set(&rOne)
+			}
+			f.c0.b1.Set(&l01)
+			f.c1.b1.Set(&l11)
+			one = false
+			continue
+		}
+		if op.monic {
+			f.mulLineMonic(&f, &l01, &l11)
+		} else {
+			f.mulLine(&f, &zeroC, &l01, &l11)
+		}
+	}
+	return f
+}
+
+// PrecomputePairBatch records the G1-side Miller program for a fixed
+// batch of points, to be replayed against many G2 batches with
+// PairBatchPrecomputed. The returned handle is immutable and safe for
+// concurrent use.
+func PrecomputePairBatch(ps []*G1) *PairingPrecomp {
+	cps := make([]*curvePoint, len(ps))
+	for i, p := range ps {
+		cps[i] = &p.p
+	}
+	return precomputePairBatch(cps)
+}
+
+// PairBatchPrecomputed computes prod_i e(P_i, Q_i) for the fixed G1
+// batch recorded in pc, equal to PairBatch of the original points with
+// qs. It panics if len(qs) differs from the precomputed batch size.
+func PairBatchPrecomputed(pc *PairingPrecomp, qs []*G2) *GT {
+	if len(qs) != pc.n {
+		panic("bn256: mismatched pairing batch")
+	}
+	cqs := make([]*twistPoint, len(qs))
+	for i := range qs {
+		cqs[i] = &qs[i].p
+	}
+	f := pc.miller(cqs)
+	gt := &GT{}
+	gt.p = finalExponentiation(&f)
+	return gt
+}

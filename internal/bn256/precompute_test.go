@@ -1,0 +1,198 @@
+package bn256
+
+import (
+	"bytes"
+	"crypto/rand"
+	"math/big"
+	"sync"
+	"testing"
+)
+
+func randPairBatch(t *testing.T, n int) ([]*G1, []*G2) {
+	t.Helper()
+	ps := make([]*G1, n)
+	qs := make([]*G2, n)
+	for i := 0; i < n; i++ {
+		var err error
+		if _, ps[i], err = RandomG1(rand.Reader); err != nil {
+			t.Fatal(err)
+		}
+		if _, qs[i], err = RandomG2(rand.Reader); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ps, qs
+}
+
+// TestPairBatchPrecomputedMatchesPairBatch pins the fixed-argument
+// evaluation against the direct batched pairing over a range of batch
+// sizes: the recorded Miller program must reproduce millerBatch's
+// output exactly.
+func TestPairBatchPrecomputedMatchesPairBatch(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		ps, qs := randPairBatch(t, n)
+		pc := PrecomputePairBatch(ps)
+		if pc.Size() != n {
+			t.Fatalf("Size() = %d, want %d", pc.Size(), n)
+		}
+		want := PairBatch(ps, qs)
+		got := PairBatchPrecomputed(pc, qs)
+		if !bytes.Equal(got.Marshal(), want.Marshal()) {
+			t.Fatalf("n=%d: precomputed pairing disagrees with PairBatch", n)
+		}
+	}
+}
+
+// TestPairBatchPrecomputedReuse checks that one handle evaluated
+// against several distinct G2 batches matches PairBatch on each.
+func TestPairBatchPrecomputedReuse(t *testing.T) {
+	const n = 4
+	ps, _ := randPairBatch(t, n)
+	pc := PrecomputePairBatch(ps)
+	for round := 0; round < 3; round++ {
+		_, qs := randPairBatch(t, n)
+		want := PairBatch(ps, qs)
+		got := PairBatchPrecomputed(pc, qs)
+		if !bytes.Equal(got.Marshal(), want.Marshal()) {
+			t.Fatalf("round %d: precomputed pairing diverged on reuse", round)
+		}
+	}
+}
+
+// TestPairBatchPrecomputedEdgeCases covers the degenerate inputs: a
+// point at infinity on either side, the single-slot batch, and the
+// empty batch, each of which must agree with PairBatch.
+func TestPairBatchPrecomputedEdgeCases(t *testing.T) {
+	infG1 := new(G1).ScalarBaseMult(Order)
+	infG2 := new(G2).ScalarBaseMult(Order)
+	if !infG1.IsInfinity() || !infG2.IsInfinity() {
+		t.Fatal("Order multiple is not the identity")
+	}
+
+	t.Run("empty", func(t *testing.T) {
+		pc := PrecomputePairBatch(nil)
+		got := PairBatchPrecomputed(pc, nil)
+		want := PairBatch(nil, nil)
+		if !bytes.Equal(got.Marshal(), want.Marshal()) {
+			t.Fatal("empty batch disagrees with PairBatch")
+		}
+	})
+
+	t.Run("single", func(t *testing.T) {
+		ps, qs := randPairBatch(t, 1)
+		pc := PrecomputePairBatch(ps)
+		got := PairBatchPrecomputed(pc, qs)
+		want := PairBatch(ps, qs)
+		if !bytes.Equal(got.Marshal(), want.Marshal()) {
+			t.Fatal("single-slot batch disagrees with PairBatch")
+		}
+	})
+
+	t.Run("g1-infinity", func(t *testing.T) {
+		ps, qs := randPairBatch(t, 3)
+		ps[1] = infG1
+		pc := PrecomputePairBatch(ps)
+		got := PairBatchPrecomputed(pc, qs)
+		want := PairBatch(ps, qs)
+		if !bytes.Equal(got.Marshal(), want.Marshal()) {
+			t.Fatal("G1 infinity slot disagrees with PairBatch")
+		}
+	})
+
+	t.Run("g2-infinity", func(t *testing.T) {
+		ps, qs := randPairBatch(t, 3)
+		qs[2] = infG2
+		pc := PrecomputePairBatch(ps)
+		got := PairBatchPrecomputed(pc, qs)
+		want := PairBatch(ps, qs)
+		if !bytes.Equal(got.Marshal(), want.Marshal()) {
+			t.Fatal("G2 infinity slot disagrees with PairBatch")
+		}
+	})
+
+	t.Run("all-infinity", func(t *testing.T) {
+		ps := []*G1{infG1, infG1}
+		qs := []*G2{infG2, infG2}
+		pc := PrecomputePairBatch(ps)
+		got := PairBatchPrecomputed(pc, qs)
+		want := PairBatch(ps, qs)
+		if !bytes.Equal(got.Marshal(), want.Marshal()) {
+			t.Fatal("all-infinity batch disagrees with PairBatch")
+		}
+	})
+
+	t.Run("mismatched-length-panics", func(t *testing.T) {
+		ps, qs := randPairBatch(t, 2)
+		pc := PrecomputePairBatch(ps)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic on mismatched batch length")
+			}
+		}()
+		PairBatchPrecomputed(pc, qs[:1])
+	})
+}
+
+// TestPairingPrecompConcurrent shares one handle across goroutines,
+// each evaluating its own G2 batch; under -race this doubles as the
+// data-race check for the shared read-only program.
+func TestPairingPrecompConcurrent(t *testing.T) {
+	const n = 3
+	const workers = 8
+	ps, _ := randPairBatch(t, n)
+	pc := PrecomputePairBatch(ps)
+
+	type job struct {
+		qs   []*G2
+		want []byte
+	}
+	jobs := make([]job, workers)
+	for i := range jobs {
+		_, qs := randPairBatch(t, n)
+		jobs[i] = job{qs: qs, want: PairBatch(ps, qs).Marshal()}
+	}
+
+	var wg sync.WaitGroup
+	bad := make([]bool, workers)
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got := PairBatchPrecomputed(pc, jobs[i].qs)
+			if !bytes.Equal(got.Marshal(), jobs[i].want) {
+				bad[i] = true
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, b := range bad {
+		if b {
+			t.Fatalf("worker %d: concurrent precomputed pairing diverged", i)
+		}
+	}
+}
+
+// TestPrecomputeBilinearity checks e(kG, Q) = e(G, Q)^k through the
+// precomputed path.
+func TestPrecomputeBilinearity(t *testing.T) {
+	k, p, err := RandomG1(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, q, err := RandomG2(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pc := PrecomputePairBatch([]*G1{p})
+	lhs := PairBatchPrecomputed(pc, []*G2{q})
+
+	g := new(G1).ScalarBaseMult(big.NewInt(1))
+	pcG := PrecomputePairBatch([]*G1{g})
+	rhs := PairBatchPrecomputed(pcG, []*G2{q})
+	rhs = new(GT).Exp(rhs, k)
+
+	if !bytes.Equal(lhs.Marshal(), rhs.Marshal()) {
+		t.Fatal("precomputed pairing is not bilinear")
+	}
+}

@@ -203,21 +203,134 @@ func TestFrobenius2IsP2Power(t *testing.T) {
 }
 
 func TestMulLineMatchesGeneric(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		a := randGFp12(t)
+		c, _ := randGFp(t)
+		l01, l11 := randGFp2(t), randGFp2(t)
+
+		var viaSparse gfP12
+		viaSparse.mulLine(a, c, l01, l11)
+
+		var l gfP12
+		l.c0.b0.a0.Set(c)
+		l.c0.b1.Set(l01)
+		l.c1.b1.Set(l11)
+		var viaGeneric gfP12
+		viaGeneric.Mul(a, &l)
+
+		if !viaSparse.Equal(&viaGeneric) {
+			t.Fatal("mulLine disagrees with generic multiplication")
+		}
+	}
+}
+
+func TestMulXiMatchesGeneric(t *testing.T) {
+	// The small-n double-and-add MulXi must agree with a full
+	// multiplication by the xi constant.
+	for i := 0; i < 20; i++ {
+		a := randGFp2(t)
+		var fast, generic gfP2
+		fast.MulXi(a)
+		generic.Mul(a, &xi)
+		if !fast.Equal(&generic) {
+			t.Fatal("MulXi disagrees with generic multiplication by xi")
+		}
+		// Aliased form.
+		fast.Set(a)
+		fast.MulXi(&fast)
+		if !fast.Equal(&generic) {
+			t.Fatal("aliased MulXi disagrees with generic multiplication by xi")
+		}
+	}
+}
+
+func TestGFp12SquareMatchesMul(t *testing.T) {
+	// Complex squaring must agree with a general self-multiplication,
+	// including when the receiver aliases the operand.
+	for i := 0; i < 20; i++ {
+		a := randGFp12(t)
+		var viaMul, viaSquare gfP12
+		viaMul.Mul(a, a)
+		viaSquare.Square(a)
+		if !viaSquare.Equal(&viaMul) {
+			t.Fatal("Square disagrees with Mul(a, a)")
+		}
+		viaSquare.Set(a)
+		viaSquare.Square(&viaSquare)
+		if !viaSquare.Equal(&viaMul) {
+			t.Fatal("aliased Square disagrees with Mul(a, a)")
+		}
+	}
+}
+
+// easyPart applies the easy part of the final exponentiation, mapping
+// an arbitrary element into the cyclotomic subgroup.
+func easyPart(t *testing.T, a *gfP12) *gfP12 {
+	t.Helper()
+	var t0, t1 gfP12
+	t0.Conjugate(a)
+	t1.Invert(a)
+	t0.Mul(&t0, &t1)
+	t1.Frobenius2(&t0)
+	t0.Mul(&t0, &t1)
+	return &t0
+}
+
+func TestCyclotomicSquareMatchesSquare(t *testing.T) {
+	// Granger-Scott squaring is only valid in the cyclotomic subgroup;
+	// inside it, it must agree exactly with the general squaring.
+	for i := 0; i < 10; i++ {
+		c := easyPart(t, randGFp12(t))
+		var viaSquare, viaCyclo gfP12
+		viaSquare.Square(c)
+		viaCyclo.cyclotomicSquare(c)
+		if !viaCyclo.Equal(&viaSquare) {
+			t.Fatal("cyclotomicSquare disagrees with Square in the cyclotomic subgroup")
+		}
+		viaCyclo.Set(c)
+		viaCyclo.cyclotomicSquare(&viaCyclo)
+		if !viaCyclo.Equal(&viaSquare) {
+			t.Fatal("aliased cyclotomicSquare disagrees with Square")
+		}
+	}
+}
+
+func TestFrobenius1IsPPower(t *testing.T) {
 	a := randGFp12(t)
-	l00, l01, l11 := randGFp2(t), randGFp2(t), randGFp2(t)
+	var viaExp, viaFrob gfP12
+	viaExp.Exp(a, P)
+	viaFrob.Frobenius1(a)
+	if !viaExp.Equal(&viaFrob) {
+		t.Fatal("Frobenius1 disagrees with x^p")
+	}
+}
 
-	var viaSparse gfP12
-	viaSparse.mulLine(a, l00, l01, l11)
+func TestExpCyclotomicMatchesExp(t *testing.T) {
+	c := easyPart(t, randGFp12(t))
+	k, err := rand.Int(rand.Reader, Order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaExp, viaCyclo gfP12
+	viaExp.Exp(c, k)
+	viaCyclo.expCyclotomic(c, k)
+	if !viaCyclo.Equal(&viaExp) {
+		t.Fatal("expCyclotomic disagrees with Exp")
+	}
+}
 
-	var l gfP12
-	l.c0.b0.Set(l00)
-	l.c0.b1.Set(l01)
-	l.c1.b1.Set(l11)
-	var viaGeneric gfP12
-	viaGeneric.Mul(a, &l)
-
-	if !viaSparse.Equal(&viaGeneric) {
-		t.Fatal("mulLine disagrees with generic multiplication")
+func TestHardExponentiationMatchesPlainExp(t *testing.T) {
+	// The Devegili Frobenius decomposition of the hard part must equal
+	// the plain exponentiation by (p^4 - p^2 + 1)/r on cyclotomic
+	// elements — this pins the whole optimized final exponentiation.
+	for i := 0; i < 3; i++ {
+		c := easyPart(t, randGFp12(t))
+		var want gfP12
+		want.Exp(c, finalExpHard)
+		got := hardExponentiation(c)
+		if !got.Equal(&want) {
+			t.Fatal("hardExponentiation disagrees with Exp(finalExpHard)")
+		}
 	}
 }
 

@@ -1,0 +1,241 @@
+package engine
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/securejoin"
+)
+
+// joinKey flattens a join result into comparable (rowA, rowB) pairs.
+func joinKeys(rows []JoinedRow) [][2]int {
+	out := make([][2]int, len(rows))
+	for i, r := range rows {
+		out[i] = [2]int{r.RowA, r.RowB}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+func sameJoin(t *testing.T, a, b []JoinedRow) {
+	t.Helper()
+	ka, kb := joinKeys(a), joinKeys(b)
+	if len(ka) != len(kb) {
+		t.Fatalf("join cardinality changed: %d vs %d rows", len(ka), len(kb))
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Fatalf("join pair %d changed: %v vs %v", i, ka[i], kb[i])
+		}
+	}
+}
+
+// TestDecryptCacheWarmHit re-executes one query token against an
+// unchanged server: the second run must be served entirely from the
+// decrypt cache and still produce the identical join result and
+// sigma(q) trace.
+func TestDecryptCacheWarmHit(t *testing.T) {
+	client, server := setup(t)
+	server.SetDecryptCache(64 << 20)
+
+	q, err := client.NewQuery(
+		securejoin.Selection{0: [][]byte{[]byte("Web Application")}},
+		securejoin.Selection{0: [][]byte{[]byte("Tester")}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, coldTrace, err := server.ExecuteJoin("Teams", "Employees", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := server.DecryptCacheStats()
+	if !st.Enabled {
+		t.Fatal("cache attached but stats report disabled")
+	}
+	if st.Hits != 0 || st.Misses != 6 {
+		t.Fatalf("cold run: hits=%d misses=%d, want 0/6", st.Hits, st.Misses)
+	}
+
+	warm, warmTrace, err := server.ExecuteJoin("Teams", "Employees", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameJoin(t, cold, warm)
+	if coldTrace.Pairs.Len() != warmTrace.Pairs.Len() {
+		t.Fatalf("sigma changed under caching: %d vs %d pairs",
+			coldTrace.Pairs.Len(), warmTrace.Pairs.Len())
+	}
+	st = server.DecryptCacheStats()
+	if st.Hits != 6 || st.Misses != 6 {
+		t.Fatalf("warm run: hits=%d misses=%d, want 6/6", st.Hits, st.Misses)
+	}
+	if st.Entries != 2 || st.Bytes <= 0 {
+		t.Fatalf("stats report %d entries / %d bytes after two lookups", st.Entries, st.Bytes)
+	}
+}
+
+// TestDecryptCacheFreshTokensMiss checks the key's token digest: a new
+// query over the same tables (fresh k/delta randomness in the tokens)
+// must not hit entries cached under a previous token.
+func TestDecryptCacheFreshTokensMiss(t *testing.T) {
+	client, server := setup(t)
+	server.SetDecryptCache(64 << 20)
+
+	sel := securejoin.Selection{}
+	for i := 0; i < 2; i++ {
+		q, err := client.NewQuery(sel, sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := server.ExecuteJoin("Teams", "Employees", q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := server.DecryptCacheStats()
+	if st.Hits != 0 || st.Misses != 12 {
+		t.Fatalf("fresh tokens: hits=%d misses=%d, want 0/12", st.Hits, st.Misses)
+	}
+}
+
+// TestDecryptCacheInvalidationOnRegister overwrites one table between
+// two executions of the same token. The re-registered version must miss
+// the cache (its install version changed) and the join must come out
+// identical — the rows were re-encrypted from the same plaintext.
+func TestDecryptCacheInvalidationOnRegister(t *testing.T) {
+	client, server := setup(t)
+	server.SetDecryptCache(64 << 20)
+
+	q, err := client.NewQuery(securejoin.Selection{}, securejoin.Selection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, coldTrace, err := server.ExecuteJoin("Teams", "Employees", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-encrypt Employees from the same plaintext rows: fresh
+	// ciphertext randomness, same join semantics, new install version.
+	_, employees := exampleTables()
+	encE, err := client.EncryptTable("Employees", employees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.RegisterTable(encE); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, warmTrace, err := server.ExecuteJoin("Teams", "Employees", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameJoin(t, cold, warm)
+	if coldTrace.Pairs.Len() != warmTrace.Pairs.Len() {
+		t.Fatalf("sigma changed across re-register: %d vs %d pairs",
+			coldTrace.Pairs.Len(), warmTrace.Pairs.Len())
+	}
+	st := server.DecryptCacheStats()
+	// Teams (2 rows) hits on the second run; Employees' 4 rows must be
+	// re-decrypted under the new version: 6 cold misses + 4 fresh ones.
+	if st.Hits != 2 || st.Misses != 10 {
+		t.Fatalf("post-register: hits=%d misses=%d, want 2/10", st.Hits, st.Misses)
+	}
+}
+
+// TestDecryptCachePrefilterSparseFill runs a prefiltered query twice:
+// the entry is filled sparsely with only the candidate rows, and the
+// re-execution serves exactly those rows from cache.
+func TestDecryptCachePrefilterSparseFill(t *testing.T) {
+	client, err := NewClient(securejoin.Params{M: 1, T: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := NewServer()
+	server.SetDecryptCache(64 << 20)
+	teams, employees := exampleTables()
+	encT, err := client.EncryptTableIndexed("Teams", teams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encE, err := client.EncryptTableIndexed("Employees", employees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server.Upload(encT)
+	server.Upload(encE)
+
+	pq, err := client.NewPrefilterQuery(
+		securejoin.Selection{0: [][]byte{[]byte("Web Application")}},
+		securejoin.Selection{0: [][]byte{[]byte("Tester")}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, _, err := server.ExecuteJoinPrefiltered("Teams", "Employees", pq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, _, err := server.ExecuteJoinPrefiltered("Teams", "Employees", pq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameJoin(t, cold, warm)
+	st := server.DecryptCacheStats()
+	// 1 Teams candidate + 2 Employees candidates per run.
+	if st.Misses != 3 || st.Hits != 3 {
+		t.Fatalf("prefiltered runs: hits=%d misses=%d, want 3/3", st.Hits, st.Misses)
+	}
+}
+
+// TestDecryptCacheEviction bounds the cache well under one table entry
+// so every fill immediately evicts, and checks the budget is enforced
+// while results stay correct.
+func TestDecryptCacheEviction(t *testing.T) {
+	client, server := setup(t)
+	const budget = 512 // smaller than any filled table entry here
+	server.SetDecryptCache(budget)
+
+	q, err := client.NewQuery(securejoin.Selection{}, securejoin.Selection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, _, err := server.ExecuteJoin("Teams", "Employees", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, _, err := server.ExecuteJoin("Teams", "Employees", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameJoin(t, cold, warm)
+	st := server.DecryptCacheStats()
+	if st.Evictions == 0 {
+		t.Fatal("tiny budget produced no evictions")
+	}
+	if st.Bytes > budget {
+		t.Fatalf("cache holds %d bytes over a %d byte budget", st.Bytes, budget)
+	}
+}
+
+// TestDecryptCacheDisabledStats checks the zero-value reporting and
+// that a zero budget detaches the cache.
+func TestDecryptCacheDisabledStats(t *testing.T) {
+	server := NewServer()
+	if st := server.DecryptCacheStats(); st.Enabled {
+		t.Fatal("fresh server reports an attached decrypt cache")
+	}
+	server.SetDecryptCache(1 << 20)
+	if st := server.DecryptCacheStats(); !st.Enabled {
+		t.Fatal("attached cache reports disabled")
+	}
+	server.SetDecryptCache(0)
+	if st := server.DecryptCacheStats(); st.Enabled {
+		t.Fatal("zero budget did not detach the cache")
+	}
+}

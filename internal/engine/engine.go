@@ -200,6 +200,17 @@ type Server struct {
 	tablesMu sync.RWMutex
 	tables   map[string]*EncryptedTable
 
+	// versions counts installs per table name, bumped on every Upload
+	// and RegisterTable and never reset (a dropped name keeps its
+	// counter), so a decrypt-cache entry keyed to an old version can
+	// never alias a re-registered table. Guarded by tablesMu.
+	versions map[string]uint64
+
+	// decCache, when non-nil, memoizes per-row SJ.Dec results (see
+	// deccache.go). Set by SetDecryptCache before serving; read without
+	// synchronization by concurrent joins, like met.
+	decCache *decryptCache
+
 	// traceMu guards the leakage records, separately from the table
 	// store so concurrent joins serialize only on the cheap trace
 	// append, never on the pairing-heavy execution.
@@ -217,6 +228,7 @@ type Server struct {
 func NewServer() *Server {
 	return &Server{
 		tables:     make(map[string]*EncryptedTable),
+		versions:   make(map[string]uint64),
 		cumulative: leakage.NewPairSet(),
 		leakCounts: make(map[string]uint64),
 	}
@@ -239,7 +251,20 @@ func (s *Server) SetStore(st TableStore) {
 func (s *Server) Upload(t *EncryptedTable) {
 	s.tablesMu.Lock()
 	s.tables[t.Name] = t
+	s.versions[t.Name]++
 	s.tablesMu.Unlock()
+	s.invalidateDecrypts(t.Name)
+}
+
+// invalidateDecrypts purges a table's decrypt-cache entries after an
+// install or drop. The version bump already makes the stale entries
+// unreachable; the purge just stops them from occupying budget.
+func (s *Server) invalidateDecrypts(name string) {
+	if s.decCache == nil {
+		return
+	}
+	s.decCache.purgeTable(name)
+	s.met.DecCacheBytes.Set(s.decCache.sizeBytes())
 }
 
 // RegisterTable stores an encrypted table, replacing any previous
@@ -259,7 +284,9 @@ func (s *Server) RegisterTable(t *EncryptedTable) error {
 	}
 	s.tablesMu.Lock()
 	s.tables[t.Name] = t
+	s.versions[t.Name]++
 	s.tablesMu.Unlock()
+	s.invalidateDecrypts(t.Name)
 	return nil
 }
 
@@ -282,6 +309,7 @@ func (s *Server) DropTable(name string) error {
 	s.tablesMu.Lock()
 	delete(s.tables, name)
 	s.tablesMu.Unlock()
+	s.invalidateDecrypts(name)
 	return nil
 }
 
@@ -318,19 +346,21 @@ func (s *Server) Table(name string) (*EncryptedTable, error) {
 	return t, nil
 }
 
-// snapshot resolves both join operands under one read-lock acquisition.
-func (s *Server) snapshot(tableA, tableB string) (ta, tb *EncryptedTable, err error) {
+// snapshot resolves both join operands, and their install versions for
+// decrypt-cache keying, under one read-lock acquisition.
+func (s *Server) snapshot(tableA, tableB string) (ta, tb *EncryptedTable, va, vb uint64, err error) {
 	s.tablesMu.RLock()
 	ta, okA := s.tables[tableA]
 	tb, okB := s.tables[tableB]
+	va, vb = s.versions[tableA], s.versions[tableB]
 	s.tablesMu.RUnlock()
 	if !okA {
-		return nil, nil, fmt.Errorf("engine: unknown table %q", tableA)
+		return nil, nil, 0, 0, fmt.Errorf("engine: unknown table %q", tableA)
 	}
 	if !okB {
-		return nil, nil, fmt.Errorf("engine: unknown table %q", tableB)
+		return nil, nil, 0, 0, fmt.Errorf("engine: unknown table %q", tableB)
 	}
-	return ta, tb, nil
+	return ta, tb, va, vb, nil
 }
 
 // recordTrace appends one query's leakage to the audit log and bumps
@@ -436,7 +466,7 @@ type JoinStream struct {
 	srv            *Server
 	tableA, tableB string
 	ta, tb         *EncryptedTable
-	tokenB         *securejoin.Token
+	tokenB         *tokenDec // probe-side token: Miller program + cache key
 	batch          int
 	workers        int
 
@@ -460,7 +490,7 @@ func (s *Server) OpenJoin(tableA, tableB string, spec JoinSpec) (*JoinStream, er
 	if err != nil {
 		return nil, err
 	}
-	ta, tb, err := s.snapshot(tableA, tableB)
+	ta, tb, verA, verB, err := s.snapshot(tableA, tableB)
 	if err != nil {
 		return nil, err
 	}
@@ -483,9 +513,12 @@ func (s *Server) OpenJoin(tableA, tableB string, spec JoinSpec) (*JoinStream, er
 	}
 
 	// Build side: parallel SJ.Dec over A's candidates, indexed by D
-	// value under the original row numbers.
+	// value under the original row numbers. Each token's Miller program
+	// is recorded once here — the build side replays it per row, the
+	// probe side per batch — and the decrypt cache (when attached) is
+	// keyed under the snapshotted table versions.
 	decStart := time.Now()
-	das, err := decryptRows(q.TokenA, ta, candA, spec.Workers)
+	das, err := s.decryptRows(s.newTokenDec(q.TokenA, tableA, verA), ta, candA, spec.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -513,7 +546,7 @@ func (s *Server) OpenJoin(tableA, tableB string, spec JoinSpec) (*JoinStream, er
 		srv:    s,
 		tableA: tableA, tableB: tableB,
 		ta: ta, tb: tb,
-		tokenB:   q.TokenB,
+		tokenB:   s.newTokenDec(q.TokenB, tableB, verB),
 		batch:    batch,
 		workers:  spec.Workers,
 		index:    index,
@@ -551,12 +584,12 @@ func (st *JoinStream) Next() ([]JoinedRow, error) {
 	if end > total {
 		end = total
 	}
-	cts := make([]*securejoin.RowCiphertext, end-st.next)
-	for i := range cts {
-		cts[i] = st.tb.Rows[candRow(st.probe, st.next+i)].Join
+	batchRows := make([]int, end-st.next)
+	for i := range batchRows {
+		batchRows[i] = candRow(st.probe, st.next+i)
 	}
 	decStart := time.Now()
-	chunk, err := securejoin.DecryptTableParallel(st.tokenB, cts, st.workers)
+	chunk, err := st.srv.decryptRows(st.tokenB, st.tb, batchRows, st.workers)
 	if err != nil {
 		st.err = err
 		st.finish() // the pairs observed before the failure still leaked

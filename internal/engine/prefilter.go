@@ -153,28 +153,6 @@ func sortUnique(xs []int) []int {
 	return out[:n]
 }
 
-// decryptRows runs SJ.Dec over the selected row subset (nil = every
-// row), spreading the pairings over a worker pool (workers <= 0 uses
-// GOMAXPROCS).
-func decryptRows(tk *securejoin.Token, t *EncryptedTable, rows []int, workers int) ([]securejoin.DValue, error) {
-	var cts []*securejoin.RowCiphertext
-	if rows == nil {
-		cts = make([]*securejoin.RowCiphertext, len(t.Rows))
-		for i, r := range t.Rows {
-			cts[i] = r.Join
-		}
-	} else {
-		cts = make([]*securejoin.RowCiphertext, len(rows))
-		for i, r := range rows {
-			if r < 0 || r >= len(t.Rows) {
-				return nil, fmt.Errorf("engine: candidate row %d out of range", r)
-			}
-			cts[i] = t.Rows[r].Join
-		}
-	}
-	return securejoin.DecryptTableParallel(tk, cts, workers)
-}
-
 // candRow maps an index into a candidate list back to the original row
 // number; the nil sentinel means the identity mapping (full scan).
 func candRow(cand []int, i int) int {

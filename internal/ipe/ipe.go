@@ -183,3 +183,33 @@ func DecryptModified(tk *Token, ct *CiphertextM) (*bn256.GT, error) {
 	}
 	return bn256.PairBatch(tk.Elems, ct.Elems), nil
 }
+
+// TokenPrecomp is a token with its G1-side Miller program recorded
+// once, amortizing the fixed-argument pairing work across every
+// ciphertext the token is paired with. The handle is immutable and
+// safe for concurrent use by multiple goroutines.
+type TokenPrecomp struct {
+	n  int
+	pc *bn256.PairingPrecomp
+}
+
+// PrecomputeToken records the fixed-argument pairing program of a
+// modified-scheme token. The cost is roughly one Miller loop; every
+// subsequent Decrypt pays only the per-ciphertext evaluation.
+func PrecomputeToken(tk *Token) *TokenPrecomp {
+	return &TokenPrecomp{n: len(tk.Elems), pc: bn256.PrecomputePairBatch(tk.Elems)}
+}
+
+// Dim returns the token dimension the precomputation was built for.
+func (tp *TokenPrecomp) Dim() int { return tp.n }
+
+// Decrypt computes the same D value DecryptModified would for the
+// precomputed token, evaluating the recorded Miller program at the
+// ciphertext's G2 elements.
+func (tp *TokenPrecomp) Decrypt(ct *CiphertextM) (*bn256.GT, error) {
+	if tp.n != len(ct.Elems) {
+		return nil, fmt.Errorf("ipe: token dimension %d does not match ciphertext dimension %d",
+			tp.n, len(ct.Elems))
+	}
+	return bn256.PairBatchPrecomputed(tp.pc, ct.Elems), nil
+}

@@ -1,7 +1,6 @@
 package securejoin
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 )
@@ -10,21 +9,34 @@ import (
 // goroutines (0 means GOMAXPROCS). Section 6.5 of the paper notes that,
 // unlike schemes that must reuse decrypted state across queries, Secure
 // Join's per-row decryptions are independent and parallelize trivially;
-// this is that observation made concrete. The output order matches the
-// input order.
+// this is that observation made concrete. The token's Miller program is
+// recorded once and shared read-only by all workers, so the precompute
+// cost is paid once per table regardless of the worker count. The
+// output order matches the input order.
 func DecryptTableParallel(tk *Token, cts []*RowCiphertext, workers int) ([]DValue, error) {
+	return DecryptTableParallelWith(tk.Precompute(), cts, workers)
+}
+
+// DecryptTableParallelWith is DecryptTableParallel for callers that
+// already hold the token's precompute handle — a join stream decrypting
+// many probe batches under one token records the Miller program once
+// and reuses it here per batch instead of re-deriving it each time.
+func DecryptTableParallelWith(pc *TokenPrecomp, cts []*RowCiphertext, workers int) ([]DValue, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// Clamp after precomputing: tiny tables skip the pool entirely but
+	// still amortize the token side across their rows.
 	if workers > len(cts) {
 		workers = len(cts)
 	}
 	if workers <= 1 {
-		return DecryptTable(tk, cts)
+		return DecryptTableWith(pc, cts)
 	}
 
 	out := make([]DValue, len(cts))
 	errs := make([]error, workers)
+	errRows := make([]int, workers)
 	var wg sync.WaitGroup
 	next := make(chan int)
 
@@ -36,9 +48,10 @@ func DecryptTableParallel(tk *Token, cts []*RowCiphertext, workers int) ([]DValu
 				if errs[w] != nil {
 					continue // drain the channel so the feeder never blocks
 				}
-				d, err := Decrypt(tk, cts[i])
+				d, err := pc.Decrypt(cts[i])
 				if err != nil {
-					errs[w] = fmt.Errorf("securejoin: decrypting row %d: %w", i, err)
+					errs[w] = err
+					errRows[w] = i
 					continue
 				}
 				out[i] = d
@@ -51,9 +64,9 @@ func DecryptTableParallel(tk *Token, cts []*RowCiphertext, workers int) ([]DValu
 	close(next)
 	wg.Wait()
 
-	for _, err := range errs {
+	for w, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, decryptRowError(errRows[w], err)
 		}
 	}
 	return out, nil

@@ -277,13 +277,63 @@ func Decrypt(tk *Token, ct *RowCiphertext) (DValue, error) {
 	return DValue(gt.Marshal()), nil
 }
 
-// DecryptTable runs SJ.Dec over every row of a table.
+// TokenPrecomp is a token whose G1-side Miller program has been
+// recorded once. A query token is paired against every row of a
+// table, so the per-step inversions and point-chain updates of the
+// Miller loop — which depend only on the token — are paid once here
+// instead of once per row. The handle is immutable and safe for
+// concurrent use.
+type TokenPrecomp struct {
+	tp *ipe.TokenPrecomp
+}
+
+// Precompute records the token's fixed-argument pairing program. The
+// cost is comparable to decrypting a single row.
+func (t *Token) Precompute() *TokenPrecomp {
+	return &TokenPrecomp{tp: ipe.PrecomputeToken(t.Tk)}
+}
+
+// Decrypt runs SJ.Dec on one row through the precomputed token,
+// producing byte-identical DValues to the naive Decrypt.
+func (pc *TokenPrecomp) Decrypt(ct *RowCiphertext) (DValue, error) {
+	gt, err := pc.tp.Decrypt(ct.C)
+	if err != nil {
+		return nil, err
+	}
+	return DValue(gt.Marshal()), nil
+}
+
+// decryptRowError wraps a per-row decryption failure with its row
+// index.
+func decryptRowError(row int, err error) error {
+	return fmt.Errorf("securejoin: decrypting row %d: %w", row, err)
+}
+
+// DecryptTable runs SJ.Dec over every row of a table with a full
+// Miller loop per row. It is kept as the naive baseline; table-scale
+// callers should use DecryptTableWith or DecryptTableParallel, which
+// precompute the token side once.
 func DecryptTable(tk *Token, cts []*RowCiphertext) ([]DValue, error) {
 	out := make([]DValue, len(cts))
 	for i, ct := range cts {
 		d, err := Decrypt(tk, ct)
 		if err != nil {
-			return nil, fmt.Errorf("securejoin: decrypting row %d: %w", i, err)
+			return nil, decryptRowError(i, err)
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// DecryptTableWith runs SJ.Dec over every row of a table through a
+// precomputed token, sharing one recorded Miller program across all
+// rows.
+func DecryptTableWith(pc *TokenPrecomp, cts []*RowCiphertext) ([]DValue, error) {
+	out := make([]DValue, len(cts))
+	for i, ct := range cts {
+		d, err := pc.Decrypt(ct)
+		if err != nil {
+			return nil, decryptRowError(i, err)
 		}
 		out[i] = d
 	}

@@ -124,6 +124,13 @@ func (s *Server) SetBatchSize(n int) {
 	s.batch = n
 }
 
+// SetDecryptCache attaches a decrypt-result cache with the given byte
+// budget to the underlying engine (budget <= 0 disables caching). Call
+// before Listen, like SetBatchSize.
+func (s *Server) SetDecryptCache(budget int64) {
+	s.eng.SetDecryptCache(budget)
+}
+
 // Engine exposes the underlying engine, e.g. for leakage audits in
 // tests and examples.
 func (s *Server) Engine() *engine.Server { return s.eng }

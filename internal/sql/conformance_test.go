@@ -22,9 +22,14 @@ import (
 //  3. wire full scan              (client.Join)
 //  4. wire prefiltered            (client.JoinWith{Prefilter})
 //  5. wire, planner-chosen        (client.JoinPlan)
+//  6. in-process cached           (engine.ExecuteJoin re-run, same token)
 //
-// — and all five must produce identical row sets, identical decrypted
-// payloads, and identical sigma(q) revealed-pair counts. This is the
+// — and all six must produce identical row sets, identical decrypted
+// payloads, and identical sigma(q) revealed-pair counts. The whole
+// suite runs with the decrypt-result cache attached, and the sixth
+// mode re-executes the reference query under its original token so the
+// rows come out of the cache: a caching bug shows up as a row or sigma
+// divergence here. This is the
 // regression net that pins plan equivalence for all future planner
 // work: a planner that picks the wrong strategy still has to produce
 // the right answer, and a prefilter bug that drops or invents rows
@@ -206,6 +211,7 @@ func TestSQLConformanceMultiJoin(t *testing.T) {
 
 	payloads := [][]engine.PlainRow{teams, employees, offices}
 	eng := srv.Engine()
+	eng.SetDecryptCache(64 << 20) // caching on: multi-join must be unaffected
 	keys := c.Keys()
 
 	for _, cq := range multiJoinQueries {
@@ -301,6 +307,7 @@ func TestSQLConformance(t *testing.T) {
 	}
 
 	eng := srv.Engine()
+	eng.SetDecryptCache(64 << 20)
 	keys := c.Keys()
 	open := func(sealed []byte) string {
 		t.Helper()
@@ -402,6 +409,23 @@ func TestSQLConformance(t *testing.T) {
 			}
 			e.revealed = stream.RevealedPairs()
 			execs = append(execs, e)
+
+			// 6. Cached re-execution: the same token against the same
+			// tables must be served from the decrypt cache, with
+			// identical rows and sigma.
+			hitsBefore := eng.DecryptCacheStats().Hits
+			libCached, cachedTrace, err := eng.ExecuteJoin(plan.TableA, plan.TableB, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e = execution{mode: "lib-cached", revealed: cachedTrace.Pairs.Len()}
+			for _, r := range libCached {
+				e.rows = append(e.rows, fmt.Sprintf("%d|%d|%s|%s", r.RowA, r.RowB, open(r.PayloadA), open(r.PayloadB)))
+			}
+			execs = append(execs, e)
+			if hits := eng.DecryptCacheStats().Hits; hits <= hitsBefore {
+				t.Errorf("cached re-execution recorded no decrypt-cache hits (%d before, %d after)", hitsBefore, hits)
+			}
 
 			// Expected rows against the declared ground truth.
 			var want []string

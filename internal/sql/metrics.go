@@ -11,6 +11,10 @@ type sqlMetrics struct {
 	plans     *metrics.Counter
 	steps     *metrics.Counter
 	decisions *metrics.CounterVec // by decision: "prefilter" | "scan"
+	// Plan-cache counters: hits are Compile calls served from the
+	// cache, misses ran the planner (and were then cached).
+	planCacheHits   *metrics.Counter
+	planCacheMisses *metrics.Counter
 }
 
 // Instrument registers the planner's metrics with reg and starts
@@ -18,9 +22,11 @@ type sqlMetrics struct {
 // server.Registry()) so plan decisions land next to execution metrics.
 func (c *Catalog) Instrument(reg *metrics.Registry) {
 	c.met = sqlMetrics{
-		plans:     metrics.NewCounter(reg, "sj_sql_plans_total", "join plans compiled"),
-		steps:     metrics.NewCounter(reg, "sj_sql_plan_steps_total", "pairwise join steps across compiled plans"),
-		decisions: metrics.NewCounterVec(reg, "sj_sql_prefilter_decisions_total", "per-side planner decisions between SSE prefilter and full scan", "decision"),
+		plans:           metrics.NewCounter(reg, "sj_sql_plans_total", "join plans compiled"),
+		steps:           metrics.NewCounter(reg, "sj_sql_plan_steps_total", "pairwise join steps across compiled plans"),
+		decisions:       metrics.NewCounterVec(reg, "sj_sql_prefilter_decisions_total", "per-side planner decisions between SSE prefilter and full scan", "decision"),
+		planCacheHits:   metrics.NewCounter(reg, "sj_sql_plan_cache_hits_total", "Compile calls served from the plan cache"),
+		planCacheMisses: metrics.NewCounter(reg, "sj_sql_plan_cache_misses_total", "Compile calls that ran the planner"),
 	}
 }
 

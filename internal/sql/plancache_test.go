@@ -1,0 +1,210 @@
+package sql
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+)
+
+func cacheCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	cat, err := NewCatalog(
+		TableSchema{Name: "Teams", JoinColumn: "Key", Attrs: map[string]int{"Name": 0}, Indexed: true, RowCount: 30},
+		TableSchema{Name: "Employees", JoinColumn: "Team", Attrs: map[string]int{"Role": 0}, Indexed: true, RowCount: 400},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+const cacheQuery = `SELECT * FROM Teams JOIN Employees ON Teams.Key = Employees.Team WHERE Teams.Name = 'Web Application'`
+
+// TestPlanCacheHit pins the memoization contract: an identical second
+// Compile returns an equivalent plan flagged Cached, without re-running
+// the planner.
+func TestPlanCacheHit(t *testing.T) {
+	cat := cacheCatalog(t)
+	reg := metrics.NewRegistry()
+	cat.Instrument(reg)
+
+	cold, err := cat.Compile(cacheQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cached {
+		t.Fatal("first compile reported a cache hit")
+	}
+	warm, err := cat.Compile(cacheQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Fatal("second compile missed the plan cache")
+	}
+	// Everything but the Cached flag must match the fresh compile.
+	cmp := *warm
+	cmp.Cached = false
+	if !reflect.DeepEqual(&cmp, cold) {
+		t.Fatalf("cached plan diverges from fresh compile:\n%s\nvs\n%s", warm.Describe(), cold.Describe())
+	}
+	hits := reg.Get("sj_sql_plan_cache_hits_total").(*metrics.Counter)
+	misses := reg.Get("sj_sql_plan_cache_misses_total").(*metrics.Counter)
+	if hits.Value() != 1 || misses.Value() != 1 {
+		t.Fatalf("plan cache counters: hits=%d misses=%d, want 1/1", hits.Value(), misses.Value())
+	}
+	// The planner's own counters must count the one real compile only.
+	if plans := reg.Get("sj_sql_plans_total").(*metrics.Counter); plans.Value() != 1 {
+		t.Fatalf("sj_sql_plans_total = %d after one miss and one hit", plans.Value())
+	}
+}
+
+// TestPlanCacheNormalization checks the canonical key: case,
+// whitespace and an EXPLAIN prefix must all land in the same slot, with
+// the Explain flag restored per statement.
+func TestPlanCacheNormalization(t *testing.T) {
+	cat := cacheCatalog(t)
+	if _, err := cat.Compile(cacheQuery); err != nil {
+		t.Fatal(err)
+	}
+	variants := []string{
+		`select * from teams join employees on teams.key = employees.team where teams.name = 'Web Application'`,
+		"SELECT  *  FROM Teams  JOIN Employees ON Teams.Key = Employees.Team\nWHERE Teams.Name = 'Web Application'",
+		`EXPLAIN ` + cacheQuery,
+	}
+	for _, v := range variants {
+		p, err := cat.Compile(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Cached {
+			t.Fatalf("variant missed the cache: %q", v)
+		}
+	}
+	explained, err := cat.Compile(`EXPLAIN ` + cacheQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !explained.Explain {
+		t.Fatal("cache hit dropped the EXPLAIN flag")
+	}
+	plain, err := cat.Compile(cacheQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Explain {
+		t.Fatal("cache hit leaked the EXPLAIN flag onto a bare statement")
+	}
+	// Predicate values stay case-sensitive: a different literal is a
+	// different plan.
+	other, err := cat.Compile(strings.Replace(cacheQuery, "Web Application", "web application", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Cached {
+		t.Fatal("differing predicate value hit the cache")
+	}
+}
+
+// TestPlanCacheInvalidation checks that every planning input clears the
+// cache: statistics, index flags, and the worker hint.
+func TestPlanCacheInvalidation(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Catalog)
+	}{
+		{"SetStats", func(c *Catalog) {
+			if err := c.SetStats("Teams", 1000, true); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"SetIndexed", func(c *Catalog) {
+			if err := c.SetIndexed("Teams", false); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"SetDefaultWorkers", func(c *Catalog) { c.SetDefaultWorkers(7) }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			cat := cacheCatalog(t)
+			if _, err := cat.Compile(cacheQuery); err != nil {
+				t.Fatal(err)
+			}
+			m.mut(cat)
+			p, err := cat.Compile(cacheQuery)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Cached {
+				t.Fatalf("%s did not invalidate the plan cache", m.name)
+			}
+		})
+	}
+}
+
+// TestPlanCacheDecryptStats checks the EXPLAIN hook: with a stats
+// provider attached, compiled plans carry a decrypt-cache snapshot and
+// Describe renders it.
+func TestPlanCacheDecryptStats(t *testing.T) {
+	cat := cacheCatalog(t)
+	cat.SetDecryptCacheStats(func() engine.DecryptCacheStats {
+		return engine.DecryptCacheStats{Enabled: true, Hits: 5, Misses: 2, Entries: 1, Bytes: 2048, Budget: 1 << 20}
+	})
+	p, err := cat.Compile(`EXPLAIN ` + cacheQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DecCache == nil || p.DecCache.Hits != 5 {
+		t.Fatalf("plan carries no decrypt-cache snapshot: %+v", p.DecCache)
+	}
+	out := p.Describe()
+	if !strings.Contains(out, "plan cache: miss") {
+		t.Fatalf("EXPLAIN lacks the plan cache line:\n%s", out)
+	}
+	if !strings.Contains(out, "decrypt cache: 5 hit(s), 2 miss(es)") {
+		t.Fatalf("EXPLAIN lacks the decrypt cache line:\n%s", out)
+	}
+	warm, err := cat.Compile(`EXPLAIN ` + cacheQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warm.Describe(), "plan cache: hit") {
+		t.Fatalf("EXPLAIN does not report the plan cache hit:\n%s", warm.Describe())
+	}
+}
+
+// TestPlanCacheEviction pins the LRU bound: compiling more shapes than
+// maxCachedPlans evicts the oldest, which then re-compiles as a miss.
+func TestPlanCacheEviction(t *testing.T) {
+	cat := cacheCatalog(t)
+	mk := func(i int) string {
+		return cacheQuery + ` AND Employees.Role = '` + strings.Repeat("r", i%7+1) + `-` + string(rune('a'+i%26)) + strings.Repeat("x", i/26) + `'`
+	}
+	if _, err := cat.Compile(cacheQuery); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < maxCachedPlans; i++ {
+		if _, err := cat.Compile(mk(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := cat.Compile(cacheQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cached {
+		t.Fatal("oldest shape survived past the cache bound")
+	}
+	// The most recent shape must still be cached.
+	p, err = cat.Compile(mk(maxCachedPlans - 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Cached {
+		t.Fatal("most recent shape was evicted")
+	}
+}

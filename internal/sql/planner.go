@@ -1,11 +1,14 @@
 package sql
 
 import (
+	"container/list"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/securejoin"
 )
 
@@ -41,6 +44,16 @@ type Catalog struct {
 	workers int
 	// met records planner decisions; nil-safe no-op until Instrument.
 	met sqlMetrics
+
+	// Plan cache (see plancache.go): compiled plans keyed by normalized
+	// query shape, cleared whenever a catalog mutation could change a
+	// planning decision. planMu guards both structures.
+	planMu    sync.Mutex
+	planByKey map[string]*list.Element
+	planLRU   *list.List
+	// decStats, when set, supplies decrypt-cache statistics that
+	// Compile stamps onto plans for EXPLAIN.
+	decStats func() engine.DecryptCacheStats
 }
 
 // NewCatalog builds a catalog from schemas, rejecting duplicates and
@@ -92,6 +105,7 @@ func (c *Catalog) SetDefaultWorkers(n int) {
 		n = 0
 	}
 	c.workers = n
+	c.invalidatePlans()
 }
 
 // SetIndexed records whether a table carries an SSE pre-filter index,
@@ -106,6 +120,7 @@ func (c *Catalog) SetIndexed(name string, indexed bool) error {
 	}
 	s.Indexed = indexed
 	c.tables[key] = s
+	c.invalidatePlans()
 	return nil
 }
 
@@ -126,6 +141,7 @@ func (c *Catalog) SetStats(name string, rows int, indexed bool) error {
 	s.RowCount = rows
 	s.Indexed = indexed
 	c.tables[key] = s
+	c.invalidatePlans()
 	return nil
 }
 
@@ -279,6 +295,13 @@ type Plan struct {
 	// Workers is the SJ.Dec worker hint for the execution
 	// (0 = engine/server default).
 	Workers int
+	// Cached marks a plan served from the catalog's plan cache rather
+	// than compiled fresh (see plancache.go).
+	Cached bool
+	// DecCache optionally carries the server's decrypt-result cache
+	// statistics snapshotted at compile time (see
+	// Catalog.SetDecryptCacheStats); EXPLAIN renders them.
+	DecCache *engine.DecryptCacheStats
 
 	// Two-table projections of Steps[0], kept so existing single-join
 	// callers (and the pre-plan client APIs) keep working unchanged.
@@ -581,13 +604,32 @@ func predSummaries(counts map[string]int) []PredSummary {
 	return out
 }
 
-// Compile parses and plans in one step.
+// Compile parses and plans in one step, memoizing compiled plans by
+// normalized query shape (see plancache.go): re-compiling an unchanged
+// statement against an unchanged catalog returns a cached copy with
+// Cached set, skipping planning entirely. Catalog mutations (SetStats,
+// SetIndexed, SetDefaultWorkers) invalidate the cache.
 func (c *Catalog) Compile(query string) (*Plan, error) {
 	q, err := Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return c.PlanQuery(q)
+	key := canonicalKey(q)
+	if p := c.cachedPlan(key); p != nil {
+		p.Cached = true
+		p.Explain = q.Explain // EXPLAIN and its bare statement share a slot
+		c.stampDecCache(p)
+		c.met.planCacheHits.Inc()
+		return p, nil
+	}
+	c.met.planCacheMisses.Inc()
+	p, err := c.PlanQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	c.storePlan(key, p)
+	c.stampDecCache(p)
+	return p, nil
 }
 
 // resolveAttr maps a query column name onto the schema's declared name
