@@ -44,6 +44,8 @@ func main() {
 		err = cmdUpload(os.Args[2:])
 	case "join":
 		err = cmdJoin(os.Args[2:])
+	case "job":
+		err = cmdJob(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -55,10 +57,12 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: sjclient <keygen|upload|join> [flags]
+	fmt.Fprintln(os.Stderr, `usage: sjclient <keygen|upload|join|job> [flags]
   keygen  generate a client key file
   upload  encrypt a CSV table and upload it
-  join    run a SQL join query and decrypt the results`)
+  join    run a SQL join query and decrypt the results
+          (-async submits it as a server-side job and prints the job ID)
+  job     check on (-status) or collect results of a submitted job (-id)`)
 }
 
 func cmdKeygen(args []string) error {
@@ -146,6 +150,7 @@ func cmdJoin(args []string) error {
 	maxRows := fs.Int("maxrows", 20, "result rows to print")
 	prefilter := fs.Bool("prefilter", false, "resolve selections via the tables' SSE indexes first (tables must be uploaded with -index; reveals per-attribute access patterns)")
 	workers := fs.Int("workers", 0, "SJ.Dec worker hint for the server (0 = server default)")
+	async := fs.Bool("async", false, "submit the join as a server-side job and exit; collect results later with sjclient job -id")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -176,6 +181,25 @@ func cmdJoin(args []string) error {
 		return err
 	}
 	defer cli.Close()
+
+	// Async submission hands the join to the server's job queue: the
+	// server acknowledges with a job ID before any pairing work runs,
+	// and the completed result is spooled durably — survive this
+	// process exiting, the connection dropping, even a server restart —
+	// until collected with `sjclient job -id` (or the job TTL expires).
+	if *async {
+		if len(plan.Steps) > 1 {
+			return fmt.Errorf("-async applies only to two-table queries; multi-join plans stitch intermediates client-side (see sjsql -async)")
+		}
+		info, err := cli.SubmitJoinQuery(plan.TableA, plan.TableB, plan.SelA, plan.SelB,
+			client.JoinOpts{Prefilter: *prefilter, Workers: *workers})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("submitted job %s (%s JOIN %s, state %s)\n", info.ID, info.TableA, info.TableB, info.State)
+		fmt.Printf("collect with: sjclient job -id %s\n", info.ID)
+		return nil
+	}
 
 	// Multi-table queries run through the operator-tree executor: one
 	// pairwise encrypted join per plan step, stitched client-side. The
@@ -217,6 +241,78 @@ func cmdJoin(args []string) error {
 	// instead of waiting for the full result set.
 	stream, err := cli.JoinQueryOpts(plan.TableA, plan.TableB, plan.SelA, plan.SelB,
 		client.JoinOpts{Prefilter: *prefilter, Workers: *workers})
+	if err != nil {
+		return err
+	}
+	printed, total := 0, 0
+	for {
+		batch, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		for _, r := range batch {
+			if printed < *maxRows {
+				fmt.Printf("  %s | %s\n", r.PayloadA, r.PayloadB)
+				printed++
+			}
+		}
+		total += len(batch)
+	}
+	if total > printed {
+		fmt.Printf("... %d more\n", total-printed)
+	}
+	fmt.Printf("%d rows (%d equality pairs observed by server)\n", total, stream.RevealedPairs())
+	return nil
+}
+
+// cmdJob checks on or collects a join submitted with join -async. The
+// attach may come from any connection — a fresh process, after the
+// submitter exited, even after a server restart — because completed
+// results are spooled in the server's data directory.
+func cmdJob(args []string) error {
+	fs := flag.NewFlagSet("job", flag.ExitOnError)
+	keys := fs.String("keys", "client.key", "key file")
+	addr := fs.String("addr", "127.0.0.1:7788", "server address")
+	id := fs.String("id", "", "job ID printed by join -async")
+	status := fs.Bool("status", false, "print the job's state and progress instead of waiting for its results")
+	maxRows := fs.Int("maxrows", 20, "result rows to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("job requires -id")
+	}
+	ek, err := loadKeys(*keys)
+	if err != nil {
+		return err
+	}
+	cli, err := client.DialWithKeys(*addr, ek)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+
+	if *status {
+		info, err := cli.JobStatus(*id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("job %s: %s (%s JOIN %s)\n", info.ID, info.State, info.TableA, info.TableB)
+		fmt.Printf("  rows decrypted: %d, steps done: %d, pairs revealed: %d\n",
+			info.RowsDecrypted, info.StepsDone, info.RevealedPairs)
+		if info.State == "done" {
+			fmt.Printf("  result rows: %d\n", info.ResultRows)
+		}
+		if info.Err != "" {
+			fmt.Printf("  error: %s\n", info.Err)
+		}
+		return nil
+	}
+
+	stream, err := cli.AttachJob(*id)
 	if err != nil {
 		return err
 	}

@@ -26,6 +26,8 @@ func main() {
 	maxJoins := flag.Int("maxjoins", 0, "max joins executing at once across all connections; excess joins are shed (0 = unlimited)")
 	idleTimeout := flag.Duration("idletimeout", 0, "close connections idle longer than this, e.g. 5m (0 = never)")
 	decCacheBytes := flag.Int64("decrypt-cache-bytes", 64<<20, "byte budget for the decrypt-result cache (0 = disabled)")
+	jobWorkers := flag.Int("job-workers", 0, "join worker pool size for sync joins and async jobs (0 = max(2, GOMAXPROCS))")
+	jobTTL := flag.Duration("job-ttl", 0, "keep finished async job results this long, e.g. 30m (0 = 1h default, negative = forever)")
 	flag.Parse()
 
 	var logger *log.Logger
@@ -41,6 +43,8 @@ func main() {
 	srv.SetMaxConcurrentJoins(*maxJoins)
 	srv.SetIdleTimeout(*idleTimeout)
 	srv.SetDecryptCache(*decCacheBytes)
+	srv.SetJobWorkers(*jobWorkers)
+	srv.SetJobTTL(*jobTTL)
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sjserver:", err)

@@ -47,9 +47,14 @@ func main() {
 	connect := flag.String("connect", "", "address of a live sjserver; empty runs an in-process engine")
 	index := flag.Bool("index", true, "upload tables with SSE pre-filter indexes (enables prefiltered plans)")
 	workers := flag.Int("workers", 0, "SJ.Dec worker hint stamped onto every plan (0 = engine default)")
+	async := flag.Bool("async", false, "submit every plan step as a server-side job, then attach and stitch (requires -connect)")
 	flag.Parse()
 
-	if err := run(os.Stdout, *scale, *seed, *query, *maxRows, *connect, *index, *workers); err != nil {
+	if *async && *connect == "" {
+		fmt.Fprintln(os.Stderr, "sjsql: -async requires -connect (jobs live on a wire server)")
+		os.Exit(1)
+	}
+	if err := run(os.Stdout, *scale, *seed, *query, *maxRows, *connect, *index, *workers, *async); err != nil {
 		fmt.Fprintln(os.Stderr, "sjsql:", err)
 		os.Exit(1)
 	}
@@ -63,17 +68,19 @@ type app struct {
 	catalog *sql.Catalog
 	maxRows int
 	out     io.Writer
+	async   bool
 
 	eng  *engine.Server
 	keys *engine.Client
 	cli  *client.Client
 }
 
-func run(out io.Writer, scale float64, seed int64, query string, maxRows int, connect string, index bool, workers int) error {
+func run(out io.Writer, scale float64, seed int64, query string, maxRows int, connect string, index bool, workers int, async bool) error {
 	a, cleanup, err := setup(out, scale, seed, maxRows, connect, index, workers)
 	if err != nil {
 		return err
 	}
+	a.async = async
 	defer cleanup()
 
 	if query != "" {
@@ -228,9 +235,22 @@ func (a *app) exec(stmt string) error {
 	}
 
 	var revealed int
-	if a.eng != nil {
+	switch {
+	case a.eng != nil:
 		revealed, err = sql.Execute(sql.EngineRunner{Eng: a.eng, Keys: a.keys}, plan, emit)
-	} else {
+	case a.async:
+		// Batch submission: every plan step is enqueued as a job up
+		// front, so the server pipelines the steps on its worker pool
+		// while the attaches stitch results in step order. Shedding can
+		// only happen during SubmitPlan — before any row is emitted — so
+		// the whole-plan retry stays safe (steps already submitted by an
+		// aborted attempt just run and expire with the job TTL).
+		err = client.WithRetry(client.RetryConfig{}, func() error {
+			var rerr error
+			revealed, rerr = a.cli.ExecutePlanAsync(plan, emit)
+			return rerr
+		})
+	default:
 		// A shed join (client.ErrOverloaded) is rejected by admission
 		// control before any result batch is streamed, so no rows were
 		// emitted yet and re-running the whole plan is safe.

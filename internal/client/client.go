@@ -46,6 +46,8 @@ func frameErr(op string, f *wire.Frame) error {
 	switch f.Code {
 	case wire.CodeOverloaded:
 		return fmt.Errorf("%w: %s rejected: %s", ErrOverloaded, op, f.Err)
+	case wire.CodeUnknownJob:
+		return fmt.Errorf("%w: %s rejected: %s", ErrUnknownJob, op, f.Err)
 	default:
 		return fmt.Errorf("client: %s rejected: %s", op, f.Err)
 	}
@@ -575,9 +577,10 @@ func (c *Client) JoinPlan(p *sql.Plan) (*JoinStream, error) {
 	return c.joinSpec(p.TableA, p.TableB, spec)
 }
 
-// joinSpec ships one compiled engine.JoinSpec as a JoinRequest and
-// opens the response stream.
-func (c *Client) joinSpec(tableA, tableB string, spec engine.JoinSpec) (*JoinStream, error) {
+// joinReqFromSpec marshals one compiled engine.JoinSpec into the wire
+// request it describes — the shared builder behind synchronous joins
+// and async job submission.
+func joinReqFromSpec(tableA, tableB string, spec engine.JoinSpec) (*wire.JoinRequest, error) {
 	req := &wire.JoinRequest{TableA: tableA, TableB: tableB, Workers: spec.Workers}
 	q := spec.Query
 	var err error
@@ -598,6 +601,16 @@ func (c *Client) joinSpec(tableA, tableB string, spec engine.JoinSpec) (*JoinStr
 		return nil, err
 	}
 	if req.TokenB, err = q.TokenB.MarshalBinary(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// joinSpec ships one compiled engine.JoinSpec as a JoinRequest and
+// opens the response stream.
+func (c *Client) joinSpec(tableA, tableB string, spec engine.JoinSpec) (*JoinStream, error) {
+	req, err := joinReqFromSpec(tableA, tableB, spec)
+	if err != nil {
 		return nil, err
 	}
 	pd, err := c.send(&wire.Request{Join: req})
@@ -664,6 +677,21 @@ func (c *Client) JoinQuery(tableA, tableB string, selA, selB securejoin.Selectio
 
 // JoinQueryOpts starts a join query with explicit execution options.
 func (c *Client) JoinQueryOpts(tableA, tableB string, selA, selB securejoin.Selection, opts JoinOpts) (*JoinStream, error) {
+	req, err := c.buildJoinReq(tableA, tableB, selA, selB, opts)
+	if err != nil {
+		return nil, err
+	}
+	p, err := c.send(&wire.Request{Join: req})
+	if err != nil {
+		return nil, err
+	}
+	return &JoinStream{c: c, p: p}, nil
+}
+
+// buildJoinReq draws a fresh query key and marshals one ad-hoc join
+// query into its wire request — the shared builder behind JoinQueryOpts
+// and SubmitJoinQuery.
+func (c *Client) buildJoinReq(tableA, tableB string, selA, selB securejoin.Selection, opts JoinOpts) (*wire.JoinRequest, error) {
 	req := &wire.JoinRequest{TableA: tableA, TableB: tableB, Workers: opts.Workers}
 	var q *securejoin.Query
 	if opts.Prefilter {
@@ -691,11 +719,7 @@ func (c *Client) JoinQueryOpts(tableA, tableB string, selA, selB securejoin.Sele
 	if req.TokenB, err = q.TokenB.MarshalBinary(); err != nil {
 		return nil, err
 	}
-	p, err := c.send(&wire.Request{Join: req})
-	if err != nil {
-		return nil, err
-	}
-	return &JoinStream{c: c, p: p}, nil
+	return req, nil
 }
 
 // Join executes a join query and drains its stream, returning all

@@ -1,0 +1,205 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/securejoin"
+	"repro/internal/sql"
+	"repro/internal/wire"
+)
+
+// This file is the client side of the async job subsystem: a join can
+// be submitted as a job (SubmitJoinQuery / SubmitPlan), acknowledged
+// immediately with a job ID, and then polled (JobStatus) or streamed
+// (AttachJob) from this or any later connection — the server spools a
+// completed job's result durably, so the submitting client may
+// disconnect, or the server restart, between submit and attach.
+
+// ErrUnknownJob is wrapped by errors of job calls naming an ID the
+// server does not know (wire.CodeUnknownJob). Completed jobs expire
+// after the server's job TTL, and jobs still queued or running when
+// the server restarts are lost — either way the join must be
+// resubmitted. Test with errors.Is.
+var ErrUnknownJob = errors.New("client: unknown job")
+
+// JobInfo describes one async job as last reported by the server.
+type JobInfo = wire.JobInfo
+
+// SubmitJoinQuery submits SELECT * FROM tableA JOIN tableB ON joinA =
+// joinB WHERE selA AND selB as an async job: the server validates and
+// enqueues the join on its worker pool and answers immediately with
+// the job's ID and queued-state snapshot, without waiting for any
+// pairing work. Track it with JobStatus and collect results with
+// AttachJob or WaitJob. A full worker queue sheds the submission with
+// ErrOverloaded; submit ran no work and is safe to retry (WithRetry).
+func (c *Client) SubmitJoinQuery(tableA, tableB string, selA, selB securejoin.Selection, opts JoinOpts) (*JobInfo, error) {
+	req, err := c.buildJoinReq(tableA, tableB, selA, selB, opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.submitJoinReq(req)
+}
+
+// SubmitPlan submits every pairwise join step of a compiled SQL plan
+// as its own async job and returns the job IDs in step order. Resume
+// the plan — after a disconnect or even a server restart — by handing
+// the same plan and IDs to ExecuteSubmitted.
+func (c *Client) SubmitPlan(p *sql.Plan) ([]string, error) {
+	ids := make([]string, len(p.Steps))
+	for step := range p.Steps {
+		spec, err := p.SpecFor(step, c.keys)
+		if err != nil {
+			return nil, err
+		}
+		st := &p.Steps[step]
+		req, err := joinReqFromSpec(st.Left.Table, st.Right.Table, spec)
+		if err != nil {
+			return nil, err
+		}
+		info, err := c.submitJoinReq(req)
+		if err != nil {
+			return nil, fmt.Errorf("submitting plan step %d: %w", step, err)
+		}
+		ids[step] = info.ID
+	}
+	return ids, nil
+}
+
+// submitJoinReq ships one join request as a Submit and decodes the
+// job-info ack.
+func (c *Client) submitJoinReq(req *wire.JoinRequest) (*JobInfo, error) {
+	p, err := c.send(&wire.Request{Submit: &wire.SubmitRequest{Join: req}})
+	if err != nil {
+		return nil, err
+	}
+	f := p.pop()
+	if f == nil {
+		return nil, c.connErr()
+	}
+	if f.Err != "" {
+		return nil, frameErr("submit", f)
+	}
+	if f.Job == nil {
+		return nil, errors.New("client: submit ack carried no job info")
+	}
+	return f.Job, nil
+}
+
+// JobStatus polls one job's current state and progress counters
+// (rows decrypted, pipeline steps completed, revealed pairs so far).
+// An expired or never-known ID fails with ErrUnknownJob.
+func (c *Client) JobStatus(id string) (*JobInfo, error) {
+	p, err := c.send(&wire.Request{JobStatus: id})
+	if err != nil {
+		return nil, err
+	}
+	f := p.pop()
+	if f == nil {
+		return nil, c.connErr()
+	}
+	if f.Err != "" {
+		return nil, frameErr("job status", f)
+	}
+	if f.Job == nil {
+		return nil, errors.New("client: job status ack carried no job info")
+	}
+	return f.Job, nil
+}
+
+// AttachJob opens the result stream of a job: the server holds the
+// request until the job reaches a terminal state, then streams the
+// (possibly spooled) result batches exactly like a synchronous join.
+// Any connection may attach — including one dialed after the
+// submitter disconnected or the server restarted — and a job may be
+// attached any number of times before its TTL reaps it. A failed
+// job's stream yields the job's error on the first Next.
+func (c *Client) AttachJob(id string) (*JoinStream, error) {
+	p, err := c.send(&wire.Request{Attach: id})
+	if err != nil {
+		return nil, err
+	}
+	return &JoinStream{c: c, p: p}, nil
+}
+
+// WaitJob attaches to a job and drains it: the decrypted result rows
+// and the job's revealed-pair count, blocking until the job finishes.
+func (c *Client) WaitJob(id string) ([]JoinResult, int, error) {
+	stream, err := c.AttachJob(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	var out []JoinResult
+	for {
+		batch, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, batch...)
+	}
+	return out, stream.RevealedPairs(), nil
+}
+
+// PollJob polls a job's status every interval until it reaches a
+// terminal state (done or failed) and returns the final snapshot. It
+// is the polling twin of AttachJob for callers that want progress
+// visibility rather than results; interval <= 0 selects 500ms.
+func (c *Client) PollJob(id string, interval time.Duration) (*JobInfo, error) {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	for {
+		info, err := c.JobStatus(id)
+		if err != nil {
+			return nil, err
+		}
+		if info.State == wire.JobDone || info.State == wire.JobFailed {
+			return info, nil
+		}
+		time.Sleep(interval)
+	}
+}
+
+// jobRunner adapts submitted jobs to sql.StepRunner: step i's stream
+// is an attach to ids[i] instead of a fresh JoinRequest.
+type jobRunner struct {
+	c   *Client
+	ids []string
+}
+
+func (r jobRunner) RunStep(p *sql.Plan, step int) (sql.StepStream, error) {
+	js, err := r.c.AttachJob(r.ids[step])
+	if err != nil {
+		return nil, err
+	}
+	return wireStepStream{js}, nil
+}
+
+// ExecuteSubmitted stitches the results of a plan previously submitted
+// with SubmitPlan: step i attaches to ids[i], and the decrypted
+// intermediates are joined client-side exactly as in ExecutePlan. The
+// ids must come from a SubmitPlan of an equivalent plan.
+func (c *Client) ExecuteSubmitted(p *sql.Plan, ids []string, emit func(sql.ResultRow) error) (int, error) {
+	if len(ids) != len(p.Steps) {
+		return 0, fmt.Errorf("client: plan has %d steps but %d job IDs were given", len(p.Steps), len(ids))
+	}
+	return sql.Execute(jobRunner{c: c, ids: ids}, p, emit)
+}
+
+// ExecutePlanAsync submits every plan step as a job, then attaches and
+// stitches the results — ExecutePlan routed through the server's job
+// queue. The steps execute on the server's worker pool (and their
+// completed results spool durably) rather than being tied to this
+// connection's request lifetimes.
+func (c *Client) ExecutePlanAsync(p *sql.Plan, emit func(sql.ResultRow) error) (int, error) {
+	ids, err := c.SubmitPlan(p)
+	if err != nil {
+		return 0, err
+	}
+	return c.ExecuteSubmitted(p, ids, emit)
+}

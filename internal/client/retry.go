@@ -55,8 +55,14 @@ func WithRetry(cfg RetryConfig, op func() error) error {
 		if attempt == cfg.Attempts-1 {
 			break
 		}
-		delay := cfg.Base << attempt
-		if delay > cfg.Max {
+		// Double up to the cap instead of computing Base<<attempt: a bare
+		// shift overflows int64 around attempt 34 (Base 50ms), going
+		// negative and panicking rand.Int63n below.
+		delay := cfg.Base
+		for i := 0; i < attempt && delay < cfg.Max; i++ {
+			delay <<= 1
+		}
+		if delay <= 0 || delay > cfg.Max {
 			delay = cfg.Max
 		}
 		// ±50% jitter: delay/2 + rand[0, delay).

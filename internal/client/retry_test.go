@@ -84,3 +84,33 @@ func TestWithRetryDelayCap(t *testing.T) {
 		}
 	}
 }
+
+// TestWithRetryManyAttemptsNoOverflow is the regression test for the
+// backoff overflow: Base<<attempt wraps int64 negative around attempt
+// 34, and rand.Int63n panics on a non-positive argument. Sixty-four
+// attempts must complete without panicking, and every delay must stay
+// within the jittered cap.
+func TestWithRetryManyAttemptsNoOverflow(t *testing.T) {
+	var slept []time.Duration
+	cfg := RetryConfig{
+		Attempts: 64,
+		Base:     50 * time.Millisecond,
+		Max:      2 * time.Second,
+		Sleep:    func(d time.Duration) { slept = append(slept, d) },
+	}
+	err := WithRetry(cfg, func() error { return ErrOverloaded })
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("WithRetry = %v, want ErrOverloaded after exhaustion", err)
+	}
+	if len(slept) != 63 {
+		t.Fatalf("slept %d times, want 63", len(slept))
+	}
+	for n, d := range slept {
+		if d <= 0 {
+			t.Fatalf("delay %d = %v; backoff went non-positive (overflow)", n, d)
+		}
+		if max := cfg.Max * 3 / 2; d >= max {
+			t.Errorf("delay %d = %v, want < %v (cap plus jitter)", n, d, max)
+		}
+	}
+}

@@ -63,14 +63,15 @@ const (
 // decryptCache is a byte-budgeted LRU over decEntries. Eviction is per
 // entry (one table version x token), never per row.
 type decryptCache struct {
-	mu      sync.Mutex
-	budget  int64
-	bytes   int64
-	lru     *list.List // of *decEntry; front = most recent
-	entries map[decKey]*list.Element
-	hits    uint64
-	misses  uint64
-	evicted uint64
+	mu        sync.Mutex
+	budget    int64
+	bytes     int64
+	lru       *list.List // of *decEntry; front = most recent
+	entries   map[decKey]*list.Element
+	hits      uint64
+	misses    uint64
+	evicted   uint64
+	oversized uint64
 }
 
 func newDecryptCache(budget int64) *decryptCache {
@@ -110,9 +111,14 @@ func (c *decryptCache) record(hits, misses uint64) {
 // fill installs freshly decrypted rows into the entry for key (creating
 // it for a table of n rows), then evicts least-recently-used entries
 // until the cache fits its budget again. It returns the number of
-// entries evicted. Two concurrent identical queries may both decrypt a
-// row; determinism makes the double fill harmless.
-func (c *decryptCache) fill(key decKey, n int, rows []int, vals []securejoin.DValue) uint64 {
+// entries evicted and whether the filled entry itself outgrew the whole
+// budget. An oversized entry is dropped immediately rather than cached:
+// keeping it would first evict every other entry and then be evicted
+// itself on the next fill, so an oversized table would thrash the cache
+// to empty on every query while never producing a warm hit. Two
+// concurrent identical queries may both decrypt a row; determinism
+// makes the double fill harmless.
+func (c *decryptCache) fill(key decKey, n int, rows []int, vals []securejoin.DValue) (evictions uint64, oversized bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
@@ -137,14 +143,18 @@ func (c *decryptCache) fill(key decKey, n int, rows []int, vals []securejoin.DVa
 		e.bytes += int64(len(vals[i]))
 		c.bytes += int64(len(vals[i]))
 	}
-	var evictions uint64
+	if e.bytes > c.budget {
+		c.removeLocked(e)
+		c.oversized++
+		oversized = true
+	}
 	for c.bytes > c.budget && c.lru.Len() > 0 {
 		back := c.lru.Back()
 		c.removeLocked(back.Value.(*decEntry))
 		evictions++
 	}
 	c.evicted += evictions
-	return evictions
+	return evictions, oversized
 }
 
 func (c *decryptCache) removeLocked(e *decEntry) {
@@ -184,6 +194,9 @@ type DecryptCacheStats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
+	// Oversized counts fills whose single entry outgrew the entire byte
+	// budget and was therefore dropped instead of cached (see fill).
+	Oversized uint64
 	Entries   int
 	Bytes     int64
 	Budget    int64
@@ -197,6 +210,7 @@ func (c *decryptCache) stats() DecryptCacheStats {
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evicted,
+		Oversized: c.oversized,
 		Entries:   len(c.entries),
 		Bytes:     c.bytes,
 		Budget:    c.budget,
@@ -204,24 +218,28 @@ func (c *decryptCache) stats() DecryptCacheStats {
 }
 
 // SetDecryptCache attaches a decrypt-result cache with the given byte
-// budget; budget <= 0 detaches it. Like Instrument, call before
-// serving queries — the cache pointer is read without synchronization
-// by concurrent joins.
+// budget; budget <= 0 detaches it. Safe to call at any time, including
+// while joins are executing: the pointer is swapped atomically, in-
+// flight decrypt phases finish against whichever cache they loaded, and
+// later phases see the new one (resetting the budget discards all
+// cached entries along with the old cache).
 func (s *Server) SetDecryptCache(budget int64) {
 	if budget <= 0 {
-		s.decCache = nil
+		s.decCache.Store(nil)
+		s.met.DecCacheBytes.Set(0)
 		return
 	}
-	s.decCache = newDecryptCache(budget)
+	s.decCache.Store(newDecryptCache(budget))
 }
 
 // DecryptCacheStats reports the decrypt cache's counters; Enabled is
 // false (and everything else zero) when no cache is attached.
 func (s *Server) DecryptCacheStats() DecryptCacheStats {
-	if s.decCache == nil {
+	cache := s.decCache.Load()
+	if cache == nil {
 		return DecryptCacheStats{}
 	}
-	return s.decCache.stats()
+	return cache.stats()
 }
 
 // tokenDec is the per-stream decryption context of one (token, table
@@ -234,13 +252,13 @@ type tokenDec struct {
 	cached bool
 }
 
-// newTokenDec records the token's Miller program once and, when a
-// decrypt cache is attached, derives the token's cache key.
+// newTokenDec records the token's Miller program once and derives the
+// token's cache key. The key is derived even when no cache is attached
+// at open time: SetDecryptCache may install one at runtime, and a
+// long-lived stream should start filling it from its next decrypt
+// phase.
 func (s *Server) newTokenDec(tk *securejoin.Token, table string, version uint64) *tokenDec {
 	td := &tokenDec{pc: tk.Precompute()}
-	if s.decCache == nil {
-		return td
-	}
 	raw, err := tk.MarshalBinary()
 	if err != nil {
 		// A token that cannot be serialized cannot be cache-keyed; run
@@ -264,7 +282,7 @@ func (s *Server) decryptRows(td *tokenDec, t *EncryptedTable, rows []int, worker
 			return nil, fmt.Errorf("engine: candidate row %d out of range", r)
 		}
 	}
-	cache := s.decCache
+	cache := s.decCache.Load()
 	if cache == nil || !td.cached {
 		cts := gatherCiphertexts(t, rows)
 		return securejoin.DecryptTableParallelWith(td.pc, cts, workers)
@@ -299,7 +317,11 @@ func (s *Server) decryptRows(td *tokenDec, t *EncryptedTable, rows []int, worker
 	for i, v := range vals {
 		out[missPos[i]] = v
 	}
-	s.met.DecCacheEvictions.Add(cache.fill(td.key, len(t.Rows), missRows, vals))
+	evictions, oversized := cache.fill(td.key, len(t.Rows), missRows, vals)
+	s.met.DecCacheEvictions.Add(evictions)
+	if oversized {
+		s.met.DecCacheOversized.Inc()
+	}
 	s.met.DecCacheBytes.Set(cache.sizeBytes())
 	return out, nil
 }

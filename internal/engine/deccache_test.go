@@ -193,10 +193,11 @@ func TestDecryptCachePrefilterSparseFill(t *testing.T) {
 	}
 }
 
-// TestDecryptCacheEviction bounds the cache well under one table entry
-// so every fill immediately evicts, and checks the budget is enforced
-// while results stay correct.
-func TestDecryptCacheEviction(t *testing.T) {
+// TestDecryptCacheOversizedDropped bounds the cache well under any
+// table entry: every fill's entry alone outgrows the budget, so each is
+// dropped as oversized (counted, not cached) rather than thrashing the
+// LRU, the budget holds, and results stay correct.
+func TestDecryptCacheOversizedDropped(t *testing.T) {
 	client, server := setup(t)
 	const budget = 512 // smaller than any filled table entry here
 	server.SetDecryptCache(budget)
@@ -215,12 +216,103 @@ func TestDecryptCacheEviction(t *testing.T) {
 	}
 	sameJoin(t, cold, warm)
 	st := server.DecryptCacheStats()
-	if st.Evictions == 0 {
-		t.Fatal("tiny budget produced no evictions")
+	if st.Oversized != 4 { // 2 tables x 2 runs, never cached
+		t.Fatalf("oversized drops = %d, want 4", st.Oversized)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("oversized drops leaked into the eviction count: %d", st.Evictions)
+	}
+	if st.Entries != 0 {
+		t.Fatalf("%d oversized entries were kept", st.Entries)
 	}
 	if st.Bytes > budget {
 		t.Fatalf("cache holds %d bytes over a %d byte budget", st.Bytes, budget)
 	}
+}
+
+// TestDecryptCacheOversizedKeepsSmallTablesWarm is the regression test
+// for the thrash bug: filling an entry larger than the whole budget
+// used to evict everything (its own rows included), so a cache budgeted
+// under its biggest table never produced a warm hit for anyone. Now the
+// oversized entry alone is dropped and the small table's entry stays
+// resident across runs.
+func TestDecryptCacheOversizedKeepsSmallTablesWarm(t *testing.T) {
+	client, server := setup(t)
+	// Teams (2 rows, ~944 bytes filled) fits; Employees (4 rows, ~1760
+	// bytes) alone exceeds the budget.
+	const budget = 1200
+	server.SetDecryptCache(budget)
+
+	q, err := client.NewQuery(securejoin.Selection{}, securejoin.Selection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, _, err := server.ExecuteJoin("Teams", "Employees", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, _, err := server.ExecuteJoin("Teams", "Employees", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameJoin(t, cold, warm)
+	st := server.DecryptCacheStats()
+	// Warm run: Teams' 2 rows hit; Employees' 4 re-decrypt both times.
+	if st.Hits != 2 || st.Misses != 10 {
+		t.Fatalf("hits=%d misses=%d, want 2/10 (small table warm, big table dropped)", st.Hits, st.Misses)
+	}
+	if st.Oversized != 2 {
+		t.Fatalf("oversized drops = %d, want 2 (Employees, both runs)", st.Oversized)
+	}
+	if st.Entries != 1 {
+		t.Fatalf("cache holds %d entries, want 1 (Teams)", st.Entries)
+	}
+	if st.Bytes > budget {
+		t.Fatalf("cache holds %d bytes over a %d byte budget", st.Bytes, budget)
+	}
+}
+
+// TestDecryptCacheSwapDuringJoins flips the cache configuration while
+// joins are executing: SetDecryptCache swaps an atomic pointer, so
+// concurrent decrypt phases finish against whichever cache they loaded.
+// Run under -race this pins the data-race-freedom of runtime swaps; the
+// join results must stay correct throughout.
+func TestDecryptCacheSwapDuringJoins(t *testing.T) {
+	client, server := setup(t)
+
+	q, err := client.NewQuery(securejoin.Selection{}, securejoin.Selection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := server.ExecuteJoin("Teams", "Employees", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	flipped := make(chan struct{})
+	go func() {
+		defer close(flipped)
+		budgets := []int64{0, 512, 64 << 20, 0, 1 << 20}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				server.SetDecryptCache(budgets[i%len(budgets)])
+				server.DecryptCacheStats()
+			}
+		}
+	}()
+	for i := 0; i < 4; i++ {
+		got, _, err := server.ExecuteJoin("Teams", "Employees", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameJoin(t, want, got)
+	}
+	close(stop)
+	<-flipped
 }
 
 // TestDecryptCacheDisabledStats checks the zero-value reporting and

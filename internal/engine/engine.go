@@ -30,6 +30,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/leakage"
@@ -207,9 +208,10 @@ type Server struct {
 	versions map[string]uint64
 
 	// decCache, when non-nil, memoizes per-row SJ.Dec results (see
-	// deccache.go). Set by SetDecryptCache before serving; read without
-	// synchronization by concurrent joins, like met.
-	decCache *decryptCache
+	// deccache.go). An atomic pointer so SetDecryptCache may swap or
+	// detach the cache at runtime — job workers start joins long after
+	// setup — while concurrent joins load it once per decrypt phase.
+	decCache atomic.Pointer[decryptCache]
 
 	// traceMu guards the leakage records, separately from the table
 	// store so concurrent joins serialize only on the cheap trace
@@ -260,11 +262,12 @@ func (s *Server) Upload(t *EncryptedTable) {
 // install or drop. The version bump already makes the stale entries
 // unreachable; the purge just stops them from occupying budget.
 func (s *Server) invalidateDecrypts(name string) {
-	if s.decCache == nil {
+	cache := s.decCache.Load()
+	if cache == nil {
 		return
 	}
-	s.decCache.purgeTable(name)
-	s.met.DecCacheBytes.Set(s.decCache.sizeBytes())
+	cache.purgeTable(name)
+	s.met.DecCacheBytes.Set(cache.sizeBytes())
 }
 
 // RegisterTable stores an encrypted table, replacing any previous
@@ -437,6 +440,25 @@ type JoinSpec struct {
 	// Workers bounds the SJ.Dec worker pool per decrypt phase;
 	// <= 0 uses GOMAXPROCS, 1 forces sequential decryption.
 	Workers int
+	// Progress, when non-nil, is called after each completed pipeline
+	// step — the build-side decrypt, then every probe batch — with the
+	// cumulative counters so far. It runs on the goroutine draining the
+	// stream, so implementations must be fast and must synchronize their
+	// own state; the async job table uses it to publish live JobStatus.
+	Progress func(JoinProgress)
+}
+
+// JoinProgress is the cumulative progress of one join execution,
+// reported through JoinSpec.Progress.
+type JoinProgress struct {
+	// RowsDecrypted counts rows run through SJ.Dec (or served for them
+	// from the decrypt cache) so far, build and probe sides alike.
+	RowsDecrypted int
+	// StepsDone counts completed pipeline steps: 1 for the build-side
+	// decrypt+index, plus 1 per probe batch.
+	StepsDone int
+	// RevealedPairs is the size of sigma(q) accumulated so far.
+	RevealedPairs int
 }
 
 // query resolves the join tokens of a spec.
@@ -479,6 +501,23 @@ type JoinStream struct {
 	done     bool
 	err      error     // sticky terminal error, re-returned by Next
 	started  time.Time // stream open time, for the join wall-time histogram
+
+	progress  func(JoinProgress) // optional per-step progress hook
+	rowsDec   int                // rows decrypted so far, both sides
+	stepsDone int                // completed pipeline steps
+}
+
+// reportProgress publishes the stream's cumulative counters through the
+// spec's hook, if any.
+func (st *JoinStream) reportProgress() {
+	if st.progress == nil {
+		return
+	}
+	st.progress(JoinProgress{
+		RowsDecrypted: st.rowsDec,
+		StepsDone:     st.stepsDone,
+		RevealedPairs: st.pairs.Len(),
+	})
 }
 
 // OpenJoin starts one planned equi-join query: candidate selection and
@@ -542,7 +581,7 @@ func (s *Server) OpenJoin(tableA, tableB string, spec JoinSpec) (*JoinStream, er
 			B: leakage.RowRef{Table: tableA, Row: candRow(candA, sp[1])},
 		})
 	}
-	return &JoinStream{
+	st := &JoinStream{
 		srv:    s,
 		tableA: tableA, tableB: tableB,
 		ta: ta, tb: tb,
@@ -554,7 +593,12 @@ func (s *Server) OpenJoin(tableA, tableB string, spec JoinSpec) (*JoinStream, er
 		bucketsB: make(map[string][]int),
 		pairs:    pairs,
 		started:  started,
-	}, nil
+		progress: spec.Progress,
+	}
+	st.rowsDec = len(das)
+	st.stepsDone = 1 // build side decrypted and indexed
+	st.reportProgress()
+	return st, nil
 }
 
 // OpenJoinQuery starts a full-scan join with the pre-plan signature —
@@ -625,6 +669,9 @@ func (st *JoinStream) Next() ([]JoinedRow, error) {
 		st.bucketsB[key] = append(st.bucketsB[key], rowB)
 	}
 	st.next = end
+	st.rowsDec += len(chunk)
+	st.stepsDone++
+	st.reportProgress()
 	return out, nil
 }
 

@@ -29,6 +29,7 @@ type Metrics struct {
 	DecCacheHits      *metrics.Counter
 	DecCacheMisses    *metrics.Counter
 	DecCacheEvictions *metrics.Counter
+	DecCacheOversized *metrics.Counter
 	DecCacheBytes     *metrics.Gauge
 	// RevealedPairs tracks, per table, the leakage counter: how many
 	// revealed equality pairs recorded so far touch that table. A gauge,
@@ -49,6 +50,7 @@ func NewMetrics(reg *metrics.Registry) Metrics {
 		DecCacheHits:      metrics.NewCounter(reg, "sj_decrypt_cache_hits_total", "rows served from the decrypt-result cache"),
 		DecCacheMisses:    metrics.NewCounter(reg, "sj_decrypt_cache_misses_total", "rows that paid SJ.Dec pairings on a cache lookup"),
 		DecCacheEvictions: metrics.NewCounter(reg, "sj_decrypt_cache_evictions_total", "decrypt-cache entries evicted by the byte budget"),
+		DecCacheOversized: metrics.NewCounter(reg, "sj_decrypt_cache_oversized_total", "decrypt-cache fills dropped because one entry alone exceeded the byte budget"),
 		DecCacheBytes:     metrics.NewGauge(reg, "sj_decrypt_cache_bytes", "current decrypt-cache footprint in bytes"),
 		RevealedPairs:     metrics.NewGaugeVec(reg, "sj_revealed_pairs", "revealed equality pairs touching each table (sigma leakage counter)", "table"),
 	}

@@ -1,0 +1,597 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// This file is the async job subsystem: joins submitted as jobs outlive
+// the connection that submitted them. SJ.Dec's pairing wall makes a
+// join seconds-to-minutes of server work, and before jobs that work
+// existed only as long as one TCP connection stayed open — a disconnect
+// threw the pairings away.
+//
+// Execution model. ALL join work — synchronous Join requests and
+// submitted jobs alike — runs on one bounded worker pool fed by a fair
+// FIFO queue (tasks run in arrival order), replacing the per-request
+// join goroutines. The queue composes with PR 6's admission control:
+// sync joins still pass the per-connection gate and the global join
+// semaphore first, and a full queue sheds either kind of work with
+// wire.CodeOverloaded — bounded latency, typed retry, no unbounded
+// backlog of latent pairing work.
+//
+// Job lifecycle: queued → running → done|failed. A completed job's
+// result (or failure) is spooled through internal/store before the job
+// is marked terminal, so once JobStatus reports done the result
+// survives server restart; queued and running jobs are NOT durable — a
+// restart forgets them and clients see CodeUnknownJob, the signal to
+// resubmit. Finished jobs are reaped after a TTL.
+
+// defaultJobQueueDepth bounds the join task queue when the operator
+// does not choose a depth. Each queued join is minutes of latent CPU,
+// so the default is modest.
+const defaultJobQueueDepth = 64
+
+// defaultJobTTL is how long a finished job's result is retained for
+// attachment before the reaper deletes it.
+const defaultJobTTL = time.Hour
+
+// joinTask is one unit of join work on the pool: either a synchronous
+// join (ss/id/jr set — the response streams straight to the submitting
+// connection) or an async job.
+type joinTask struct {
+	ss  *session
+	id  uint64
+	jr  *wire.JoinRequest
+	job *job
+}
+
+// job is the server-side state of one submitted join. Mutable fields
+// are guarded by mu; done is closed exactly once, when the job reaches
+// a terminal state, and is what AttachJob waiters block on.
+type job struct {
+	id             string
+	jr             *wire.JoinRequest // nil for jobs recovered from the store
+	tableA, tableB string
+	created        time.Time
+
+	mu            sync.Mutex
+	state         string
+	started       time.Time
+	finished      time.Time
+	rowsDecrypted int
+	stepsDone     int
+	revealedPairs int
+	resultRows    int
+	rows          []wire.JoinedRow // in-memory result; nil once spooled
+	spooled       bool             // result lives in the store's job spool
+	errMsg        string
+
+	done chan struct{}
+}
+
+// snapshot renders the job's current state as the wire JobInfo.
+func (j *job) snapshot() *wire.JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := &wire.JobInfo{
+		ID:            j.id,
+		State:         j.state,
+		TableA:        j.tableA,
+		TableB:        j.tableB,
+		RowsDecrypted: j.rowsDecrypted,
+		StepsDone:     j.stepsDone,
+		RevealedPairs: j.revealedPairs,
+		ResultRows:    j.resultRows,
+		Err:           j.errMsg,
+		CreatedUnix:   j.created.Unix(),
+	}
+	if !j.started.IsZero() {
+		info.StartedUnix = j.started.Unix()
+	}
+	if !j.finished.IsZero() {
+		info.FinishedUnix = j.finished.Unix()
+	}
+	return info
+}
+
+// SetJobWorkers bounds the join worker pool: the goroutines executing
+// sync joins and async jobs. n <= 0 restores the default
+// (max(2, GOMAXPROCS) — at least two so one long job cannot block all
+// synchronous traffic on a single-core host). Call before Serve.
+func (s *Server) SetJobWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+		if n < 2 {
+			n = 2
+		}
+	}
+	s.jobWorkers = n
+}
+
+// SetJobQueueDepth bounds the FIFO queue feeding the worker pool; a
+// join (sync or submitted) arriving at a full queue is shed with
+// wire.CodeOverloaded. n < 0 restores the default; 0 is a valid
+// rendezvous queue (work is accepted only when a worker is free to take
+// it immediately). Call before Serve.
+func (s *Server) SetJobQueueDepth(n int) {
+	if n < 0 {
+		n = defaultJobQueueDepth
+	}
+	s.jobQueueDepth = n
+}
+
+// SetJobTTL bounds how long a finished job's result is retained for
+// attachment; past it the reaper deletes the job from memory and from
+// the store's spool. d == 0 restores the default (one hour); d < 0
+// disables reaping. Call before Serve.
+func (s *Server) SetJobTTL(d time.Duration) {
+	if d == 0 {
+		d = defaultJobTTL
+	}
+	s.jobTTL = d
+}
+
+// startJobPool creates the task queue and starts the workers and the
+// TTL reaper. Called once, from Serve; the goroutines live in s.wg so
+// Close waits for them after the connections drain.
+func (s *Server) startJobPool() {
+	s.poolOnce.Do(func() {
+		if s.jobWorkers <= 0 {
+			s.SetJobWorkers(0)
+		}
+		if s.jobQueueDepth < 0 {
+			s.jobQueueDepth = defaultJobQueueDepth
+		}
+		if s.jobTTL == 0 {
+			s.jobTTL = defaultJobTTL
+		}
+		s.taskQueue = make(chan joinTask, s.jobQueueDepth)
+		for i := 0; i < s.jobWorkers; i++ {
+			s.wg.Add(1)
+			go s.joinWorker()
+		}
+		if s.jobTTL > 0 {
+			s.wg.Add(1)
+			go s.jobReaper()
+		}
+	})
+}
+
+// joinWorker executes queued join tasks until shutdown. In-flight work
+// always finishes — Close half-closes connections on the read side
+// only, so a running join still delivers its terminal frames.
+func (s *Server) joinWorker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case t := <-s.taskQueue:
+			s.met.JoinQueueDepth.Set(int64(len(s.taskQueue)))
+			s.runTask(t)
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// runTask executes one queued unit of join work.
+func (s *Server) runTask(t joinTask) {
+	if t.job != nil {
+		s.runJob(t.job)
+		return
+	}
+	started := time.Now()
+	defer t.ss.reqs.Done()
+	defer t.ss.releaseJoin()
+	if err := t.ss.handleJoin(t.id, t.jr); err != nil {
+		s.logf("request %d: writing response: %v", t.id, err)
+	}
+	s.met.ReqSeconds.With("join").Observe(time.Since(started).Seconds())
+}
+
+// abortTask disposes of a task that will never run because the server
+// is shutting down: sync joins get a terminal error frame (their
+// session's reqs.Wait depends on it), async jobs fail so attached
+// waiters unblock.
+func (s *Server) abortTask(t joinTask) {
+	if t.job != nil {
+		s.failJob(t.job, errors.New("server shutting down before job started"))
+		return
+	}
+	t.ss.clearCancel(t.id)
+	if err := t.ss.sendErr(t.id, errors.New("server shutting down")); err != nil {
+		s.logf("request %d: writing shutdown response: %v", t.id, err)
+	}
+	t.ss.releaseJoin()
+	t.ss.reqs.Done()
+}
+
+// enqueueJoin offers a task to the queue without blocking. False means
+// the task was not accepted — the queue is full or the server is
+// shutting down — and the caller must shed or abort it.
+func (s *Server) enqueueJoin(t joinTask) bool {
+	if s.taskQueue == nil {
+		return false
+	}
+	select {
+	case <-s.done:
+		return false
+	default:
+	}
+	select {
+	case s.taskQueue <- t:
+		s.met.JoinQueueDepth.Set(int64(len(s.taskQueue)))
+		return true
+	default:
+		return false
+	}
+}
+
+// drainTasks aborts queued tasks while Close waits for connections and
+// workers to finish — without it a session blocked in reqs.Wait on a
+// queued sync join (whose worker already exited) would deadlock the
+// shutdown. It runs until stop is closed.
+func (s *Server) drainTasks(stop chan struct{}) {
+	for {
+		select {
+		case t := <-s.taskQueue:
+			s.abortTask(t)
+		case <-stop:
+			return
+		}
+	}
+}
+
+// newJobID returns a fresh random job identifier.
+func newJobID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("server: sampling job ID: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// lookupJob resolves a job ID; nil when unknown (never submitted,
+// reaped, or lost to a restart before completion).
+func (s *Server) lookupJob(id string) *job {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	return s.jobs[id]
+}
+
+// handleSubmit validates and enqueues an async join, answering with the
+// queued job's JobInfo. A full queue sheds the submit with
+// wire.CodeOverloaded — retry-safe: nothing was enqueued and no job ID
+// exists.
+func (ss *session) handleSubmit(id uint64, sub *wire.SubmitRequest) error {
+	s := ss.srv
+	if sub.Join == nil {
+		return ss.sendErr(id, errors.New("server: submit carries no join"))
+	}
+	// Parse the tokens and prefilters now so a malformed submission
+	// fails at submit time, not minutes later inside the queue.
+	if _, err := s.joinSpecFrom(sub.Join); err != nil {
+		return ss.sendErr(id, err)
+	}
+	jobID, err := newJobID()
+	if err != nil {
+		return ss.sendErr(id, err)
+	}
+	j := &job{
+		id:      jobID,
+		jr:      sub.Join,
+		tableA:  sub.Join.TableA,
+		tableB:  sub.Join.TableB,
+		created: time.Now(),
+		state:   wire.JobQueued,
+		done:    make(chan struct{}),
+	}
+	s.jobMu.Lock()
+	s.jobs[jobID] = j
+	s.jobMu.Unlock()
+	if !s.enqueueJoin(joinTask{job: j}) {
+		s.jobMu.Lock()
+		delete(s.jobs, jobID)
+		s.jobMu.Unlock()
+		s.shed(ss, id, "join queue full")
+		return nil
+	}
+	s.met.JobsSubmitted.Inc()
+	s.logf("job %s submitted: %q x %q", jobID, j.tableA, j.tableB)
+	return ss.send(&wire.Frame{ID: id, Job: j.snapshot()})
+}
+
+// handleJobStatus answers a poll for one job's state and progress.
+func (ss *session) handleJobStatus(id uint64, jobID string) error {
+	j := ss.srv.lookupJob(jobID)
+	if j == nil {
+		return ss.sendUnknownJob(id, jobID)
+	}
+	return ss.send(&wire.Frame{ID: id, Job: j.snapshot()})
+}
+
+// handleAttach blocks until the job terminates, then (re-)streams its
+// result exactly like a synchronous join: batch frames bounded by the
+// row and byte budgets, then a summary with the job's sigma(q). Any
+// number of connections may attach to the same job, before or after it
+// completes, and each gets the identical stream.
+func (ss *session) handleAttach(id uint64, jobID string) error {
+	s := ss.srv
+	j := s.lookupJob(jobID)
+	if j == nil {
+		return ss.sendUnknownJob(id, jobID)
+	}
+	select {
+	case <-j.done:
+	case <-s.done:
+		return ss.sendErr(id, errors.New("server shutting down"))
+	case <-ss.closed:
+		return nil // client hung up while waiting; nothing to stream to
+	}
+	j.mu.Lock()
+	errMsg, spooled := j.errMsg, j.spooled
+	rows, revealed := j.rows, j.revealedPairs
+	j.mu.Unlock()
+	if errMsg != "" {
+		return ss.sendErr(id, fmt.Errorf("job %s failed: %s", jobID, errMsg))
+	}
+	if rows == nil && spooled {
+		spoolRows, err := s.store.ReadJobRows(jobID)
+		if err != nil {
+			return ss.sendErr(id, err)
+		}
+		rows = make([]wire.JoinedRow, len(spoolRows))
+		for i, r := range spoolRows {
+			rows[i] = wire.JoinedRow{RowA: r.RowA, RowB: r.RowB, PayloadA: r.PayloadA, PayloadB: r.PayloadB}
+		}
+	}
+	sent, err := ss.sendRowBatches(id, rows)
+	if err != nil {
+		ss.sendErr(id, fmt.Errorf("streaming result: %v", err))
+		return err
+	}
+	s.logf("job %s attached: streamed %d rows, %d revealed pairs", jobID, sent, revealed)
+	return ss.send(&wire.Frame{ID: id, Summary: &wire.JoinSummary{RevealedPairs: revealed}})
+}
+
+func (ss *session) sendUnknownJob(id uint64, jobID string) error {
+	return ss.send(&wire.Frame{
+		ID:   id,
+		Err:  fmt.Sprintf("unknown job %q (never submitted, expired, or lost before completion)", jobID),
+		Code: wire.CodeUnknownJob,
+	})
+}
+
+// runJob executes one async job on a pool worker: open the join, drain
+// it, spool the completed result durably, and only then mark the job
+// terminal — so a client that observes "done" can rely on the result
+// surviving a restart.
+func (s *Server) runJob(j *job) {
+	j.mu.Lock()
+	j.state = wire.JobRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	s.met.JobsRunning.Inc()
+	defer s.met.JobsRunning.Dec()
+
+	rows, revealed, err := s.executeJob(j)
+	if err != nil {
+		s.failJob(j, err)
+		return
+	}
+
+	spooled := false
+	if s.store != nil {
+		meta := store.JobMeta{
+			ID:            j.id,
+			TableA:        j.tableA,
+			TableB:        j.tableB,
+			RevealedPairs: revealed,
+			FinishedUnix:  time.Now().Unix(),
+		}
+		spoolRows := make([]store.JobRow, len(rows))
+		for i, r := range rows {
+			spoolRows[i] = store.JobRow{RowA: r.RowA, RowB: r.RowB, PayloadA: r.PayloadA, PayloadB: r.PayloadB}
+		}
+		if err := s.store.CommitJob(meta, spoolRows); err != nil {
+			// Non-fatal: the job is still served from memory for this
+			// process's life; only restart durability is lost.
+			s.logf("job %s: spooling result: %v", j.id, err)
+		} else {
+			spooled = true
+		}
+	}
+
+	j.mu.Lock()
+	j.state = wire.JobDone
+	j.finished = time.Now()
+	j.resultRows = len(rows)
+	j.revealedPairs = revealed
+	j.spooled = spooled
+	if spooled {
+		j.rows = nil // attaches re-read the spool; no double-buffering
+	} else {
+		j.rows = rows
+	}
+	j.mu.Unlock()
+	close(j.done)
+	s.met.JobsCompleted.Inc()
+	s.met.JobSeconds.Observe(time.Since(j.created).Seconds())
+	s.logf("job %s done: %d result rows, %d revealed pairs", j.id, len(rows), revealed)
+	s.persistCounters()
+}
+
+// failJob marks a job failed (spooling the failure when a store is
+// attached, so even the error outcome survives a restart) and wakes
+// attached waiters.
+func (s *Server) failJob(j *job, err error) {
+	now := time.Now()
+	if s.store != nil {
+		meta := store.JobMeta{
+			ID: j.id, TableA: j.tableA, TableB: j.tableB,
+			Err: err.Error(), FinishedUnix: now.Unix(),
+		}
+		if serr := s.store.CommitJob(meta, nil); serr != nil {
+			s.logf("job %s: spooling failure: %v", j.id, serr)
+		}
+	}
+	j.mu.Lock()
+	j.state = wire.JobFailed
+	j.finished = now
+	j.errMsg = err.Error()
+	j.mu.Unlock()
+	close(j.done)
+	s.met.JobsFailed.Inc()
+	s.met.JobSeconds.Observe(now.Sub(j.created).Seconds())
+	s.logf("job %s failed: %v", j.id, err)
+	s.persistCounters()
+}
+
+// executeJob runs the job's join to completion, publishing progress
+// through the engine's hook so JobStatus polls see live counters.
+func (s *Server) executeJob(j *job) ([]wire.JoinedRow, int, error) {
+	spec, err := s.joinSpecFrom(j.jr)
+	if err != nil {
+		return nil, 0, err
+	}
+	spec.Batch = s.batch
+	spec.Progress = func(p engine.JoinProgress) {
+		j.mu.Lock()
+		j.rowsDecrypted = p.RowsDecrypted
+		j.stepsDone = p.StepsDone
+		j.revealedPairs = p.RevealedPairs
+		j.mu.Unlock()
+	}
+	stream, err := s.eng.OpenJoin(j.jr.TableA, j.jr.TableB, spec)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer stream.Close()
+	var out []wire.JoinedRow
+	for {
+		chunk, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, r := range chunk {
+			out = append(out, wire.JoinedRow{
+				RowA: r.RowA, RowB: r.RowB,
+				PayloadA: r.PayloadA, PayloadB: r.PayloadB,
+			})
+		}
+	}
+	return out, stream.RevealedPairs(), nil
+}
+
+// recoverJobs re-registers the store's spooled jobs at startup so
+// completed (and failed) jobs survive a server restart and any later
+// connection can still attach. Queued/running jobs of the previous
+// process were never spooled and are simply gone — their IDs answer
+// CodeUnknownJob, the client's signal to resubmit.
+func (s *Server) recoverJobs(st *store.Store) {
+	metas := st.Jobs()
+	for _, jm := range metas {
+		state := wire.JobDone
+		if jm.Err != "" {
+			state = wire.JobFailed
+		}
+		finished := time.Unix(jm.FinishedUnix, 0)
+		j := &job{
+			id:     jm.ID,
+			tableA: jm.TableA,
+			tableB: jm.TableB,
+			// The original submit time did not survive; the completion
+			// time is the honest lower bound, and what the TTL reaper
+			// keys on anyway.
+			created:       finished,
+			state:         state,
+			finished:      finished,
+			revealedPairs: jm.RevealedPairs,
+			resultRows:    jm.Rows,
+			spooled:       jm.Err == "",
+			errMsg:        jm.Err,
+			done:          make(chan struct{}),
+		}
+		close(j.done)
+		s.jobs[jm.ID] = j
+	}
+	if len(metas) > 0 {
+		s.logf("store %s: %d spooled job(s) recovered", st.Dir(), len(metas))
+	}
+}
+
+// jobReaper deletes finished jobs older than the TTL, from memory and
+// from the store's spool, bounding the job table and the data
+// directory. Runs until shutdown.
+func (s *Server) jobReaper() {
+	defer s.wg.Done()
+	tick := s.jobTTL / 4
+	if tick < time.Second {
+		tick = time.Second
+	}
+	if tick > time.Minute {
+		tick = time.Minute
+	}
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-time.After(tick):
+		}
+		s.reapJobs(time.Now().Add(-s.jobTTL))
+	}
+}
+
+// reapJobs removes every finished job whose completion predates cutoff.
+func (s *Server) reapJobs(cutoff time.Time) {
+	type reaped struct {
+		id      string
+		spooled bool
+	}
+	var expired []reaped
+	s.jobMu.Lock()
+	for id, j := range s.jobs {
+		j.mu.Lock()
+		gone := !j.finished.IsZero() && j.finished.Before(cutoff)
+		spooled := j.spooled
+		j.mu.Unlock()
+		if gone {
+			expired = append(expired, reaped{id: id, spooled: spooled})
+			delete(s.jobs, id)
+		}
+	}
+	s.jobMu.Unlock()
+	for _, j := range expired {
+		if j.spooled && s.store != nil {
+			if err := s.store.DeleteJob(j.id); err != nil {
+				s.logf("reaping job %s: %v", j.id, err)
+			}
+		}
+		s.met.JobsReaped.Inc()
+		s.logf("job %s reaped after TTL", j.id)
+	}
+}
+
+// jobGauges snapshots the job table for the health report.
+func (s *Server) jobGauges() (queued, running, stored int) {
+	if s.taskQueue != nil {
+		queued = len(s.taskQueue)
+	}
+	s.jobMu.Lock()
+	stored = len(s.jobs)
+	s.jobMu.Unlock()
+	return queued, int(s.met.JobsRunning.Value()), stored
+}

@@ -1,0 +1,316 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/securejoin"
+	"repro/internal/wire"
+)
+
+// sortResults orders join results by (RowA, RowB) so streams that
+// arrive batched differently compare deterministically.
+func sortResults(rows []client.JoinResult) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].RowA != rows[j].RowA {
+			return rows[i].RowA < rows[j].RowA
+		}
+		return rows[i].RowB < rows[j].RowB
+	})
+}
+
+// sameResults asserts two drained joins are identical: row pairs,
+// payload bytes, and sigma.
+func sameResults(t *testing.T, got, want []client.JoinResult, gotRevealed, wantRevealed int) {
+	t.Helper()
+	if gotRevealed != wantRevealed {
+		t.Fatalf("revealed pairs = %d, want %d", gotRevealed, wantRevealed)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("result rows = %d, want %d", len(got), len(want))
+	}
+	sortResults(got)
+	sortResults(want)
+	for i := range got {
+		if got[i].RowA != want[i].RowA || got[i].RowB != want[i].RowB {
+			t.Fatalf("row %d: (%d,%d), want (%d,%d)",
+				i, got[i].RowA, got[i].RowB, want[i].RowA, want[i].RowB)
+		}
+		if !bytes.Equal(got[i].PayloadA, want[i].PayloadA) ||
+			!bytes.Equal(got[i].PayloadB, want[i].PayloadB) {
+			t.Fatalf("row %d: payload bytes differ", i)
+		}
+	}
+}
+
+// TestJobLifecycleMatchesSyncJoin submits the same query both ways: the
+// async job must produce identical rows, payload bytes and sigma as the
+// synchronous join, report a terminal done status with the result
+// counts, and stream identically on a second attach.
+func TestJobLifecycleMatchesSyncJoin(t *testing.T) {
+	addr := startServer(t)
+	c := dial(t, addr)
+	uploadIndexedTestTables(t, c)
+
+	selA := securejoin.Selection{0: [][]byte{[]byte("Web Application")}}
+	selB := securejoin.Selection{0: [][]byte{[]byte("Tester")}}
+	want, wantRevealed, err := c.Join("Teams", "Employees", selA, selB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := c.SubmitJoinQuery("Teams", "Employees", selA, selB, client.JoinOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID == "" {
+		t.Fatal("submit ack carries no job ID")
+	}
+	switch info.State {
+	case wire.JobQueued, wire.JobRunning, wire.JobDone:
+	default:
+		t.Fatalf("submit ack state = %q", info.State)
+	}
+
+	got, gotRevealed, err := c.WaitJob(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, got, want, gotRevealed, wantRevealed)
+
+	st, err := c.JobStatus(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != wire.JobDone {
+		t.Fatalf("job state after wait = %q, want done", st.State)
+	}
+	if st.ResultRows != len(want) || st.RevealedPairs != wantRevealed {
+		t.Fatalf("status reports %d rows / %d pairs, want %d / %d",
+			st.ResultRows, st.RevealedPairs, len(want), wantRevealed)
+	}
+	if st.RowsDecrypted == 0 || st.StepsDone == 0 {
+		t.Fatalf("no progress recorded: %d rows decrypted, %d steps", st.RowsDecrypted, st.StepsDone)
+	}
+
+	// A completed job can be re-attached any number of times.
+	again, againRevealed, err := c.WaitJob(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, again, want, againRevealed, wantRevealed)
+
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.JobsStored == 0 {
+		t.Fatal("health reports no stored jobs after a completed job")
+	}
+}
+
+// TestJobStatusUnknownJob: an ID that was never submitted answers the
+// typed unknown-job error on both the poll and the attach path.
+func TestJobStatusUnknownJob(t *testing.T) {
+	addr := startServer(t)
+	c := dial(t, addr)
+	if _, err := c.JobStatus("deadbeefdeadbeef"); !errors.Is(err, client.ErrUnknownJob) {
+		t.Fatalf("status of unknown job: %v, want client.ErrUnknownJob", err)
+	}
+	if _, _, err := c.WaitJob("deadbeefdeadbeef"); !errors.Is(err, client.ErrUnknownJob) {
+		t.Fatalf("wait on unknown job: %v, want client.ErrUnknownJob", err)
+	}
+}
+
+// TestJobAttachAfterDisconnect is the detachment proof: the submitting
+// connection closes right after the submit ack, and a brand-new
+// connection (same key file) attaches and drains the full result.
+func TestJobAttachAfterDisconnect(t *testing.T) {
+	addr := startServer(t)
+	c1, err := client.Dial(addr, securejoin.Params{M: 1, T: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := c1.Keys()
+	uploadIndexedTestTables(t, c1)
+
+	selA := securejoin.Selection{0: [][]byte{[]byte("Web Application")}}
+	selB := securejoin.Selection{0: [][]byte{[]byte("Tester")}}
+	want, wantRevealed, err := c1.Join("Teams", "Employees", selA, selB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := c1.SubmitJoinQuery("Teams", "Employees", selA, selB, client.JoinOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hang up while the job is (at best) just starting; the job must
+	// keep executing without its submitter.
+	c1.Close()
+
+	c2, err := client.DialWithKeys(addr, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c2.Close() })
+	got, gotRevealed, err := c2.WaitJob(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, got, want, gotRevealed, wantRevealed)
+}
+
+// TestJobSurvivesRestart is the durability proof: a completed job's
+// spooled result is recovered by a brand-new server process on the same
+// data dir, and a fresh connection attaches and receives the identical
+// rows, payload bytes and sigma.
+func TestJobSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv1, addr1 := startDurableServer(t, dir)
+	c1, err := client.Dial(addr1, securejoin.Params{M: 1, T: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := c1.Keys()
+	uploadIndexedTestTables(t, c1)
+
+	selA := securejoin.Selection{0: [][]byte{[]byte("Web Application")}}
+	selB := securejoin.Selection{0: [][]byte{[]byte("Tester")}}
+	info, err := c1.SubmitJoinQuery("Teams", "Employees", selA, selB, client.JoinOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Draining the job proves it reached done — and done implies the
+	// result was spooled durably first (spool-before-done invariant).
+	want, wantRevealed, err := c1.WaitJob(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restart: nothing carried over but the directory.
+	srv2, addr2 := startDurableServer(t, dir)
+	c2, err := client.DialWithKeys(addr2, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c2.Close() })
+
+	st, err := c2.JobStatus(info.ID)
+	if err != nil {
+		t.Fatalf("status after restart: %v", err)
+	}
+	if st.State != wire.JobDone {
+		t.Fatalf("recovered job state = %q, want done", st.State)
+	}
+	got, gotRevealed, err := c2.WaitJob(info.ID)
+	if err != nil {
+		t.Fatalf("attach after restart: %v", err)
+	}
+	sameResults(t, got, want, gotRevealed, wantRevealed)
+
+	// Queued/running jobs do not survive: an ID the new process never
+	// recovered answers the typed unknown-job error (resubmit signal).
+	if _, err := c2.JobStatus("0123456789abcdef"); !errors.Is(err, client.ErrUnknownJob) {
+		t.Fatalf("unrecovered job: %v, want client.ErrUnknownJob", err)
+	}
+	_ = srv2
+}
+
+// TestSubmitShedsWhenQueueFull pins the composition with admission
+// control: one worker, a rendezvous queue (depth 0), a long job holding
+// the worker — every submit AND every sync join meanwhile sheds typed
+// and retryable, nothing queues, and a retried submit lands once the
+// worker frees up.
+func TestSubmitShedsWhenQueueFull(t *testing.T) {
+	srv := New(nil)
+	srv.SetJobWorkers(1)
+	srv.SetJobQueueDepth(0)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c := dial(t, addr)
+	uploadPair(t, c, 12)
+
+	// Job A occupies the only worker for its ~24 pairings of work.
+	infoA, err := c.SubmitJoinQuery("L", "R", securejoin.Selection{}, securejoin.Selection{}, client.JoinOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "job A to start running", func() bool {
+		st, err := c.JobStatus(infoA.ID)
+		return err == nil && st.State != wire.JobQueued
+	})
+
+	// With the worker busy and nowhere to queue, both kinds of join
+	// work shed immediately.
+	if _, err := c.SubmitJoinQuery("L", "R", securejoin.Selection{}, securejoin.Selection{}, client.JoinOpts{}); !errors.Is(err, client.ErrOverloaded) {
+		t.Fatalf("submit while worker busy: %v, want client.ErrOverloaded", err)
+	}
+	if _, _, err := c.Join("L", "R", securejoin.Selection{}, securejoin.Selection{}); !errors.Is(err, client.ErrOverloaded) {
+		t.Fatalf("sync join while worker busy: %v, want client.ErrOverloaded", err)
+	}
+	if srv.met.ShedTotal.Value() < 2 {
+		t.Fatalf("shed counter = %d, want >= 2", srv.met.ShedTotal.Value())
+	}
+
+	// A shed submit created no job and is safe to retry verbatim; the
+	// backoff outlasts job A and the resubmission is accepted.
+	var infoC *client.JobInfo
+	err = client.WithRetry(client.RetryConfig{Attempts: 40, Base: 100 * time.Millisecond}, func() error {
+		var rerr error
+		infoC, rerr = c.SubmitJoinQuery("L", "R", securejoin.Selection{}, securejoin.Selection{}, client.JoinOpts{})
+		return rerr
+	})
+	if err != nil {
+		t.Fatalf("retried submit: %v", err)
+	}
+	rows, _, err := c.WaitJob(infoC.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("retried job returned %d rows, want 12", len(rows))
+	}
+	if _, _, err := c.WaitJob(infoA.ID); err != nil {
+		t.Fatalf("job A: %v", err)
+	}
+}
+
+// TestJobReaperExpires: a finished job past its TTL disappears — the
+// poll answers unknown-job and the memory entry is gone.
+func TestJobReaperExpires(t *testing.T) {
+	srv := New(nil)
+	srv.SetJobTTL(50 * time.Millisecond) // reaper ticks at the 1s floor
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c := dial(t, addr)
+	uploadPair(t, c, 2)
+
+	info, err := c.SubmitJoinQuery("L", "R", securejoin.Selection{}, securejoin.Selection{}, client.JoinOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.WaitJob(info.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "job to be reaped", func() bool {
+		_, err := c.JobStatus(info.ID)
+		return errors.Is(err, client.ErrUnknownJob)
+	})
+	if got := srv.met.JobsReaped.Value(); got == 0 {
+		t.Fatalf("reaped counter = %d, want > 0", got)
+	}
+}

@@ -33,6 +33,16 @@ type serverMetrics struct {
 	InflightJoins *metrics.Gauge
 	ShedTotal     *metrics.Counter
 	IdleClosed    *metrics.Counter
+
+	// Async job subsystem (see jobs.go): queue depth of the shared join
+	// worker pool, job state counters, and submit-to-completion latency.
+	JoinQueueDepth *metrics.Gauge
+	JobsSubmitted  *metrics.Counter
+	JobsRunning    *metrics.Gauge
+	JobsCompleted  *metrics.Counter
+	JobsFailed     *metrics.Counter
+	JobsReaped     *metrics.Counter
+	JobSeconds     *metrics.Histogram
 }
 
 func newServerMetrics(reg *metrics.Registry) serverMetrics {
@@ -46,6 +56,14 @@ func newServerMetrics(reg *metrics.Registry) serverMetrics {
 		InflightJoins: metrics.NewGauge(reg, "sj_server_joins_inflight", "joins currently admitted and executing"),
 		ShedTotal:     metrics.NewCounter(reg, "sj_server_shed_total", "requests rejected by admission control"),
 		IdleClosed:    metrics.NewCounter(reg, "sj_server_idle_closed_total", "connections closed by the idle timeout"),
+
+		JoinQueueDepth: metrics.NewGauge(reg, "sj_server_join_queue_depth", "join tasks (sync and async) waiting in the worker pool queue"),
+		JobsSubmitted:  metrics.NewCounter(reg, "sj_server_jobs_submitted_total", "async jobs accepted by Submit"),
+		JobsRunning:    metrics.NewGauge(reg, "sj_server_jobs_running", "async jobs currently executing on the worker pool"),
+		JobsCompleted:  metrics.NewCounter(reg, "sj_server_jobs_completed_total", "async jobs finished successfully"),
+		JobsFailed:     metrics.NewCounter(reg, "sj_server_jobs_failed_total", "async jobs terminated with an error"),
+		JobsReaped:     metrics.NewCounter(reg, "sj_server_jobs_reaped_total", "finished jobs deleted by the TTL reaper"),
+		JobSeconds:     metrics.NewHistogram(reg, "sj_server_job_seconds", "async job submit-to-completion wall time", nil),
 	}
 }
 
@@ -159,6 +177,7 @@ func (s *Server) health() *wire.HealthInfo {
 	for _, v := range s.eng.LeakageCounters() {
 		leaked += v
 	}
+	queued, running, stored := s.jobGauges()
 	return &wire.HealthInfo{
 		Ready:         ready,
 		Tables:        len(s.eng.TableStats()),
@@ -167,5 +186,8 @@ func (s *Server) health() *wire.HealthInfo {
 		ShedTotal:     s.met.ShedTotal.Value(),
 		RevealedPairs: leaked,
 		UptimeSeconds: time.Since(s.started).Seconds(),
+		JobsQueued:    queued,
+		JobsRunning:   running,
+		JobsStored:    stored,
 	}
 }

@@ -61,13 +61,24 @@ type Server struct {
 	// them, leaving the older one as the durable tail.
 	countersMu sync.Mutex
 
+	// Async job subsystem (see jobs.go): the job table, the bounded
+	// worker pool executing ALL join work (sync and submitted), and its
+	// FIFO task queue. Pool sizing is configured before Serve.
+	jobMu         sync.Mutex
+	jobs          map[string]*job
+	jobWorkers    int
+	jobQueueDepth int
+	jobTTL        time.Duration
+	taskQueue     chan joinTask
+	poolOnce      sync.Once
+
 	done      chan struct{}
 	closeOnce sync.Once
 	ln        net.Listener
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
-	wg     sync.WaitGroup // accept loop + live connections
+	wg     sync.WaitGroup // accept loop + live connections + join workers
 }
 
 // New returns a server with an empty in-memory table store. logger may
@@ -93,6 +104,9 @@ func NewWithStore(logger *log.Logger, st *store.Store) *Server {
 		met:             newServerMetrics(reg),
 		started:         time.Now(),
 		maxJoinsPerConn: maxInFlight,
+		jobQueueDepth:   defaultJobQueueDepth,
+		jobTTL:          defaultJobTTL,
+		jobs:            make(map[string]*job),
 		done:            make(chan struct{}),
 		conns:           make(map[net.Conn]struct{}),
 	}
@@ -110,6 +124,7 @@ func NewWithStore(logger *log.Logger, st *store.Store) *Server {
 		}
 		s.eng.SeedLeakageCounters(st.Counters())
 		s.eng.SetStore(st)
+		s.recoverJobs(st)
 		s.logf("store %s: %d tables recovered, %d damaged", st.Dir(), len(tables), len(st.Damaged()))
 	}
 	return s
@@ -148,8 +163,11 @@ func (s *Server) Listen(addr string) (string, error) {
 }
 
 // Serve starts accepting on a caller-provided listener; it returns
-// immediately, serving on background goroutines until Close.
+// immediately, serving on background goroutines until Close. The first
+// call also starts the join worker pool and the job TTL reaper, so the
+// pool-sizing setters must run before it.
 func (s *Server) Serve(ln net.Listener) {
+	s.startJobPool()
 	s.ln = ln
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -189,7 +207,32 @@ func (s *Server) Close() error {
 			}
 			s.connMu.Unlock()
 		})
+		// The workers exit on done without draining the queue, but a
+		// session may be blocked in reqs.Wait on a queued sync join (and
+		// job waiters on queued jobs) — drain and abort those tasks until
+		// every connection and worker has finished.
+		var drainStop chan struct{}
+		if s.taskQueue != nil {
+			drainStop = make(chan struct{})
+			go s.drainTasks(drainStop)
+		}
 		s.wg.Wait()
+		if drainStop != nil {
+			close(drainStop)
+			// Abort whatever is still queued (only detached jobs can
+			// remain: a queued sync join implies a live session, and those
+			// all finished above) so their waiters' channels close and
+			// their failure reaches the store before it does.
+		drain:
+			for {
+				select {
+				case t := <-s.taskQueue:
+					s.abortTask(t)
+				default:
+					break drain
+				}
+			}
+		}
 		force.Stop()
 		// With no request left in flight the manifest is quiescent;
 		// release it so a successor process can recover the directory.
@@ -277,6 +320,12 @@ type session struct {
 	sem     chan struct{}
 	gate    joinGate // per-connection join admission (see observe.go)
 
+	// closed is closed when the connection's read loop exits — the
+	// client is gone — so blocking handlers (AttachJob waiting on a
+	// running job) stop waiting for someone who will never read the
+	// answer.
+	closed chan struct{}
+
 	// staging is touched only by the connection's read loop (uploads
 	// run inline there for ordering), so it needs no lock.
 	staging map[string][]*engine.EncryptedRow
@@ -352,6 +401,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		srv:     s,
 		conn:    wc,
 		sem:     make(chan struct{}, maxInFlight),
+		closed:  make(chan struct{}),
 		staging: make(map[string][]*engine.EncryptedRow),
 		cancels: make(map[uint64]chan struct{}),
 	}
@@ -367,7 +417,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		var req wire.Request
 		if err := wc.Recv(&req); err != nil {
 			if idle > 0 && errors.Is(err, os.ErrDeadlineExceeded) {
-				if len(ss.sem) > 0 {
+				// In-flight work lives either in a request slot or — for
+				// joins, which execute on the worker pool — in the
+				// connection's join gate; either one means not idle.
+				if len(ss.sem) > 0 || ss.gate.joins.Load() > 0 {
 					continue
 				}
 				// Typed close notice (ID 0 = connection-level, see wire)
@@ -406,27 +459,37 @@ func (s *Server) serveConn(conn net.Conn) {
 			continue
 		}
 		if req.Join != nil {
-			// Admission control runs on the read loop, before the
-			// blocking per-connection semaphore: a shed response must
-			// never queue behind the very load it is reporting.
+			// Admission control runs on the read loop, so a shed response
+			// never queues behind the very load it is reporting. An
+			// admitted join is handed to the worker pool's FIFO queue
+			// rather than its own goroutine; a full queue sheds exactly
+			// like an exhausted semaphore.
 			if !ss.admitJoin(req.ID) {
 				continue
 			}
 			ss.registerCancel(req.ID)
+			ss.reqs.Add(1)
+			if !s.enqueueJoin(joinTask{ss: ss, id: req.ID, jr: req.Join}) {
+				ss.clearCancel(req.ID)
+				ss.releaseJoin()
+				ss.reqs.Done()
+				s.shed(ss, req.ID, "join queue full")
+			}
+			continue
 		}
 		ss.sem <- struct{}{}
 		ss.reqs.Add(1)
 		go func(req wire.Request) {
 			defer func() {
-				if req.Join != nil {
-					ss.releaseJoin()
-				}
 				<-ss.sem
 				ss.reqs.Done()
 			}()
 			ss.handle(&req)
 		}(req)
 	}
+	// Unblock handlers waiting on behalf of this client (job attaches):
+	// the peer is gone, so there is no one left to stream to.
+	close(ss.closed)
 	// The read loop is the only producer of staged upload chunks, so
 	// once it exits no Commit can arrive: drop any half-finished
 	// sequence now instead of pinning its rows while pipelined joins
@@ -438,15 +501,22 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 // handle dispatches the request kinds that run on their own goroutine
-// (uploads and cancels are handled on the read loop, see serveConn).
+// (uploads and cancels are handled on the read loop, and joins on the
+// worker pool — see serveConn).
 func (ss *session) handle(req *wire.Request) {
 	var err error
 	started := time.Now()
 	kind := ""
 	switch {
-	case req.Join != nil:
-		kind = "join"
-		err = ss.handleJoin(req.ID, req.Join)
+	case req.Submit != nil:
+		kind = "submit"
+		err = ss.handleSubmit(req.ID, req.Submit)
+	case req.JobStatus != "":
+		kind = "jobstatus"
+		err = ss.handleJobStatus(req.ID, req.JobStatus)
+	case req.Attach != "":
+		kind = "attach"
+		err = ss.handleAttach(req.ID, req.Attach)
 	case req.Describe:
 		kind = "describe"
 		err = ss.handleDescribe(req.ID)
@@ -545,37 +615,72 @@ func (ss *session) handleUpload(id uint64, up *wire.UploadRequest) error {
 	return ss.send(&wire.Frame{ID: id, Ok: true})
 }
 
-func (ss *session) handleJoin(id uint64, jr *wire.JoinRequest) error {
-	defer ss.clearCancel(id)
+// joinSpecFrom parses a wire join request — tokens and optional SSE
+// prefilters — into the engine spec it describes. Shared by the sync
+// join path and the async job executor (which also validates submits
+// with it, so malformed tokens fail at submit time).
+func (s *Server) joinSpecFrom(jr *wire.JoinRequest) (engine.JoinSpec, error) {
 	var ta, tb securejoin.Token
 	if err := ta.UnmarshalBinary(jr.TokenA); err != nil {
-		return ss.sendErr(id, fmt.Errorf("token A: %w", err))
+		return engine.JoinSpec{}, fmt.Errorf("token A: %w", err)
 	}
 	if err := tb.UnmarshalBinary(jr.TokenB); err != nil {
-		return ss.sendErr(id, fmt.Errorf("token B: %w", err))
+		return engine.JoinSpec{}, fmt.Errorf("token B: %w", err)
 	}
 	q := &securejoin.Query{TokenA: &ta, TokenB: &tb}
 
-	spec := engine.JoinSpec{Query: q, Batch: ss.srv.batch, Workers: clampWorkers(jr.Workers)}
+	spec := engine.JoinSpec{Query: q, Batch: s.batch, Workers: clampWorkers(jr.Workers)}
 	if len(jr.PrefilterA) > 0 || len(jr.PrefilterB) > 0 {
 		pf := &engine.PrefilterQuery{Join: q}
 		if len(jr.PrefilterA) > 0 {
 			toks, err := sse.UnmarshalTokenMap(jr.PrefilterA)
 			if err != nil {
-				return ss.sendErr(id, fmt.Errorf("prefilter A: %w", err))
+				return engine.JoinSpec{}, fmt.Errorf("prefilter A: %w", err)
 			}
 			pf.TokensA = toks
 		}
 		if len(jr.PrefilterB) > 0 {
 			toks, err := sse.UnmarshalTokenMap(jr.PrefilterB)
 			if err != nil {
-				return ss.sendErr(id, fmt.Errorf("prefilter B: %w", err))
+				return engine.JoinSpec{}, fmt.Errorf("prefilter B: %w", err)
 			}
 			pf.TokensB = toks
 		}
 		spec.Prefilter = pf
 	}
+	return spec, nil
+}
 
+// sendRowBatches streams joined rows to the client re-split into frames
+// bounded by both the configured row count and a byte budget: the
+// engine's batch bounds probe-side rows, but duplicate join keys can
+// multiply the output (skewed keys turn 2 probe rows into thousands of
+// matches), and sealed payloads can be large. Shared by the sync join
+// path and job attachment.
+func (ss *session) sendRowBatches(id uint64, rows []wire.JoinedRow) (int, error) {
+	sent := 0
+	for len(rows) > 0 {
+		n, bytes := 0, 0
+		for n < len(rows) && (n == 0 || (n < ss.srv.batch && bytes < wire.FrameByteBudget)) {
+			bytes += len(rows[n].PayloadA) + len(rows[n].PayloadB) + 64
+			n++
+		}
+		ss.srv.met.BatchBytes.Add(uint64(bytes))
+		if err := ss.send(&wire.Frame{ID: id, Batch: &wire.JoinBatch{Rows: rows[:n:n]}}); err != nil {
+			return sent, err
+		}
+		sent += n
+		rows = rows[n:]
+	}
+	return sent, nil
+}
+
+func (ss *session) handleJoin(id uint64, jr *wire.JoinRequest) error {
+	defer ss.clearCancel(id)
+	spec, err := ss.srv.joinSpecFrom(jr)
+	if err != nil {
+		return ss.sendErr(id, err)
+	}
 	stream, err := ss.srv.eng.OpenJoin(jr.TableA, jr.TableB, spec)
 	if err != nil {
 		return ss.sendErr(id, err)
@@ -602,34 +707,21 @@ func (ss *session) handleJoin(id uint64, jr *wire.JoinRequest) error {
 		if err != nil {
 			return ss.sendErr(id, err)
 		}
-		// Re-split what the engine produced: its batch bounds probe-side
-		// rows, but duplicate join keys can multiply the output (skewed
-		// keys turn 2 probe rows into thousands of matches), and sealed
-		// payloads can be large — so frames are bounded by both the
-		// configured row count and a byte budget.
-		for len(rows) > 0 {
-			n, bytes := 0, 0
-			for n < len(rows) && (n == 0 || (n < ss.srv.batch && bytes < wire.FrameByteBudget)) {
-				bytes += len(rows[n].PayloadA) + len(rows[n].PayloadB) + 64
-				n++
+		out := make([]wire.JoinedRow, len(rows))
+		for i, r := range rows {
+			out[i] = wire.JoinedRow{
+				RowA: r.RowA, RowB: r.RowB,
+				PayloadA: r.PayloadA, PayloadB: r.PayloadB,
 			}
-			batch := &wire.JoinBatch{Rows: make([]wire.JoinedRow, n)}
-			for i, r := range rows[:n] {
-				batch.Rows[i] = wire.JoinedRow{
-					RowA: r.RowA, RowB: r.RowB,
-					PayloadA: r.PayloadA, PayloadB: r.PayloadB,
-				}
-			}
-			sent += n
-			ss.srv.met.BatchBytes.Add(uint64(bytes))
-			if err := ss.send(&wire.Frame{ID: id, Batch: batch}); err != nil {
-				// Best effort: if the conn is still alive (e.g. a
-				// single row overflowed the frame limit) the client
-				// must still get a terminal frame.
-				ss.sendErr(id, fmt.Errorf("streaming result: %v", err))
-				return err
-			}
-			rows = rows[n:]
+		}
+		n, err := ss.sendRowBatches(id, out)
+		sent += n
+		if err != nil {
+			// Best effort: if the conn is still alive (e.g. a single row
+			// overflowed the frame limit) the client must still get a
+			// terminal frame.
+			ss.sendErr(id, fmt.Errorf("streaming result: %v", err))
+			return err
 		}
 	}
 	revealed := stream.RevealedPairs()

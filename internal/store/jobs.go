@@ -1,0 +1,231 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// This file persists completed async-job results, the spool behind the
+// wire server's SubmitJob/AttachJob: a join submitted as a job must
+// survive both client disconnect and server restart, so its finished
+// result is committed here before the job is marked done.
+//
+// Layout and protocol mirror table snapshots exactly: the result rows
+// are gob-encoded to <dir>/jobs/<seq>.spool (temp write, fsync, atomic
+// rename, directory sync), then an opJob manifest record referencing
+// the spool by name and SHA-256 digest is appended and fsynced. A job
+// is durable exactly when its record is; a crash in between leaves an
+// orphan spool the next Open sweeps. Failed jobs carry no spool — only
+// the opJob record with its error message — so a resubmit decision
+// survives restarts too. Reaping (TTL expiry) appends opJobDelete and
+// unlinks the spool.
+//
+// Spooled rows hold only what the server already stores: row indices
+// and sealed payload blobs. Nothing about the plaintext result leaks
+// into the data directory beyond the sigma(q) cardinality the server
+// observed anyway.
+
+// JobRow is one joined result row as spooled to disk: the row indices
+// of the two operands and their sealed payloads, exactly what the wire
+// layer streams to an attached client.
+type JobRow struct {
+	RowA, RowB         int
+	PayloadA, PayloadB []byte
+}
+
+// JobMeta describes one completed job: identity, operands, result
+// cardinality, leakage, and — for failed jobs — the error message.
+type JobMeta struct {
+	ID             string
+	TableA, TableB string
+	// Rows is the number of spooled result rows (0 for failed jobs).
+	Rows int
+	// RevealedPairs is the job's sigma(q), reported on attach summaries.
+	RevealedPairs int
+	// Err is non-empty when the job failed; a failed job has no spool.
+	Err string
+	// FinishedUnix is the completion time (Unix seconds), the clock the
+	// TTL reaper runs against.
+	FinishedUnix int64
+}
+
+// jobEntry is the live manifest state of one job.
+type jobEntry struct {
+	snapshot string // spool file under jobs/, empty for failed jobs
+	digest   []byte
+	meta     JobMeta
+}
+
+// jobRecord builds the manifest record image of a job entry, shared by
+// CommitJob and Compact.
+func jobRecord(seq uint64, je jobEntry) *record {
+	return &record{
+		Seq: seq, Op: opJob,
+		Job:      je.meta.ID,
+		JobA:     je.meta.TableA,
+		JobB:     je.meta.TableB,
+		Snapshot: je.snapshot,
+		Digest:   je.digest,
+		Rows:     je.meta.Rows,
+		Pairs:    je.meta.RevealedPairs,
+		JobErr:   je.meta.Err,
+		Finished: je.meta.FinishedUnix,
+	}
+}
+
+// jobSpool is the gob image of one spool file.
+type jobSpool struct {
+	Rows []JobRow
+}
+
+// CommitJob makes one completed job durable: the result rows are
+// spooled (failed jobs, meta.Err non-empty, spool nothing) and the job
+// record is appended, all before returning. Committing an ID again
+// replaces the previous result, like a table re-commit.
+func (s *Store) CommitJob(meta JobMeta, rows []JobRow) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usable(); err != nil {
+		return err
+	}
+	if meta.ID == "" {
+		return fmt.Errorf("store: job commit without an ID")
+	}
+	meta.Rows = len(rows)
+	seq := s.seq + 1
+	je := jobEntry{meta: meta}
+	if meta.Err == "" {
+		spool := fmt.Sprintf("%016x.spool", seq)
+		tmp := filepath.Join(s.dir, jobsDir, tmpPrefix+spool)
+		final := filepath.Join(s.dir, jobsDir, spool)
+		digest, n, err := writeJobSpool(tmp, rows)
+		if err != nil {
+			return err
+		}
+		s.snapshotBytes.Add(uint64(n))
+		if err := os.Rename(tmp, final); err != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("store: installing job spool: %w", err)
+		}
+		if err := syncDir(filepath.Join(s.dir, jobsDir)); err != nil {
+			os.Remove(final)
+			return err
+		}
+		je.snapshot = spool
+		je.digest = digest
+	}
+	if err := s.append(jobRecord(seq, je)); err != nil {
+		// Keep the spool for the same reason Commit keeps its snapshot: a
+		// failed append does not prove the record missed the disk, and if
+		// it landed, the next recovery must find this file. An orphan is
+		// reclaimed by the sweep instead.
+		return err
+	}
+	s.seq = seq
+	if old, ok := s.jobs[meta.ID]; ok && old.snapshot != "" && old.snapshot != je.snapshot {
+		os.Remove(filepath.Join(s.dir, jobsDir, old.snapshot))
+	}
+	s.jobs[meta.ID] = je
+	return nil
+}
+
+// Jobs returns the metadata of every durable job, sorted by ID.
+func (s *Store) Jobs() []JobMeta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobMeta, 0, len(s.jobs))
+	for _, id := range sortedKeys(s.jobs) {
+		out = append(out, s.jobs[id].meta)
+	}
+	return out
+}
+
+// ReadJobRows loads and verifies one job's spooled result rows. The
+// spool is digest-checked on every read — it is consulted lazily, long
+// after Open, so verification cannot be front-loaded into recovery. A
+// failed job yields its recorded error.
+func (s *Store) ReadJobRows(id string) ([]JobRow, error) {
+	s.mu.Lock()
+	je, ok := s.jobs[id]
+	dir := s.dir
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("store: unknown job %q", id)
+	}
+	if je.meta.Err != "" {
+		return nil, fmt.Errorf("store: job %q failed: %s", id, je.meta.Err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, jobsDir, je.snapshot))
+	if err != nil {
+		return nil, fmt.Errorf("store: reading job spool: %w", err)
+	}
+	if sum := sha256.Sum256(data); !bytes.Equal(sum[:], je.digest) {
+		return nil, fmt.Errorf("store: job %q spool checksum mismatch", id)
+	}
+	var sp jobSpool
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&sp); err != nil {
+		return nil, fmt.Errorf("store: decoding job spool: %w", err)
+	}
+	if len(sp.Rows) != je.meta.Rows {
+		return nil, fmt.Errorf("store: job %q spool holds %d rows, record says %d", id, len(sp.Rows), je.meta.Rows)
+	}
+	return sp.Rows, nil
+}
+
+// DeleteJob durably removes a job (the reaper's primitive): the
+// deletion record is fsynced before the spool is unlinked, so a crash
+// in between leaves only an orphan file for the next Open's sweep.
+func (s *Store) DeleteJob(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usable(); err != nil {
+		return err
+	}
+	je, ok := s.jobs[id]
+	if !ok {
+		return fmt.Errorf("store: unknown job %q", id)
+	}
+	seq := s.seq + 1
+	if err := s.append(&record{Seq: seq, Op: opJobDelete, Job: id}); err != nil {
+		return err
+	}
+	s.seq = seq
+	if je.snapshot != "" {
+		os.Remove(filepath.Join(s.dir, jobsDir, je.snapshot))
+	}
+	delete(s.jobs, id)
+	return nil
+}
+
+// writeJobSpool serializes result rows to path, fsyncs, and returns the
+// SHA-256 and byte count of the written encoding (computed during the
+// write, never read back) — the job-spool twin of writeSnapshot.
+func writeJobSpool(path string, rows []JobRow) ([]byte, int64, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: creating job spool: %w", err)
+	}
+	h := sha256.New()
+	var cw countingWriter
+	w := io.MultiWriter(f, h, &cw)
+	if err := gob.NewEncoder(w).Encode(&jobSpool{Rows: rows}); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, 0, fmt.Errorf("store: writing job spool: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, 0, fmt.Errorf("store: syncing job spool: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return nil, 0, fmt.Errorf("store: closing job spool: %w", err)
+	}
+	return h.Sum(nil), cw.n, nil
+}

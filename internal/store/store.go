@@ -67,6 +67,7 @@ const (
 	// MANIFEST is still authoritative until the atomic rename).
 	compactName = "MANIFEST.compact"
 	tablesDir   = "tables"
+	jobsDir     = "jobs"
 	tmpPrefix   = ".tmp-"
 
 	// maxRecordSize bounds one manifest record so a corrupt length
@@ -92,23 +93,35 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Record operations. Values are part of the on-disk format.
 const (
-	opCommit   uint8 = 1 // table version committed
-	opDelete   uint8 = 2 // table deleted
-	opCounters uint8 = 3 // per-table leakage counters checkpoint
+	opCommit    uint8 = 1 // table version committed
+	opDelete    uint8 = 2 // table deleted
+	opCounters  uint8 = 3 // per-table leakage counters checkpoint
+	opJob       uint8 = 4 // completed async job result committed
+	opJobDelete uint8 = 5 // job result reaped
 )
 
 // record is the gob image of one manifest entry. Every record is
 // encoded with a fresh encoder so each is self-contained and replay can
 // stop at any boundary.
+// The Job* fields (gob-additive: absent in manifests written by older
+// versions) describe one completed async job: Snapshot/Digest/Rows are
+// reused for the job's spool file under jobs/ (Snapshot empty for a
+// failed job, which has no result rows to spool).
 type record struct {
 	Seq      uint64
 	Op       uint8
 	Table    string            // opCommit, opDelete
-	Snapshot string            // opCommit: file name under tables/
-	Digest   []byte            // opCommit: SHA-256 of the snapshot file
-	Rows     int               // opCommit
+	Snapshot string            // opCommit: file name under tables/; opJob: under jobs/
+	Digest   []byte            // opCommit, opJob: SHA-256 of the snapshot/spool file
+	Rows     int               // opCommit, opJob
 	Indexed  bool              // opCommit
 	Counters map[string]uint64 // opCounters: last record wins
+	Job      string            // opJob, opJobDelete: job ID
+	JobA     string            // opJob: join operand tables
+	JobB     string            // opJob
+	JobErr   string            // opJob: failure message of a failed job
+	Pairs    int               // opJob: sigma(q) of the completed join
+	Finished int64             // opJob: completion time, Unix seconds
 }
 
 // Damage describes one table (or manifest region) Open found broken and
@@ -148,6 +161,7 @@ type Store struct {
 	records  int
 	entries  map[string]entry
 	tables   map[string]*engine.EncryptedTable
+	jobs     map[string]jobEntry
 	counters map[string]uint64
 	damaged  []Damage
 	// appendErr is sticky: once an append fails mid-write the manifest
@@ -180,6 +194,9 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(filepath.Join(dir, tablesDir), 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating layout: %w", err)
 	}
+	if err := os.MkdirAll(filepath.Join(dir, jobsDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating layout: %w", err)
+	}
 	mf, err := os.OpenFile(filepath.Join(dir, manifestName), os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: opening manifest: %w", err)
@@ -198,6 +215,7 @@ func Open(dir string) (*Store, error) {
 		manifest: mf,
 		entries:  make(map[string]entry),
 		tables:   make(map[string]*engine.EncryptedTable),
+		jobs:     make(map[string]jobEntry),
 		counters: make(map[string]uint64),
 	}
 	// A leftover compaction staging file means a compaction crashed
@@ -257,6 +275,22 @@ func (s *Store) replay() error {
 				counters[k] = v
 			}
 			s.counters = counters
+		case opJob:
+			s.jobs[rec.Job] = jobEntry{
+				snapshot: rec.Snapshot,
+				digest:   rec.Digest,
+				meta: JobMeta{
+					ID:            rec.Job,
+					TableA:        rec.JobA,
+					TableB:        rec.JobB,
+					Rows:          rec.Rows,
+					RevealedPairs: rec.Pairs,
+					Err:           rec.JobErr,
+					FinishedUnix:  rec.Finished,
+				},
+			}
+		case opJobDelete:
+			delete(s.jobs, rec.Job)
 		default:
 			// A record from a future format version: skip it rather than
 			// refusing to recover the tables this version understands.
@@ -343,9 +377,10 @@ func (s *Store) damage(name, snapshot, reason string) {
 	delete(s.entries, name)
 }
 
-// sweep removes crash litter from tables/: temp files of interrupted
-// writes and orphan snapshots whose commit record never became durable
-// (or whose table was since overwritten or deleted).
+// sweep removes crash litter from tables/ and jobs/: temp files of
+// interrupted writes and orphan snapshots/spools whose commit record
+// never became durable (or whose table/job was since overwritten,
+// deleted or reaped).
 func (s *Store) sweep() {
 	referenced := make(map[string]bool, len(s.entries)+len(s.damaged))
 	for _, e := range s.entries {
@@ -356,14 +391,27 @@ func (s *Store) sweep() {
 			referenced[d.Snapshot] = true
 		}
 	}
-	ents, err := os.ReadDir(filepath.Join(s.dir, tablesDir))
+	s.sweepDir(tablesDir, referenced)
+	jobRefs := make(map[string]bool, len(s.jobs))
+	for _, je := range s.jobs {
+		if je.snapshot != "" {
+			jobRefs[je.snapshot] = true
+		}
+	}
+	s.sweepDir(jobsDir, jobRefs)
+}
+
+// sweepDir removes every file under dir that is neither referenced nor
+// anything but temp-write litter. Best-effort cleanup.
+func (s *Store) sweepDir(dir string, referenced map[string]bool) {
+	ents, err := os.ReadDir(filepath.Join(s.dir, dir))
 	if err != nil {
-		return // sweep is best-effort cleanup
+		return
 	}
 	for _, de := range ents {
 		name := de.Name()
 		if strings.HasPrefix(name, tmpPrefix) || !referenced[name] {
-			os.Remove(filepath.Join(s.dir, tablesDir, name))
+			os.Remove(filepath.Join(s.dir, dir, name))
 		}
 	}
 }
@@ -624,6 +672,18 @@ func (s *Store) Compact() error {
 			Table: name, Snapshot: e.snapshot, Digest: e.digest,
 			Rows: len(s.tables[name].Rows), Indexed: s.tables[name].Index != nil,
 		})
+		if err != nil {
+			return abort(err)
+		}
+		if _, err := f.Write(b); err != nil {
+			return abort(fmt.Errorf("store: writing compacted manifest: %w", err))
+		}
+		records++
+	}
+	for _, id := range sortedKeys(s.jobs) {
+		je := s.jobs[id]
+		seq++
+		b, err := encodeRecord(jobRecord(seq, je))
 		if err != nil {
 			return abort(err)
 		}

@@ -72,13 +72,31 @@ type HelloAck struct {
 // planner needs to choose prefiltered plans in client mode. Like the
 // PR-2 prefilter fields it is gob-zero when absent, so old clients and
 // servers interoperate without a version bump.
+// Submit, JobStatus and Attach are the async job operations (all
+// gob-additive, like Describe): Submit enqueues a join on the server's
+// job queue and answers immediately with a JobInfo frame; JobStatus
+// polls a job by ID; Attach blocks until the job terminates and then
+// streams its result exactly like a synchronous join (Batch frames
+// followed by a Summary). Jobs are server-side state, so any later
+// connection may poll or attach.
 type Request struct {
-	ID       uint64
-	Upload   *UploadRequest
-	Join     *JoinRequest
-	Ping     bool
-	Cancel   uint64
-	Describe bool
+	ID        uint64
+	Upload    *UploadRequest
+	Join      *JoinRequest
+	Ping      bool
+	Cancel    uint64
+	Describe  bool
+	Submit    *SubmitRequest
+	JobStatus string
+	Attach    string
+}
+
+// SubmitRequest enqueues a join for asynchronous execution. The
+// embedded JoinRequest is exactly what a synchronous Join would carry;
+// the server validates it at submit time, runs it on the job worker
+// pool, and spools the completed result durably when it has a store.
+type SubmitRequest struct {
+	Join *JoinRequest
 }
 
 // UploadRequest stores an encrypted table under a name. A table larger
@@ -150,6 +168,8 @@ type JoinRequest struct {
 // any request (clients allocate request IDs from 1): the server sends
 // one, with a Code naming the reason, immediately before it closes the
 // connection on its own initiative (e.g. CodeIdleTimeout).
+// Job is the terminal answer to a Submit or JobStatus request
+// (gob-additive like Health).
 type Frame struct {
 	ID      uint64
 	Err     string
@@ -159,6 +179,7 @@ type Frame struct {
 	Tables  *TableList
 	Code    string
 	Health  *HealthInfo
+	Job     *JobInfo
 }
 
 // Frame codes. An empty Code carries no classification.
@@ -172,7 +193,44 @@ const (
 	// the connection sat idle — no in-flight requests, nothing arriving
 	// — longer than the server's idle timeout.
 	CodeIdleTimeout = "idle-timeout"
+	// CodeUnknownJob marks a JobStatus or Attach request naming a job ID
+	// the server does not hold: never submitted, already reaped by TTL,
+	// or lost to a restart before it completed (only completed jobs are
+	// spooled durably). Retrying will not help; resubmit instead.
+	CodeUnknownJob = "unknown-job"
 )
+
+// Job states reported in JobInfo.State. A job moves
+// queued → running → done|failed; completed states are terminal.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobInfo is a point-in-time snapshot of one async join job. Progress
+// fields (RowsDecrypted, StepsDone, RevealedPairs) tick while the job
+// runs; ResultRows and Err are set on termination. Timestamps are Unix
+// seconds, zero when the phase has not been reached.
+type JobInfo struct {
+	ID             string
+	State          string
+	TableA, TableB string
+	// RowsDecrypted counts rows run through SJ.Dec so far (build and
+	// probe sides); StepsDone counts completed pipeline steps (the build
+	// phase, then one per probe batch); RevealedPairs is sigma(q) so far.
+	RowsDecrypted int
+	StepsDone     int
+	RevealedPairs int
+	// ResultRows is the number of joined rows in the completed result.
+	ResultRows int
+	// Err is the failure message of a failed job.
+	Err          string
+	CreatedUnix  int64
+	StartedUnix  int64
+	FinishedUnix int64
+}
 
 // HealthInfo reports server readiness and key gauges on a Ping ack —
 // the liveness/readiness probe of the protocol. Servers predating the
@@ -195,6 +253,13 @@ type HealthInfo struct {
 	RevealedPairs uint64
 	// UptimeSeconds is the time since the server started serving.
 	UptimeSeconds float64
+	// JobsQueued is the number of join tasks waiting in the job queue;
+	// JobsRunning the number executing on the worker pool; JobsStored
+	// the number of jobs held in the job table (any state, including
+	// spooled completed results awaiting TTL reaping).
+	JobsQueued  int
+	JobsRunning int
+	JobsStored  int
 }
 
 // Terminal reports whether this frame ends its request's response
