@@ -9,6 +9,7 @@
 //	sjbench -fig prefilter    # full-scan vs SSE-prefiltered vs parallel, over the wire
 //	sjbench -fig multijoin    # 2-way vs 3-way, statistics-ordered vs naive join order
 //	sjbench -fig decrypt      # SJ.Dec ablation: naive vs precomputed vs decrypt-cache cold/warm
+//	sjbench -fig shard        # scatter-gather: the same join sharded over 1, 2, 4 servers
 //	sjbench -fig all
 //
 // The pure-Go pairing is slower than the authors' C library, so by
@@ -36,12 +37,12 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, comparison, concurrent, prefilter, multijoin, decrypt, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, comparison, concurrent, prefilter, multijoin, decrypt, shard, all")
 	scaleDiv := flag.Float64("scalediv", 100, "divide the paper's TPC-H scale factors by this factor")
 	reps := flag.Int("reps", 3, "repetitions per Figure 2 measurement")
 	seed := flag.Int64("seed", 42, "dataset generator seed")
-	rows := flag.Int("rows", 200, "rows per table for -fig prefilter, multijoin and decrypt")
-	out := flag.String("out", ".", "directory for the BENCH_*.json reports of -fig prefilter, multijoin and decrypt")
+	rows := flag.Int("rows", 200, "rows per table for -fig prefilter, multijoin, decrypt and shard")
+	out := flag.String("out", ".", "directory for the BENCH_*.json reports of -fig prefilter, multijoin, decrypt and shard")
 	flag.Parse()
 
 	var err error
@@ -62,6 +63,8 @@ func main() {
 		err = multijoin(*rows, *out)
 	case "decrypt":
 		err = decryptAblation(*rows, *out)
+	case "shard":
+		err = shardAblation(*rows, *out)
 	case "all":
 		if err = fig2(*reps); err == nil {
 			if err = fig3(*scaleDiv, *seed); err == nil {
@@ -70,7 +73,9 @@ func main() {
 						if err = concurrent(); err == nil {
 							if err = prefilterWire(*rows, *out); err == nil {
 								if err = multijoin(*rows, *out); err == nil {
-									err = decryptAblation(*rows, *out)
+									if err = decryptAblation(*rows, *out); err == nil {
+										err = shardAblation(*rows, *out)
+									}
 								}
 							}
 						}
@@ -634,6 +639,111 @@ func decryptAblation(rows int, outDir string) error {
 		summary.WarmSpeedup, summary.PrefilteredWarmSpeedup)
 
 	report.Histograms = scrapeHistograms(reg, "sj_join_seconds", "sj_dec_seconds")
+	return writeReport(outDir, report)
+}
+
+// shardAblation measures scatter-gather join wall time as the cluster
+// width grows: the same two tables hash-sharded over 1, 2 and 4
+// loopback sjservers, the same unrestricted L x R join scattered to
+// every shard. Each shard decrypts only its partition, so with real
+// cores behind the servers the wall clock is the slowest shard — but
+// the join is CPU-bound in SJ.Dec, and N in-process servers
+// time-slicing one core serialize right back to the 1-server cost; the
+// report's shard summary records that ceiling whenever the host cannot
+// show the win.
+func shardAblation(rows int, outDir string) error {
+	cores := runtime.GOMAXPROCS(0)
+	fmt.Printf("== Shard ablation: scatter-gather over 1/2/4 servers (%d rows per table, %d cores) ==\n",
+		rows, cores)
+
+	keys, err := engine.NewClient(securejoin.Params{M: 1, T: 1}, nil)
+	if err != nil {
+		return err
+	}
+	mk := func(side string) []engine.PlainRow {
+		out := make([]engine.PlainRow, rows)
+		for i := range out {
+			out[i] = engine.PlainRow{
+				JoinValue: []byte(fmt.Sprintf("k-%d", i)),
+				Attrs:     [][]byte{[]byte("x")},
+				Payload:   []byte(fmt.Sprintf("%s-%d", side, i)),
+			}
+		}
+		return out
+	}
+	tables := map[string][]engine.PlainRow{"L": mk("left"), "R": mk("right")}
+
+	report := &benchReport{Fig: "shard", Rows: rows}
+	report.Histograms = make(map[string]histSummary)
+	summary := &shardSummary{Cores: cores}
+	var baseline float64
+	fmt.Println("servers  seconds  matches  revealed_pairs  speedup_vs_1")
+	for _, n := range []int{1, 2, 4} {
+		var addrs []string
+		var srvs []*server.Server
+		for i := 0; i < n; i++ {
+			srv := server.New(nil)
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			srvs = append(srvs, srv)
+			addrs = append(addrs, addr)
+		}
+		clu, err := client.DialClusterWithKeys(addrs, keys)
+		if err != nil {
+			return err
+		}
+		for name, rs := range tables {
+			if err := clu.Upload(name, rs); err != nil {
+				return err
+			}
+		}
+		start := time.Now()
+		results, revealed, err := clu.Join("L", "R", securejoin.Selection{}, securejoin.Selection{}, client.JoinOpts{})
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start).Seconds()
+		speedup := 1.0
+		if n == 1 {
+			baseline = elapsed
+		} else if elapsed > 0 {
+			speedup = baseline / elapsed
+		}
+		switch n {
+		case 2:
+			summary.Speedup2 = speedup
+		case 4:
+			summary.Speedup4 = speedup
+		}
+		label := fmt.Sprintf("%d_servers", n)
+		fmt.Printf("%7d  %7.3f  %7d  %14d  %12.2f\n", n, elapsed, len(results), revealed, speedup)
+		report.Series = append(report.Series, benchSeries{
+			Label: label, Seconds: elapsed, Matches: len(results), RevealedPairs: revealed,
+		})
+		// Per-shard wall times from the cluster's own registry — the
+		// straggler profile a dashboard would scrape.
+		if hv, ok := clu.Registry().Get("sj_cluster_shard_seconds").(*metrics.HistogramVec); ok {
+			for s := 0; s < n; s++ {
+				if hs, ok := summarize(hv.With(fmt.Sprintf("%d", s))); ok {
+					report.Histograms[fmt.Sprintf("sj_cluster_shard_seconds{servers=%d,shard=%d}", n, s)] = hs
+				}
+			}
+		}
+		clu.Close()
+		for _, s := range srvs {
+			s.Close()
+		}
+	}
+	if cores < 2 && summary.Speedup2 < 1.5 {
+		summary.Note = fmt.Sprintf(
+			"join is CPU-bound in SJ.Dec; %d in-process servers time-slice %d core(s), so the >=1.5x-at-2-servers target needs >=2 real cores (scatter-gather verified correct by the cluster conformance suite; re-run on a multi-core host or separate machines)",
+			4, cores)
+		fmt.Println("note:", summary.Note)
+	}
+	report.Shard = summary
+	fmt.Println()
 	return writeReport(outDir, report)
 }
 

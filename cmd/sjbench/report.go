@@ -53,13 +53,40 @@ type decryptCacheSummary struct {
 	PrefilteredWarmSpeedup float64 `json:"prefiltered_warm_speedup"`
 }
 
+// shardSummary is the -fig shard verdict: scatter-gather join speedup
+// at 2 and 4 servers over the 1-server baseline, with the host's core
+// count — the join is CPU-bound in SJ.Dec, so in-process servers
+// time-slicing a single core cannot show the partitioning win (Note
+// records that ceiling when it applies).
+type shardSummary struct {
+	Cores    int     `json:"cores"`
+	Speedup2 float64 `json:"speedup_2_servers"`
+	Speedup4 float64 `json:"speedup_4_servers"`
+	Note     string  `json:"note,omitempty"`
+}
+
 // benchReport is the BENCH_<fig>.json document.
 type benchReport struct {
 	Fig          string                 `json:"fig"`
 	Rows         int                    `json:"rows"`
 	Series       []benchSeries          `json:"series"`
 	DecryptCache *decryptCacheSummary   `json:"decrypt_cache,omitempty"`
+	Shard        *shardSummary          `json:"shard,omitempty"`
 	Histograms   map[string]histSummary `json:"histograms"`
+}
+
+// summarize renders one histogram for the report; nil-safe.
+func summarize(h *metrics.Histogram) (histSummary, bool) {
+	if h == nil {
+		return histSummary{}, false
+	}
+	return histSummary{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}, true
 }
 
 // scrapeHistograms summarizes the named histograms from the registry
@@ -68,15 +95,11 @@ func scrapeHistograms(reg *metrics.Registry, names ...string) map[string]histSum
 	out := make(map[string]histSummary, len(names))
 	for _, name := range names {
 		h, ok := reg.Get(name).(*metrics.Histogram)
-		if !ok || h == nil {
+		if !ok {
 			continue
 		}
-		out[name] = histSummary{
-			Count: h.Count(),
-			Sum:   h.Sum(),
-			P50:   h.Quantile(0.50),
-			P90:   h.Quantile(0.90),
-			P99:   h.Quantile(0.99),
+		if s, ok := summarize(h); ok {
+			out[name] = s
 		}
 	}
 	return out

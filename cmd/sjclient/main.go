@@ -10,6 +10,17 @@
 //	    -query "SELECT * FROM Orders JOIN Customers ON Orders.custkey = Customers.custkey
 //	            WHERE Customers.selectivity = '1/100'"
 //
+// Sharded mode: give upload and join the same -servers list and the
+// table is hash-partitioned on the join key across those sjservers at
+// encrypt time; the join then scatters one request per shard and
+// merges the decrypted streams client-side.
+//
+//	sjclient upload -keys client.key -servers 127.0.0.1:7788,127.0.0.1:7789 \
+//	    -table Customers -csv customers.csv -join custkey -attrs selectivity -index
+//	sjclient join -keys client.key -servers 127.0.0.1:7788,127.0.0.1:7789 \
+//	    -catalog "Customers:custkey:selectivity;Orders:custkey:selectivity" \
+//	    -query "SELECT * FROM Orders JOIN Customers ON Orders.custkey = Customers.custkey"
+//
 // upload -index additionally builds the table's SSE pre-filter index;
 // join -prefilter then resolves WHERE predicates through those indexes
 // so the server runs SJ.Dec only over candidate rows (at the cost of
@@ -102,6 +113,7 @@ func cmdUpload(args []string) error {
 	fs := flag.NewFlagSet("upload", flag.ExitOnError)
 	keys := fs.String("keys", "client.key", "key file")
 	addr := fs.String("addr", "127.0.0.1:7788", "server address")
+	servers := fs.String("servers", "", "comma-separated server addresses; the table is hash-sharded on the join key across them (overrides -addr)")
 	table := fs.String("table", "", "table name")
 	csvPath := fs.String("csv", "", "CSV file with a header row")
 	joinCol := fs.String("join", "", "name of the join column")
@@ -121,6 +133,26 @@ func cmdUpload(args []string) error {
 	rows, err := readCSVRows(*csvPath, *joinCol, splitCols(*attrCols))
 	if err != nil {
 		return err
+	}
+	// Sharded upload: hash-partition the rows on the join key and store
+	// shard i on server i. Every table of a later join must be uploaded
+	// with the same -servers list, in the same order.
+	if *servers != "" {
+		clu, err := client.DialClusterWithKeys(splitCols(*servers), ek)
+		if err != nil {
+			return err
+		}
+		defer clu.Close()
+		upload := clu.Upload
+		if *index {
+			upload = clu.UploadIndexed
+		}
+		if err := upload(*table, rows); err != nil {
+			return err
+		}
+		fmt.Printf("uploaded %d encrypted rows as table %s, sharded over %d servers (indexed=%v)\n",
+			len(rows), *table, clu.Shards(), *index)
+		return nil
 	}
 	cli, err := client.DialWithKeys(*addr, ek)
 	if err != nil {
@@ -145,6 +177,7 @@ func cmdJoin(args []string) error {
 	fs := flag.NewFlagSet("join", flag.ExitOnError)
 	keys := fs.String("keys", "client.key", "key file")
 	addr := fs.String("addr", "127.0.0.1:7788", "server address")
+	servers := fs.String("servers", "", "comma-separated server addresses holding the sharded tables; the join scatters to every shard (overrides -addr)")
 	catalogSpec := fs.String("catalog", "", "schemas as Name:joincol:attr1,attr2;Name2:...")
 	query := fs.String("query", "", "SQL query")
 	maxRows := fs.Int("maxrows", 20, "result rows to print")
@@ -176,6 +209,69 @@ func cmdJoin(args []string) error {
 	if err != nil {
 		return err
 	}
+
+	// Scatter-gather against sharded tables: every server holds one
+	// hash-partition of each table (see upload -servers), the join runs
+	// shard-local on each, and the merged stream reports single-server
+	// row identities and a summed pair count.
+	if *servers != "" {
+		if *async {
+			return fmt.Errorf("-async with -servers submits one job per shard and has no single collectible ID; use sjsql -servers -async to run through the shards' job queues")
+		}
+		clu, err := client.DialClusterWithKeys(splitCols(*servers), ek)
+		if err != nil {
+			return err
+		}
+		defer clu.Close()
+		if len(plan.Steps) > 1 {
+			if *prefilter {
+				return fmt.Errorf("-prefilter applies only to two-table queries; multi-join plans choose prefiltering per side from catalog metadata")
+			}
+			plan.Workers = *workers
+			printed, total := 0, 0
+			revealed, err := clu.ExecutePlan(plan, func(r sql.ResultRow) error {
+				if printed < *maxRows {
+					parts := make([]string, len(r.Payloads))
+					for i, p := range r.Payloads {
+						parts[i] = string(p)
+					}
+					fmt.Printf("  %s\n", strings.Join(parts, " | "))
+					printed++
+				}
+				total++
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			if total > printed {
+				fmt.Printf("... %d more\n", total-printed)
+			}
+			fmt.Printf("%d rows over %d pairwise join steps across %d shards (%d equality pairs observed by servers)\n",
+				total, len(plan.Steps), clu.Shards(), revealed)
+			return nil
+		}
+		results, revealed, err := clu.Join(plan.TableA, plan.TableB, plan.SelA, plan.SelB,
+			client.JoinOpts{Prefilter: *prefilter, Workers: *workers})
+		if err != nil {
+			return err
+		}
+		printed := 0
+		for _, r := range results {
+			if printed >= *maxRows {
+				break
+			}
+			fmt.Printf("  %s | %s\n", r.PayloadA, r.PayloadB)
+			printed++
+		}
+		if len(results) > printed {
+			fmt.Printf("... %d more\n", len(results)-printed)
+		}
+		fmt.Printf("%d rows across %d shards (%d equality pairs observed by servers)\n",
+			len(results), clu.Shards(), revealed)
+		return nil
+	}
+
 	cli, err := client.DialWithKeys(*addr, ek)
 	if err != nil {
 		return err

@@ -3,7 +3,10 @@
 // per-customer Profiles table at a small scale factor, encrypts and
 // uploads them — to an in-process server by default, or to a live
 // sjserver with -connect — and then executes the supported SQL dialect
-// read from stdin (or from -query) over the ciphertexts.
+// read from stdin (or from -query) over the ciphertexts. With
+// -servers host1,host2,... the tables are instead hash-sharded on the
+// join key across several sjservers and every join step runs
+// scatter-gather, one request per shard.
 //
 // Tables are uploaded with an SSE pre-filter index (disable with
 // -index=false), and the planner picks the Section 4.3 prefiltered
@@ -20,6 +23,9 @@
 //	      -query "EXPLAIN SELECT * FROM Orders JOIN Customers ON Orders.custkey = Customers.custkey
 //	              JOIN Profiles ON Profiles.custkey = Customers.custkey
 //	              WHERE Customers.selectivity = '1/100'"
+//
+//	sjsql -servers 127.0.0.1:7788,127.0.0.1:7789 -scale 0.0002 \
+//	      -query "SELECT * FROM Orders JOIN Customers ON Orders.custkey = Customers.custkey"
 package main
 
 import (
@@ -45,25 +51,30 @@ func main() {
 	query := flag.String("query", "", "single query to execute (default: read stdin)")
 	maxRows := flag.Int("maxrows", 10, "result rows to print per query")
 	connect := flag.String("connect", "", "address of a live sjserver; empty runs an in-process engine")
+	servers := flag.String("servers", "", "comma-separated addresses of live sjservers; tables are hash-sharded across them and every join runs scatter-gather")
 	index := flag.Bool("index", true, "upload tables with SSE pre-filter indexes (enables prefiltered plans)")
 	workers := flag.Int("workers", 0, "SJ.Dec worker hint stamped onto every plan (0 = engine default)")
-	async := flag.Bool("async", false, "submit every plan step as a server-side job, then attach and stitch (requires -connect)")
+	async := flag.Bool("async", false, "submit every plan step as a server-side job, then attach and stitch (requires -connect or -servers)")
 	flag.Parse()
 
-	if *async && *connect == "" {
-		fmt.Fprintln(os.Stderr, "sjsql: -async requires -connect (jobs live on a wire server)")
+	if *async && *connect == "" && *servers == "" {
+		fmt.Fprintln(os.Stderr, "sjsql: -async requires -connect or -servers (jobs live on a wire server)")
 		os.Exit(1)
 	}
-	if err := run(os.Stdout, *scale, *seed, *query, *maxRows, *connect, *index, *workers, *async); err != nil {
+	if *connect != "" && *servers != "" {
+		fmt.Fprintln(os.Stderr, "sjsql: -connect and -servers are mutually exclusive (-servers with one address is the one-shard cluster)")
+		os.Exit(1)
+	}
+	if err := run(os.Stdout, *scale, *seed, *query, *maxRows, *connect, *servers, *index, *workers, *async); err != nil {
 		fmt.Fprintln(os.Stderr, "sjsql:", err)
 		os.Exit(1)
 	}
 }
 
 // app binds the compiled catalog to exactly one execution backend: the
-// in-process engine (eng+keys) or a wire connection to a live sjserver
-// (cli). Both run the same compiled plans through the same operator
-// tree executor.
+// in-process engine (eng+keys), a wire connection to a live sjserver
+// (cli), or a sharded cluster of sjservers (clu). All run the same
+// compiled plans through the same operator tree executor.
 type app struct {
 	catalog *sql.Catalog
 	maxRows int
@@ -73,10 +84,11 @@ type app struct {
 	eng  *engine.Server
 	keys *engine.Client
 	cli  *client.Client
+	clu  *client.Cluster
 }
 
-func run(out io.Writer, scale float64, seed int64, query string, maxRows int, connect string, index bool, workers int, async bool) error {
-	a, cleanup, err := setup(out, scale, seed, maxRows, connect, index, workers)
+func run(out io.Writer, scale float64, seed int64, query string, maxRows int, connect, servers string, index bool, workers int, async bool) error {
+	a, cleanup, err := setup(out, scale, seed, maxRows, connect, servers, index, workers)
 	if err != nil {
 		return err
 	}
@@ -105,7 +117,7 @@ func run(out io.Writer, scale float64, seed int64, query string, maxRows int, co
 // chosen backend, and syncs the catalog's statistics (row counts and
 // index state) from the backend's table state so the planner orders
 // joins and picks prefiltered execution from what is actually stored.
-func setup(out io.Writer, scale float64, seed int64, maxRows int, connect string, index bool, workers int) (*app, func(), error) {
+func setup(out io.Writer, scale float64, seed int64, maxRows int, connect, servers string, index bool, workers int) (*app, func(), error) {
 	catalog, err := sql.NewCatalog(
 		sql.TableSchema{Name: "Customers", JoinColumn: "custkey", Attrs: map[string]int{"selectivity": 0}},
 		sql.TableSchema{Name: "Orders", JoinColumn: "custkey", Attrs: map[string]int{"selectivity": 0}},
@@ -147,6 +159,40 @@ func setup(out io.Writer, scale float64, seed int64, maxRows int, connect string
 	params := securejoin.Params{M: 1, T: 10}
 	tables := map[string][]engine.PlainRow{"Customers": customers, "Orders": orders, "Profiles": profiles}
 	start := time.Now()
+
+	// Sharded mode: hash-partition every table across the listed
+	// servers; each query then scatters one request per shard and the
+	// merged streams are stitched exactly like a single server's.
+	if servers != "" {
+		addrs := strings.Split(servers, ",")
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
+		}
+		a.clu, err = client.DialCluster(addrs, params)
+		if err != nil {
+			return nil, nil, err
+		}
+		cleanup := func() { a.clu.Close() }
+		for name, rows := range tables {
+			if index {
+				err = a.clu.UploadIndexed(name, rows)
+			} else {
+				err = a.clu.Upload(name, rows)
+			}
+			if err != nil {
+				cleanup()
+				return nil, nil, err
+			}
+		}
+		if _, err := a.clu.SyncCatalog(catalog); err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "uploaded %d customers + %d orders + %d profiles sharded over %d servers in %v (indexed=%v)\n",
+			len(customers), len(orders), len(profiles), a.clu.Shards(), time.Since(start).Round(time.Millisecond), index)
+		return a, cleanup, nil
+	}
+
 	if connect == "" {
 		a.keys, err = engine.NewClient(params, nil)
 		if err != nil {
@@ -238,6 +284,15 @@ func (a *app) exec(stmt string) error {
 	switch {
 	case a.eng != nil:
 		revealed, err = sql.Execute(sql.EngineRunner{Eng: a.eng, Keys: a.keys}, plan, emit)
+	case a.clu != nil:
+		// No whole-plan WithRetry here: the cluster retries a shed shard
+		// individually while the other shards keep streaming (degraded
+		// mode lives per backend, inside the scatter).
+		if a.async {
+			revealed, err = a.clu.ExecutePlanAsync(plan, emit)
+		} else {
+			revealed, err = a.clu.ExecutePlan(plan, emit)
+		}
 	case a.async:
 		// Batch submission: every plan step is enqueued as a job up
 		// front, so the server pipelines the steps on its worker pool

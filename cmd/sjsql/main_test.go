@@ -26,7 +26,7 @@ func TestConnectModePicksPrefilteredPlan(t *testing.T) {
 	// Small scale: 7 customers, 75 orders — big enough that a single
 	// predicate is estimated selective (est. 1 of 7 rows), cheap enough
 	// to encrypt in a unit test.
-	a, cleanup, err := setup(&out, 0.00005, 1, 10, addr, true, 2)
+	a, cleanup, err := setup(&out, 0.00005, 1, 10, addr, "", true, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestConnectModeThreeWayJoin(t *testing.T) {
 	t.Cleanup(func() { srv.Close() })
 
 	var out bytes.Buffer
-	a, cleanup, err := setup(&out, 0.00005, 1, 100, addr, true, 0)
+	a, cleanup, err := setup(&out, 0.00005, 1, 100, addr, "", true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,6 +127,45 @@ func TestConnectModeThreeWayJoin(t *testing.T) {
 	}
 }
 
+// TestServersModeShardedJoin drives sjsql's -servers mode: the TPC-H
+// tables are hash-sharded over two live sjservers, a 3-way join runs
+// scatter-gather, and the stitched result must match what the
+// single-server tests above observe (75 rows, 2 steps).
+func TestServersModeShardedJoin(t *testing.T) {
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		srv := server.New(nil)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs = append(addrs, addr)
+	}
+
+	var out bytes.Buffer
+	a, cleanup, err := setup(&out, 0.00005, 1, 100, "", strings.Join(addrs, ","), true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cleanup)
+
+	const query = `SELECT * FROM Orders JOIN Customers ON Orders.custkey = Customers.custkey
+		JOIN Profiles ON Profiles.custkey = Customers.custkey
+		WHERE Customers.selectivity = 'none'`
+	if err := a.exec(query); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "75 rows in") || !strings.Contains(got, "2 join step(s)") {
+		t.Fatalf("unexpected sharded 3-way result:\n%s", got)
+	}
+	line := firstResultLine(got)
+	if !strings.Contains(line, "order ") || !strings.Contains(line, "profile ") {
+		t.Fatalf("stitched sharded row missing a column:\n%s", got)
+	}
+}
+
 func firstResultLine(out string) string {
 	for _, l := range strings.Split(out, "\n") {
 		if strings.HasPrefix(l, "  ") {
@@ -147,7 +186,7 @@ func TestConnectModeFallsBackUnindexed(t *testing.T) {
 	t.Cleanup(func() { srv.Close() })
 
 	var out bytes.Buffer
-	a, cleanup, err := setup(&out, 0.00001, 1, 10, addr, false, 0)
+	a, cleanup, err := setup(&out, 0.00001, 1, 10, addr, "", false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -306,11 +306,16 @@ func (c *Client) Health() (*wire.HealthInfo, error) {
 }
 
 // TableInfo summarizes one server-side table: its name, row count and
-// whether it was uploaded with an SSE pre-filter index.
+// whether it was uploaded with an SSE pre-filter index. Shard and
+// ShardCount echo the annotations of a sharded upload (zero for whole
+// tables): this server holds hash-partition Shard of ShardCount — see
+// Cluster.
 type TableInfo struct {
-	Name    string
-	Rows    int
-	Indexed bool
+	Name       string
+	Rows       int
+	Indexed    bool
+	Shard      int
+	ShardCount int
 }
 
 // DescribeTables lists the tables the server currently stores, sorted
@@ -334,7 +339,10 @@ func (c *Client) DescribeTables() ([]TableInfo, error) {
 	}
 	out := make([]TableInfo, len(f.Tables.Tables))
 	for i, t := range f.Tables.Tables {
-		out[i] = TableInfo{Name: t.Name, Rows: t.Rows, Indexed: t.Indexed}
+		out[i] = TableInfo{
+			Name: t.Name, Rows: t.Rows, Indexed: t.Indexed,
+			Shard: t.Shard, ShardCount: t.ShardCount,
+		}
 	}
 	return out, nil
 }
@@ -435,7 +443,11 @@ func (c *Client) uploadTable(table *engine.EncryptedTable) error {
 			Commit: commit,
 		}
 		if commit {
+			// The index and the shard annotations ride the Commit chunk
+			// only — that is the request that installs the table.
 			req.Index = index
+			req.Shard = table.Shard
+			req.ShardCount = table.ShardCount
 		}
 		p, err := c.send(&wire.Request{Upload: req})
 		if err != nil {

@@ -1,9 +1,11 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"time"
 
 	"repro/internal/securejoin"
@@ -145,11 +147,22 @@ func (c *Client) WaitJob(id string) ([]JoinResult, int, error) {
 	return out, stream.RevealedPairs(), nil
 }
 
-// PollJob polls a job's status every interval until it reaches a
-// terminal state (done or failed) and returns the final snapshot. It
-// is the polling twin of AttachJob for callers that want progress
-// visibility rather than results; interval <= 0 selects 500ms.
+// PollJob polls a job's status until it reaches a terminal state
+// (done or failed) and returns the final snapshot. It is the polling
+// twin of AttachJob for callers that want progress visibility rather
+// than results; interval <= 0 selects 500ms. Uncancellable — prefer
+// PollJobCtx, which this delegates to with context.Background().
 func (c *Client) PollJob(id string, interval time.Duration) (*JobInfo, error) {
+	return c.PollJobCtx(context.Background(), id, interval)
+}
+
+// PollJobCtx is PollJob bounded by a context: a caller that
+// disconnects (or times out) cancels the poll between status requests
+// instead of hammering JobStatus forever on a job nobody is waiting
+// for. Each wait is the interval with ±50% uniform jitter, so N
+// clients polling the same server do not converge into lockstep
+// status bursts.
+func (c *Client) PollJobCtx(ctx context.Context, id string, interval time.Duration) (*JobInfo, error) {
 	if interval <= 0 {
 		interval = 500 * time.Millisecond
 	}
@@ -161,7 +174,15 @@ func (c *Client) PollJob(id string, interval time.Duration) (*JobInfo, error) {
 		if info.State == wire.JobDone || info.State == wire.JobFailed {
 			return info, nil
 		}
-		time.Sleep(interval)
+		// ±50% jitter: interval/2 + rand[0, interval).
+		delay := interval/2 + time.Duration(rand.Int63n(int64(interval)))
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-timer.C:
+		}
 	}
 }
 

@@ -63,10 +63,18 @@ type EncryptedRow struct {
 // with EncryptTable. Once uploaded, a table is immutable — re-uploads
 // replace the whole table — which is what lets queries snapshot it
 // under a brief read lock.
+//
+// Shard/ShardCount annotate a table that is one hash-partition of a
+// larger logical table sharded client-side on the join key (see
+// client.Cluster): this server holds shard Shard of ShardCount. They
+// are metadata only — the engine stores and joins a shard exactly like
+// a whole table — and zero for unsharded tables.
 type EncryptedTable struct {
-	Name  string
-	Rows  []*EncryptedRow
-	Index *sse.Index
+	Name       string
+	Rows       []*EncryptedRow
+	Index      *sse.Index
+	Shard      int
+	ShardCount int
 }
 
 // Client holds all secret material: the Secure Join master key, the
@@ -320,10 +328,14 @@ func (s *Server) DropTable(name string) error {
 // name, row count and whether it carries an SSE pre-filter index. This
 // is what a SQL planner needs to choose prefiltered execution — served
 // in-process here and over the wire by the server's Describe request.
+// Shard/ShardCount echo the table's shard annotations (zero for whole
+// tables).
 type TableStat struct {
-	Name    string
-	Rows    int
-	Indexed bool
+	Name       string
+	Rows       int
+	Indexed    bool
+	Shard      int
+	ShardCount int
 }
 
 // TableStats lists the stored tables, sorted by name.
@@ -331,7 +343,10 @@ func (s *Server) TableStats() []TableStat {
 	s.tablesMu.RLock()
 	out := make([]TableStat, 0, len(s.tables))
 	for _, t := range s.tables {
-		out = append(out, TableStat{Name: t.Name, Rows: len(t.Rows), Indexed: t.Index != nil})
+		out = append(out, TableStat{
+			Name: t.Name, Rows: len(t.Rows), Indexed: t.Index != nil,
+			Shard: t.Shard, ShardCount: t.ShardCount,
+		})
 	}
 	s.tablesMu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

@@ -15,11 +15,15 @@ import (
 // SSE index — so a table file is safe to keep on untrusted storage,
 // with the same security posture as the running server.
 
-// tableFile is the gob image of an EncryptedTable.
+// tableFile is the gob image of an EncryptedTable. Shard/ShardCount
+// are gob-additive (zero in files written before sharding existed), so
+// shard annotations survive restarts without a format change.
 type tableFile struct {
-	Name  string
-	Rows  []tableFileRow
-	Index []byte // empty when the table has no SSE index
+	Name       string
+	Rows       []tableFileRow
+	Index      []byte // empty when the table has no SSE index
+	Shard      int
+	ShardCount int
 }
 
 type tableFileRow struct {
@@ -29,7 +33,7 @@ type tableFileRow struct {
 
 // SaveTable serializes an encrypted table.
 func SaveTable(w io.Writer, t *EncryptedTable) error {
-	f := tableFile{Name: t.Name, Rows: make([]tableFileRow, len(t.Rows))}
+	f := tableFile{Name: t.Name, Rows: make([]tableFileRow, len(t.Rows)), Shard: t.Shard, ShardCount: t.ShardCount}
 	for i, r := range t.Rows {
 		jc, err := r.Join.MarshalBinary()
 		if err != nil {
@@ -54,7 +58,7 @@ func LoadTable(r io.Reader) (*EncryptedTable, error) {
 	if err := gob.NewDecoder(r).Decode(&f); err != nil {
 		return nil, fmt.Errorf("engine: decoding table: %w", err)
 	}
-	t := &EncryptedTable{Name: f.Name, Rows: make([]*EncryptedRow, len(f.Rows))}
+	t := &EncryptedTable{Name: f.Name, Rows: make([]*EncryptedRow, len(f.Rows)), Shard: f.Shard, ShardCount: f.ShardCount}
 	for i, row := range f.Rows {
 		var ct securejoin.RowCiphertext
 		if err := ct.UnmarshalBinary(row.Join); err != nil {

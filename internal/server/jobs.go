@@ -59,11 +59,28 @@ type joinTask struct {
 // job is the server-side state of one submitted join. Mutable fields
 // are guarded by mu; done is closed exactly once, when the job reaches
 // a terminal state, and is what AttachJob waiters block on.
+//
+// Lock order: Server.jobMu strictly before job.mu. reapJobs is the
+// only path holding both — it iterates the table under jobMu and
+// briefly takes each job's mu to read its terminal state. Every other
+// path takes exactly one of the two: handleSubmit, lookupJob, pinJob,
+// unpinJob and jobGauges take only jobMu; snapshot, runJob, failJob
+// and executeJob's progress hook take only the job's mu. Since no
+// path acquires jobMu while holding any job's mu, the pair cannot
+// deadlock; new code must preserve that — never call a jobMu-taking
+// helper with a job's mu held.
 type job struct {
 	id             string
 	jr             *wire.JoinRequest // nil for jobs recovered from the store
 	tableA, tableB string
 	created        time.Time
+
+	// attachers counts in-flight handleAttach streams of this job. It
+	// is guarded by Server.jobMu — NOT mu — because the reaper decides
+	// under jobMu whether a job may be deleted, and the pin must be
+	// atomic with the table lookup (see pinJob). A pinned job (and its
+	// store spool) survives reaping until the last attach unpins it.
+	attachers int
 
 	mu            sync.Mutex
 	state         string
@@ -269,6 +286,29 @@ func (s *Server) lookupJob(id string) *job {
 	return s.jobs[id]
 }
 
+// pinJob resolves a job ID and marks the job attached in the same
+// jobMu critical section, so the TTL reaper cannot delete the job —
+// or, worse, its store spool out from under a concurrent
+// ReadJobRows — between an attach's lookup and its streaming. Callers
+// must pair a non-nil return with unpinJob.
+func (s *Server) pinJob(id string) *job {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	j := s.jobs[id]
+	if j != nil {
+		j.attachers++
+	}
+	return j
+}
+
+// unpinJob releases an attach's pin. A job that outlived its TTL only
+// because it was pinned is collected by the reaper's next tick.
+func (s *Server) unpinJob(j *job) {
+	s.jobMu.Lock()
+	j.attachers--
+	s.jobMu.Unlock()
+}
+
 // handleSubmit validates and enqueues an async join, answering with the
 // queued job's JobInfo. A full queue sheds the submit with
 // wire.CodeOverloaded — retry-safe: nothing was enqueued and no job ID
@@ -327,10 +367,15 @@ func (ss *session) handleJobStatus(id uint64, jobID string) error {
 // completes, and each gets the identical stream.
 func (ss *session) handleAttach(id uint64, jobID string) error {
 	s := ss.srv
-	j := s.lookupJob(jobID)
+	// Pin, not lookup: without the pin the TTL reaper can DeleteJob the
+	// spool while this attach is between lookup and ReadJobRows, failing
+	// the stream with a raw spool read error instead of a typed
+	// unknown-job. Pinned jobs are deferred to a later reaper tick.
+	j := s.pinJob(jobID)
 	if j == nil {
 		return ss.sendUnknownJob(id, jobID)
 	}
+	defer s.unpinJob(j)
 	select {
 	case <-j.done:
 	case <-s.done:
@@ -555,7 +600,13 @@ func (s *Server) jobReaper() {
 	}
 }
 
-// reapJobs removes every finished job whose completion predates cutoff.
+// reapJobs removes every finished, unpinned job whose completion
+// predates cutoff. Jobs with in-flight attaches (attachers > 0) are
+// deferred to a later tick — deleting their spool mid-stream would
+// fail the attach with a raw read error. Lock order here is the
+// canonical jobMu → j.mu (see the job struct comment): each j.mu is
+// taken briefly inside the jobMu-guarded sweep, and no other path
+// nests the two, so the nesting cannot deadlock.
 func (s *Server) reapJobs(cutoff time.Time) {
 	type reaped struct {
 		id      string
@@ -564,6 +615,9 @@ func (s *Server) reapJobs(cutoff time.Time) {
 	var expired []reaped
 	s.jobMu.Lock()
 	for id, j := range s.jobs {
+		if j.attachers > 0 {
+			continue // pinned by an in-flight attach; defer to a later tick
+		}
 		j.mu.Lock()
 		gone := !j.finished.IsZero() && j.finished.Before(cutoff)
 		spooled := j.spooled

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/securejoin"
+)
+
+// TestJobAttachReapRace pins the attach-vs-reaper contract: the TTL
+// reaper must never DeleteJob a spool an in-flight attach is streaming
+// (the attach pins the job), so every attach racing a forced reap
+// either delivers the full identical result or fails with the typed
+// unknown-job error — never a raw spool read error mid-stream.
+func TestJobAttachReapRace(t *testing.T) {
+	dir := t.TempDir()
+	srv, addr := startDurableServer(t, dir)
+	c := dial(t, addr)
+	uploadPair(t, c, 16)
+
+	info, err := c.SubmitJoinQuery("L", "R", securejoin.Selection{}, securejoin.Selection{}, client.JoinOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Draining proves the job reached done, and done implies the result
+	// was spooled durably first — so the races below all contend on the
+	// spool, the case the pin exists for.
+	want, wantRevealed, err := c.WaitJob(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const attachers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, attachers)
+	for i := 0; i < attachers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rows, revealed, err := c.WaitJob(info.ID)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(rows) != len(want) || revealed != wantRevealed {
+				errs <- fmt.Errorf("partial stream: %d rows / %d pairs, want %d / %d",
+					len(rows), revealed, len(want), wantRevealed)
+			}
+		}()
+	}
+	// Force-reap concurrently with a cutoff in the future, so every
+	// finished unpinned job is eligible on each sweep.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			srv.reapJobs(time.Now().Add(time.Hour))
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, client.ErrUnknownJob) {
+			t.Fatalf("attach racing the reaper: %v, want a full stream or client.ErrUnknownJob", err)
+		}
+	}
+}
+
+// TestJobSubmitAttachReapStress runs submit, attach and forced reaps
+// concurrently (CI repeats it under -race -count=2) — the lock-order
+// audit's executable form: jobMu → j.mu nesting only ever happens in
+// reapJobs, and no interleaving of the three paths may deadlock, race,
+// or surface anything but a full result or typed unknown-job.
+func TestJobSubmitAttachReapStress(t *testing.T) {
+	srv := New(nil)
+	srv.SetJobWorkers(4)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c := dial(t, addr)
+	uploadPair(t, c, 4)
+
+	stop := make(chan struct{})
+	var reapWg sync.WaitGroup
+	reapWg.Add(1)
+	go func() {
+		defer reapWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				srv.reapJobs(time.Now().Add(time.Hour))
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	const workers, iters = 4, 3
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*iters)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				var info *client.JobInfo
+				err := client.WithRetry(client.RetryConfig{Base: 5 * time.Millisecond}, func() error {
+					var rerr error
+					info, rerr = c.SubmitJoinQuery("L", "R", securejoin.Selection{}, securejoin.Selection{}, client.JoinOpts{})
+					return rerr
+				})
+				if err != nil {
+					errs <- fmt.Errorf("submit: %w", err)
+					continue
+				}
+				rows, _, err := c.WaitJob(info.ID)
+				if err != nil {
+					// Reaped between done and attach: a legal interleaving
+					// with the aggressive sweeper, as long as it is typed.
+					if !errors.Is(err, client.ErrUnknownJob) {
+						errs <- fmt.Errorf("attach: %w", err)
+					}
+					continue
+				}
+				if len(rows) != 4 {
+					errs <- fmt.Errorf("attach streamed %d rows, want 4", len(rows))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	reapWg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestJobPollContextCancel is the PollJobCtx regression: a cancelled
+// context interrupts the poll during its (long) wait between status
+// requests, instead of the old bare time.Sleep spinning on.
+func TestJobPollContextCancel(t *testing.T) {
+	srv := New(nil)
+	srv.SetJobWorkers(1)
+	srv.SetJobQueueDepth(4)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c := dial(t, addr)
+	uploadPair(t, c, 16)
+
+	// Job A occupies the only worker; job B stays queued behind it, so
+	// the poll below cannot terminate on its own quickly.
+
+	if _, err := c.SubmitJoinQuery("L", "R", securejoin.Selection{}, securejoin.Selection{}, client.JoinOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	infoB, err := c.SubmitJoinQuery("L", "R", securejoin.Selection{}, securejoin.Selection{}, client.JoinOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	// A 10s interval means only the cancellation can end the first wait.
+	if _, err := c.PollJobCtx(ctx, infoB.ID, 10*time.Second); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled poll: %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancel took %v to interrupt the poll wait", elapsed)
+	}
+}

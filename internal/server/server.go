@@ -548,7 +548,10 @@ func (ss *session) handleDescribe(id uint64) error {
 	stats := ss.srv.eng.TableStats()
 	list := &wire.TableList{Tables: make([]wire.TableInfo, len(stats))}
 	for i, st := range stats {
-		list.Tables[i] = wire.TableInfo{Name: st.Name, Rows: st.Rows, Indexed: st.Indexed}
+		list.Tables[i] = wire.TableInfo{
+			Name: st.Name, Rows: st.Rows, Indexed: st.Indexed,
+			Shard: st.Shard, ShardCount: st.ShardCount,
+		}
 	}
 	return ss.send(&wire.Frame{ID: id, Tables: list})
 }
@@ -594,7 +597,12 @@ func (ss *session) handleUpload(id uint64, up *wire.UploadRequest) error {
 		ss.staging[up.Table] = staged
 	}
 	if up.Commit {
-		table := &engine.EncryptedTable{Name: up.Table, Rows: staged}
+		// The shard annotations of a cluster upload ride the Commit
+		// chunk's metadata into the engine (and, via SaveTable, the
+		// store): the server stores and joins a shard exactly like a
+		// whole table, but Describe echoes the annotations so clients
+		// can verify which partition this backend holds.
+		table := &engine.EncryptedTable{Name: up.Table, Rows: staged, Shard: up.Shard, ShardCount: up.ShardCount}
 		if len(up.Index) > 0 {
 			idx := &sse.Index{}
 			if err := idx.UnmarshalBinary(up.Index); err != nil {
@@ -608,7 +616,11 @@ func (ss *session) handleUpload(id uint64, up *wire.UploadRequest) error {
 		if err := ss.srv.eng.RegisterTable(table); err != nil {
 			return ss.sendErr(id, err)
 		}
-		ss.srv.logf("uploaded table %q (%d rows, indexed=%v)", up.Table, len(staged), table.Index != nil)
+		if up.ShardCount > 0 {
+			ss.srv.logf("uploaded table %q shard %d/%d (%d rows, indexed=%v)", up.Table, up.Shard, up.ShardCount, len(staged), table.Index != nil)
+		} else {
+			ss.srv.logf("uploaded table %q (%d rows, indexed=%v)", up.Table, len(staged), table.Index != nil)
+		}
 	} else {
 		ss.srv.logf("staged %d rows for table %q", len(rows), up.Table)
 	}

@@ -113,12 +113,22 @@ type SubmitRequest struct {
 // against the table; it is ignored on non-Commit chunks. An absent
 // Index (the gob zero value, as sent by older clients) uploads the
 // table without a pre-filter, exactly as before the field existed.
+//
+// Shard/ShardCount annotate a sharded upload: this server stores shard
+// Shard (0-based) of ShardCount hash-partitions of the named table,
+// partitioned client-side on the join-key attribute (see
+// client.Cluster). The fields are metadata only — the server stores
+// and joins the shard exactly like a whole table — and gob-additive:
+// their zero values (0, 0) are what unsharded clients always sent, so
+// no version bump.
 type UploadRequest struct {
-	Table  string
-	Rows   []UploadRow
-	Append bool
-	Commit bool
-	Index  []byte
+	Table      string
+	Rows       []UploadRow
+	Append     bool
+	Commit     bool
+	Index      []byte
+	Shard      int
+	ShardCount int
 }
 
 // UploadRow is one encrypted row: the Secure Join ciphertext and the
@@ -292,10 +302,15 @@ type TableList struct {
 // TableInfo summarizes one stored table. Indexed reports whether the
 // table was uploaded with an SSE pre-filter index, which is what lets a
 // client-side planner choose prefiltered joins against it.
+// Shard/ShardCount echo the annotations of a sharded upload (zero for
+// whole tables — gob-additive, like the Shard fields on UploadRequest),
+// so a cluster client can verify which hash-partition a backend holds.
 type TableInfo struct {
-	Name    string
-	Rows    int
-	Indexed bool
+	Name       string
+	Rows       int
+	Indexed    bool
+	Shard      int
+	ShardCount int
 }
 
 // Conn frames gob messages over a byte stream: each message is a
