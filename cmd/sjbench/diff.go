@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Regression gate: `sjbench -diff old.json new.json` compares two
+// BENCH_*.json reports series by series and fails when any series got
+// more than -difftol slower. CI runs it against the committed reports
+// so a perf regression breaks the build instead of silently eroding
+// the figures. Only slowdowns fail: figures legitimately gain series
+// over time, and a series missing from the new report is a warning —
+// dropping a benchmark should be a reviewed, visible change, but the
+// gate's job is timing.
+
+// seriesKey identifies a series across report versions.
+func seriesKey(s benchSeries) string {
+	if s.Mode != "" && s.Label != "" {
+		return s.Label + "/" + s.Mode
+	}
+	return s.Label + s.Mode
+}
+
+func diffReports(oldPath, newPath string, tol float64) error {
+	load := func(path string) (*benchReport, error) {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var r benchReport
+		if err := json.Unmarshal(b, &r); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		return &r, nil
+	}
+	oldR, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newR, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	if oldR.Fig != newR.Fig {
+		return fmt.Errorf("comparing different figures: %q vs %q", oldR.Fig, newR.Fig)
+	}
+
+	newSeries := make(map[string]benchSeries, len(newR.Series))
+	for _, s := range newR.Series {
+		newSeries[seriesKey(s)] = s
+	}
+	var regressions []string
+	for _, old := range oldR.Series {
+		key := seriesKey(old)
+		cur, ok := newSeries[key]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sjbench -diff: warning: series %q missing from %s\n", key, newPath)
+			continue
+		}
+		if old.Seconds <= 0 {
+			continue
+		}
+		ratio := cur.Seconds / old.Seconds
+		verdict := "ok"
+		if ratio > 1+tol {
+			verdict = "REGRESSION"
+			regressions = append(regressions, fmt.Sprintf("%s: %.3fs -> %.3fs (%.0f%% slower)",
+				key, old.Seconds, cur.Seconds, (ratio-1)*100))
+		}
+		fmt.Printf("%-40s  %8.3fs -> %8.3fs  %+6.1f%%  %s\n",
+			key, old.Seconds, cur.Seconds, (ratio-1)*100, verdict)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d series regressed beyond the %.0f%% tolerance:\n  %s",
+			len(regressions), tol*100, joinLines(regressions))
+	}
+	return nil
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += l
+	}
+	return out
+}

@@ -8,9 +8,14 @@
 //	sjbench -fig concurrent   # engine throughput under concurrent joins
 //	sjbench -fig prefilter    # full-scan vs SSE-prefiltered vs parallel, over the wire
 //	sjbench -fig multijoin    # 2-way vs 3-way, statistics-ordered vs naive join order
+//	sjbench -fig semijoin     # candidate propagation: full vs semi-join vs key-only chains
 //	sjbench -fig decrypt      # SJ.Dec ablation: naive vs precomputed vs decrypt-cache cold/warm
 //	sjbench -fig shard        # scatter-gather: the same join sharded over 1, 2, 4 servers
 //	sjbench -fig all
+//
+// It doubles as the CI perf gate:
+//
+//	sjbench -diff old.json new.json   # non-zero exit if any series got >25% slower
 //
 // The pure-Go pairing is slower than the authors' C library, so by
 // default the TPC-H scale factors are divided by -scalediv (100). Run
@@ -37,13 +42,27 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, comparison, concurrent, prefilter, multijoin, decrypt, shard, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, comparison, concurrent, prefilter, multijoin, semijoin, decrypt, shard, all")
 	scaleDiv := flag.Float64("scalediv", 100, "divide the paper's TPC-H scale factors by this factor")
 	reps := flag.Int("reps", 3, "repetitions per Figure 2 measurement")
 	seed := flag.Int64("seed", 42, "dataset generator seed")
-	rows := flag.Int("rows", 200, "rows per table for -fig prefilter, multijoin, decrypt and shard")
-	out := flag.String("out", ".", "directory for the BENCH_*.json reports of -fig prefilter, multijoin, decrypt and shard")
+	rows := flag.Int("rows", 200, "rows per table for -fig prefilter, multijoin, semijoin, decrypt and shard")
+	out := flag.String("out", ".", "directory for the BENCH_*.json reports of -fig prefilter, multijoin, semijoin, decrypt and shard")
+	diff := flag.Bool("diff", false, "compare two BENCH_*.json reports (old new) and exit non-zero on regressions")
+	diffTol := flag.Float64("difftol", 0.25, "fractional slowdown tolerated per series by -diff")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: sjbench -diff old.json new.json")
+			os.Exit(2)
+		}
+		if err := diffReports(flag.Arg(0), flag.Arg(1), *diffTol); err != nil {
+			fmt.Fprintln(os.Stderr, "sjbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var err error
 	switch *fig {
@@ -61,6 +80,8 @@ func main() {
 		err = prefilterWire(*rows, *out)
 	case "multijoin":
 		err = multijoin(*rows, *out)
+	case "semijoin":
+		err = semijoin(*rows, *out)
 	case "decrypt":
 		err = decryptAblation(*rows, *out)
 	case "shard":
@@ -73,8 +94,10 @@ func main() {
 						if err = concurrent(); err == nil {
 							if err = prefilterWire(*rows, *out); err == nil {
 								if err = multijoin(*rows, *out); err == nil {
-									if err = decryptAblation(*rows, *out); err == nil {
-										err = shardAblation(*rows, *out)
+									if err = semijoin(*rows, *out); err == nil {
+										if err = decryptAblation(*rows, *out); err == nil {
+											err = shardAblation(*rows, *out)
+										}
 									}
 								}
 							}
@@ -469,6 +492,211 @@ func multijoin(rows int, outDir string) error {
 		})
 	}
 	fmt.Println()
+	report.Histograms = scrapeHistograms(reg, "sj_join_seconds", "sj_dec_seconds")
+	return writeReport(outDir, report)
+}
+
+// decRunner wraps a StepRunner and snapshots the engine's
+// sj_rows_decrypted_total counter at every step boundary. Execute
+// drains step i completely before requesting step i+1, so the deltas
+// attribute each decrypted row to the step that ran it.
+type decRunner struct {
+	inner sqlpkg.StepRunner
+	ctr   *metrics.Counter
+	steps []uint64
+	mark  uint64
+}
+
+func (r *decRunner) RunStep(p *sqlpkg.Plan, step int, in sqlpkg.StepInput) (sqlpkg.StepStream, error) {
+	now := r.ctr.Value()
+	if step > 0 {
+		r.steps = append(r.steps, now-r.mark)
+	}
+	r.mark = now
+	return r.inner.RunStep(p, step, in)
+}
+
+// finish closes the last step's window and returns the per-step deltas.
+func (r *decRunner) finish() []uint64 {
+	r.steps = append(r.steps, r.ctr.Value()-r.mark)
+	return r.steps
+}
+
+// The 3way_stats_ordered series of the multijoin figure as committed
+// before candidate propagation landed — the pre-semi-join execution
+// of a statistics-ordered 3-way chain that -fig semijoin's headline
+// speedup is measured against.
+const preSemiJoin3WaySeconds = 2.971867758
+
+// semijoin is the candidate-propagation ablation: a star whose hub is
+// by far the biggest table, so re-decrypting it on every stitch step
+// dominates the full execution. One spoke carries a selective
+// predicate; after step 1 only the hub rows it matched can survive,
+// and the semi-join plan ships exactly that candidate list into the
+// later steps instead of running SJ.Dec over the whole hub again. The
+// key-only variant additionally projects to join keys, skipping the
+// sealed-payload decryptions outright. Per-step
+// sj_rows_decrypted_total deltas are recorded so the report proves —
+// not just times — that step 2 touched only the candidate set.
+func semijoin(rows int, outDir string) error {
+	hub := rows * 2 / 5
+	if hub < 4 {
+		hub = 4
+	}
+	spoke := rows / 50
+	if spoke < 2 {
+		spoke = 2
+	}
+	fmt.Printf("== Semi-join ablation (%d-row hub, %d-row spokes, in-process) ==\n", hub, spoke)
+
+	keys, err := engine.NewClient(securejoin.Params{M: 1, T: 1}, nil)
+	if err != nil {
+		return err
+	}
+	eng := engine.NewServer()
+	reg := metrics.NewRegistry()
+	eng.Instrument(reg)
+
+	// Hub keys are all distinct; each spoke covers the first few keys,
+	// with exactly one row carrying the predicate value — so step 1
+	// matches a single hub row and the candidate list has length 1.
+	mkHub := func(n int) []engine.PlainRow {
+		out := make([]engine.PlainRow, n)
+		for i := range out {
+			out[i] = engine.PlainRow{
+				JoinValue: []byte(fmt.Sprintf("k-%d", i)),
+				Attrs:     [][]byte{[]byte("bulk")},
+				Payload:   []byte(fmt.Sprintf("order-%d", i)),
+			}
+		}
+		return out
+	}
+	mkSpoke := func(name string, n int) []engine.PlainRow {
+		out := make([]engine.PlainRow, n)
+		for i := range out {
+			attr := "skip"
+			if i == 0 {
+				attr = "pick"
+			}
+			out[i] = engine.PlainRow{
+				JoinValue: []byte(fmt.Sprintf("k-%d", i)),
+				Attrs:     [][]byte{[]byte(attr)},
+				Payload:   []byte(fmt.Sprintf("%s-%d", name, i)),
+			}
+		}
+		return out
+	}
+	tables := map[string][]engine.PlainRow{
+		"Orders":    mkHub(hub),
+		"Customers": mkSpoke("cust", spoke),
+		"Profiles":  mkSpoke("prof", spoke),
+		"Regions":   mkSpoke("reg", spoke),
+	}
+	for name, rs := range tables {
+		tab, err := keys.EncryptTableIndexed(name, rs)
+		if err != nil {
+			return err
+		}
+		eng.Upload(tab)
+	}
+
+	cat, err := sqlpkg.NewCatalog(
+		sqlpkg.TableSchema{Name: "Orders", JoinColumn: "k", Attrs: map[string]int{"selectivity": 0}},
+		sqlpkg.TableSchema{Name: "Customers", JoinColumn: "k", Attrs: map[string]int{"selectivity": 0}},
+		sqlpkg.TableSchema{Name: "Profiles", JoinColumn: "k", Attrs: map[string]int{"selectivity": 0}},
+		sqlpkg.TableSchema{Name: "Regions", JoinColumn: "k", Attrs: map[string]int{"selectivity": 0}},
+	)
+	if err != nil {
+		return err
+	}
+	cat.Instrument(reg)
+	for _, st := range eng.TableStats() {
+		if err := cat.SetStats(st.Name, st.Rows, st.Indexed); err != nil {
+			return err
+		}
+		if err := cat.SetNDV(st.Name, st.NDV); err != nil {
+			return err
+		}
+	}
+
+	const where3 = `Orders.k = Customers.k AND Orders.k = Profiles.k AND Customers.selectivity = 'pick'`
+	threeWay := `SELECT * FROM Orders, Customers, Profiles WHERE ` + where3
+	threeWayKeys := `SELECT Orders.k, Customers.k, Profiles.k FROM Orders, Customers, Profiles WHERE ` + where3
+	fourWay := `SELECT * FROM Orders, Customers, Profiles, Regions WHERE ` + where3 + ` AND Orders.k = Regions.k`
+
+	runs := []struct {
+		label string
+		query string
+		semi  bool
+	}{
+		{"3way_full", threeWay, false},
+		{"3way_semijoin", threeWay, true},
+		{"3way_semijoin_keyonly", threeWayKeys, true},
+		{"4way_full", fourWay, false},
+		{"4way_semijoin", fourWay, true},
+	}
+	decCtr := reg.Get("sj_rows_decrypted_total").(*metrics.Counter)
+	report := &benchReport{Fig: "semijoin", Rows: rows}
+	report.Baseline = &baselineRef{
+		Fig: "multijoin", Label: "3way_stats_ordered", Seconds: preSemiJoin3WaySeconds,
+		Source: "BENCH_multijoin.json as committed before semi-join candidate propagation",
+	}
+	byLabel := map[string]benchSeries{}
+	fmt.Println("mode                   seconds  result_rows  revealed_pairs  rows_decrypted_per_step")
+	for _, run := range runs {
+		cat.SetSemiJoin(run.semi)
+		plan, err := cat.Compile(run.query)
+		if err != nil {
+			return err
+		}
+		var chain []string
+		for _, st := range plan.Steps {
+			chain = append(chain, st.Left.Table+"x"+st.Right.Table)
+		}
+		runner := &decRunner{inner: sqlpkg.EngineRunner{Eng: eng, Keys: keys}, ctr: decCtr}
+		n := 0
+		start := time.Now()
+		revealed, err := sqlpkg.Execute(runner, plan, func(sqlpkg.ResultRow) error { n++; return nil })
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		perStep := runner.finish()
+		var stepStrs []string
+		for _, d := range perStep {
+			stepStrs = append(stepStrs, fmt.Sprintf("%d", d))
+		}
+		fmt.Printf("%-21s  %7.3f  %11d  %14d  %s\n",
+			run.label, elapsed.Seconds(), n, revealed, strings.Join(stepStrs, "/"))
+		s := benchSeries{
+			Label: run.label, Seconds: elapsed.Seconds(), Matches: n,
+			RevealedPairs: revealed, Chain: strings.Join(chain, " -> "),
+			RowsDecryptedPerStep: perStep,
+		}
+		report.Series = append(report.Series, s)
+		byLabel[run.label] = s
+	}
+	cat.SetSemiJoin(true)
+
+	summary := &semijoinSummary{}
+	if s := byLabel["3way_semijoin"]; s.Seconds > 0 {
+		summary.Speedup3WayVsBaseline = preSemiJoin3WaySeconds / s.Seconds
+		summary.Speedup3Way = byLabel["3way_full"].Seconds / s.Seconds
+		if len(s.RowsDecryptedPerStep) > 1 {
+			summary.Step2RowsSemiJoin = s.RowsDecryptedPerStep[1]
+		}
+	}
+	if s := byLabel["3way_full"]; len(s.RowsDecryptedPerStep) > 1 {
+		summary.Step2RowsFull = s.RowsDecryptedPerStep[1]
+	}
+	if s := byLabel["4way_semijoin"]; s.Seconds > 0 {
+		summary.Speedup4Way = byLabel["4way_full"].Seconds / s.Seconds
+	}
+	report.SemiJoin = summary
+	fmt.Printf("3-way semi-join: %.2fx vs pre-semi-join baseline, %.2fx in-figure; 4-way in-figure %.2fx; step 2 decrypts %d -> %d rows\n\n",
+		summary.Speedup3WayVsBaseline, summary.Speedup3Way, summary.Speedup4Way,
+		summary.Step2RowsFull, summary.Step2RowsSemiJoin)
+
 	report.Histograms = scrapeHistograms(reg, "sj_join_seconds", "sj_dec_seconds")
 	return writeReport(outDir, report)
 }

@@ -23,6 +23,35 @@ type benchSeries struct {
 	Matches       int     `json:"matches"`
 	RevealedPairs int     `json:"revealed_pairs"`
 	Chain         string  `json:"chain,omitempty"`
+	// Engine sj_rows_decrypted_total deltas per executed step — the
+	// direct evidence of what a stitch step actually ran through
+	// SJ.Dec (-fig semijoin).
+	RowsDecryptedPerStep []uint64 `json:"rows_decrypted_per_step,omitempty"`
+}
+
+// baselineRef pins an earlier committed figure a report's headline
+// claim is measured against.
+type baselineRef struct {
+	Fig     string  `json:"fig"`
+	Label   string  `json:"label"`
+	Seconds float64 `json:"seconds"`
+	Source  string  `json:"source"`
+}
+
+// semijoinSummary is the -fig semijoin verdict: the candidate-list
+// reduction's wall-clock speedups and the stitch-step decrypt counts
+// that explain them.
+type semijoinSummary struct {
+	// 3-way semi-join chain vs the 3way_stats_ordered series of the
+	// committed multijoin figure (the pre-semi-join execution path).
+	Speedup3WayVsBaseline float64 `json:"speedup_3way_vs_baseline"`
+	// In-figure ablations: same workload, semi-join off vs on.
+	Speedup3Way float64 `json:"speedup_3way_full_vs_semijoin"`
+	Speedup4Way float64 `json:"speedup_4way_full_vs_semijoin"`
+	// Step-2 SJ.Dec row counts: full execution re-decrypts the whole
+	// hub, semi-join only the rows step 1 matched.
+	Step2RowsFull     uint64 `json:"step2_rows_decrypted_full"`
+	Step2RowsSemiJoin uint64 `json:"step2_rows_decrypted_semijoin"`
 }
 
 // histSummary is one histogram's registry-sourced summary.
@@ -70,6 +99,8 @@ type benchReport struct {
 	Fig          string                 `json:"fig"`
 	Rows         int                    `json:"rows"`
 	Series       []benchSeries          `json:"series"`
+	Baseline     *baselineRef           `json:"baseline,omitempty"`
+	SemiJoin     *semijoinSummary       `json:"semijoin,omitempty"`
 	DecryptCache *decryptCacheSummary   `json:"decrypt_cache,omitempty"`
 	Shard        *shardSummary          `json:"shard,omitempty"`
 	Histograms   map[string]histSummary `json:"histograms"`

@@ -205,6 +205,20 @@ func cmdJoin(args []string) error {
 		fmt.Print(plan.Describe())
 		return nil
 	}
+	// Fail fast on flag/plan mismatches before any key material is
+	// loaded or server dialed, so a misuse errors immediately instead
+	// of after a connection was already established. The manual
+	// -prefilter knob shapes only the two-table fast path; for
+	// multi-join plans prefiltering is the planner's per-side call.
+	if *prefilter && len(plan.Steps) > 1 {
+		return fmt.Errorf("-prefilter applies only to two-table queries; multi-join plans choose prefiltering per side from catalog metadata")
+	}
+	if *async && len(plan.Steps) > 1 {
+		if *servers != "" {
+			return fmt.Errorf("-async with -servers submits one job per shard and has no single collectible ID; use sjsql -servers -async to run through the shards' job queues")
+		}
+		return fmt.Errorf("-async applies only to two-table queries; multi-join plans stitch intermediates client-side (see sjsql -async)")
+	}
 	ek, err := loadKeys(*keys)
 	if err != nil {
 		return err
@@ -224,9 +238,6 @@ func cmdJoin(args []string) error {
 		}
 		defer clu.Close()
 		if len(plan.Steps) > 1 {
-			if *prefilter {
-				return fmt.Errorf("-prefilter applies only to two-table queries; multi-join plans choose prefiltering per side from catalog metadata")
-			}
 			plan.Workers = *workers
 			printed, total := 0, 0
 			revealed, err := clu.ExecutePlan(plan, func(r sql.ResultRow) error {
@@ -284,9 +295,6 @@ func cmdJoin(args []string) error {
 	// process exiting, the connection dropping, even a server restart —
 	// until collected with `sjclient job -id` (or the job TTL expires).
 	if *async {
-		if len(plan.Steps) > 1 {
-			return fmt.Errorf("-async applies only to two-table queries; multi-join plans stitch intermediates client-side (see sjsql -async)")
-		}
 		info, err := cli.SubmitJoinQuery(plan.TableA, plan.TableB, plan.SelA, plan.SelB,
 			client.JoinOpts{Prefilter: *prefilter, Workers: *workers})
 		if err != nil {
@@ -298,14 +306,8 @@ func cmdJoin(args []string) error {
 	}
 
 	// Multi-table queries run through the operator-tree executor: one
-	// pairwise encrypted join per plan step, stitched client-side. The
-	// manual -prefilter knob only shapes the single-join path below;
-	// multi-join prefiltering is the planner's call (it needs the
-	// index/row-count metadata this flat -catalog spec cannot carry).
+	// pairwise encrypted join per plan step, stitched client-side.
 	if len(plan.Steps) > 1 {
-		if *prefilter {
-			return fmt.Errorf("-prefilter applies only to two-table queries; multi-join plans choose prefiltering per side from catalog metadata")
-		}
 		// The flat -catalog spec carries no worker default, so stamp the
 		// flag onto the plan the same way JoinOpts carries it below.
 		plan.Workers = *workers

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -90,5 +91,34 @@ func TestReadCSVRows(t *testing.T) {
 	}
 	if _, err := readCSVRows(filepath.Join(dir, "absent.csv"), "id", nil); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// TestJoinFlagPlanMismatchFailsFast: flag/plan mismatches (manual
+// -prefilter or -async on a multi-join plan) must be rejected right
+// after planning — before the key file is read or any server dialed.
+// The key file here does not exist and no server is running, so the
+// test only passes if validation happens first.
+func TestJoinFlagPlanMismatchFailsFast(t *testing.T) {
+	catalog := "A:k;B:k;C:k"
+	query := "SELECT * FROM A JOIN B ON A.k = B.k JOIN C ON A.k = C.k"
+	base := []string{"-keys", filepath.Join(t.TempDir(), "absent.key"), "-catalog", catalog, "-query", query}
+
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"prefilter multi-join", append([]string{"-prefilter"}, base...), "-prefilter applies only to two-table queries"},
+		{"async multi-join", append([]string{"-async"}, base...), "-async applies only to two-table queries"},
+		{"async sharded multi-join", append([]string{"-async", "-servers", "127.0.0.1:1,127.0.0.1:2"}, base...), "no single collectible ID"},
+	} {
+		err := cmdJoin(tc.args)
+		if err == nil {
+			t.Fatalf("%s: cmdJoin accepted the mismatched flags", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q (validation ran too late?)", tc.name, err, tc.want)
+		}
 	}
 }

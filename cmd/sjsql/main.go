@@ -219,6 +219,9 @@ func setup(out io.Writer, scale float64, seed int64, maxRows int, connect, serve
 			if err := catalog.SetStats(st.Name, st.Rows, st.Indexed); err != nil {
 				return nil, nil, err
 			}
+			if err := catalog.SetNDV(st.Name, st.NDV); err != nil {
+				return nil, nil, err
+			}
 		}
 		fmt.Fprintf(os.Stderr, "uploaded %d customers + %d orders + %d profiles in-process in %v (indexed=%v)\n",
 			len(customers), len(orders), len(profiles), time.Since(start).Round(time.Millisecond), index)

@@ -316,6 +316,10 @@ type TableInfo struct {
 	Indexed    bool
 	Shard      int
 	ShardCount int
+	// NDV is the table's distinct-join-value count, counted client-side
+	// at encrypt time and echoed back by the server (0 = unknown, e.g.
+	// a table uploaded by an older client).
+	NDV int
 }
 
 // DescribeTables lists the tables the server currently stores, sorted
@@ -341,7 +345,7 @@ func (c *Client) DescribeTables() ([]TableInfo, error) {
 	for i, t := range f.Tables.Tables {
 		out[i] = TableInfo{
 			Name: t.Name, Rows: t.Rows, Indexed: t.Indexed,
-			Shard: t.Shard, ShardCount: t.ShardCount,
+			Shard: t.Shard, ShardCount: t.ShardCount, NDV: t.NDV,
 		}
 	}
 	return out, nil
@@ -367,6 +371,7 @@ func (c *Client) SyncCatalog(cat *sql.Catalog) ([]TableInfo, error) {
 	for _, name := range cat.TableNames() {
 		t := stats[name] // zero value: unknown rows, no index
 		_ = cat.SetStats(name, t.Rows, t.Indexed)
+		_ = cat.SetNDV(name, t.NDV)
 	}
 	return tables, nil
 }
@@ -443,11 +448,13 @@ func (c *Client) uploadTable(table *engine.EncryptedTable) error {
 			Commit: commit,
 		}
 		if commit {
-			// The index and the shard annotations ride the Commit chunk
-			// only — that is the request that installs the table.
+			// The index, the shard annotations and the distinct-value
+			// count ride the Commit chunk only — that is the request
+			// that installs the table.
 			req.Index = index
 			req.Shard = table.Shard
 			req.ShardCount = table.ShardCount
+			req.NDV = table.NDV
 		}
 		p, err := c.send(&wire.Request{Upload: req})
 		if err != nil {
@@ -505,17 +512,24 @@ func (s *JoinStream) Next() ([]JoinResult, error) {
 	case f.Batch != nil:
 		out := make([]JoinResult, len(f.Batch.Rows))
 		for i, r := range f.Batch.Rows {
-			pa, err := s.c.keys.OpenPayload(r.PayloadA)
-			if err != nil {
-				s.err = fmt.Errorf("client: opening payload A of result %d: %w", i, err)
-				s.abort()
-				return nil, s.err
+			// A key-only side ships no payload (SkipPayloadA/B): sealed
+			// payloads are never legitimately empty (nonce+tag minimum),
+			// so an empty one means the server skipped it — leave nil.
+			var pa, pb []byte
+			var err error
+			if len(r.PayloadA) > 0 {
+				if pa, err = s.c.keys.OpenPayload(r.PayloadA); err != nil {
+					s.err = fmt.Errorf("client: opening payload A of result %d: %w", i, err)
+					s.abort()
+					return nil, s.err
+				}
 			}
-			pb, err := s.c.keys.OpenPayload(r.PayloadB)
-			if err != nil {
-				s.err = fmt.Errorf("client: opening payload B of result %d: %w", i, err)
-				s.abort()
-				return nil, s.err
+			if len(r.PayloadB) > 0 {
+				if pb, err = s.c.keys.OpenPayload(r.PayloadB); err != nil {
+					s.err = fmt.Errorf("client: opening payload B of result %d: %w", i, err)
+					s.abort()
+					return nil, s.err
+				}
 			}
 			out[i] = JoinResult{RowA: r.RowA, RowB: r.RowB, PayloadA: pa, PayloadB: pb}
 		}
@@ -593,7 +607,14 @@ func (c *Client) JoinPlan(p *sql.Plan) (*JoinStream, error) {
 // request it describes — the shared builder behind synchronous joins
 // and async job submission.
 func joinReqFromSpec(tableA, tableB string, spec engine.JoinSpec) (*wire.JoinRequest, error) {
-	req := &wire.JoinRequest{TableA: tableA, TableB: tableB, Workers: spec.Workers}
+	req := &wire.JoinRequest{
+		TableA: tableA, TableB: tableB, Workers: spec.Workers,
+		// Semi-join candidate lists and key-only projection flags ship
+		// verbatim; all four are gob-additive (zero values reproduce
+		// the legacy full behavior on older servers).
+		CandidatesA: spec.CandidatesA, CandidatesB: spec.CandidatesB,
+		SkipPayloadA: spec.SkipPayloadA, SkipPayloadB: spec.SkipPayloadB,
+	}
 	q := spec.Query
 	var err error
 	if spec.Prefilter != nil {
@@ -637,11 +658,12 @@ func (c *Client) joinSpec(tableA, tableB string, spec engine.JoinSpec) (*JoinStr
 // are opened with the client's keys as batches arrive.
 type planRunner struct{ c *Client }
 
-func (r planRunner) RunStep(p *sql.Plan, step int) (sql.StepStream, error) {
+func (r planRunner) RunStep(p *sql.Plan, step int, in sql.StepInput) (sql.StepStream, error) {
 	spec, err := p.SpecFor(step, r.c.keys)
 	if err != nil {
 		return nil, err
 	}
+	spec.CandidatesA = in.CandidatesL
 	st := &p.Steps[step]
 	js, err := r.c.joinSpec(st.Left.Table, st.Right.Table, spec)
 	if err != nil {

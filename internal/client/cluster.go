@@ -253,6 +253,10 @@ func (cl *Cluster) DescribeTables() ([]TableInfo, error) {
 			}
 			a.Rows += t.Rows
 			a.Indexed = a.Indexed && t.Indexed
+			// Tables are hash-partitioned on the join value, so each
+			// distinct value lives on exactly one shard: the global
+			// distinct count is the exact sum of the shard counts.
+			a.NDV += t.NDV
 		}
 	}
 	out := make([]TableInfo, 0, len(order))
@@ -278,6 +282,7 @@ func (cl *Cluster) SyncCatalog(cat *sql.Catalog) ([]TableInfo, error) {
 	for _, name := range cat.TableNames() {
 		t := stats[name]
 		_ = cat.SetStats(name, t.Rows, t.Indexed)
+		_ = cat.SetNDV(name, t.NDV)
 	}
 	return tables, nil
 }
@@ -344,29 +349,97 @@ func (s *clusterStepStream) push(rows []sql.StepRow) bool {
 	}
 }
 
-// scatter runs one join request on every shard concurrently and
-// returns the merged stream. tableL/tableR name the step's sides for
-// row-identity remapping. In async mode each shard's work is submitted
-// as a server-side job first and the results are attached, so the
-// shards' worker pools (and job spools) own the execution.
+// shardJoinReqs specializes one step's join request per shard. With no
+// candidate list every shard receives the shared request unchanged
+// (same tokens everywhere — see ClusterRunner.RunStep). With one, the
+// global hub-row ids are remapped to each shard's local row numbers;
+// a shard left with no candidates gets a nil slot and is skipped
+// entirely — correct because no cross-shard match exists, and
+// necessary because the wire encoding cannot distinguish an empty
+// restriction from no restriction.
+func (cl *Cluster) shardJoinReqs(base *wire.JoinRequest, tableL string, candidates []int) []*wire.JoinRequest {
+	reqs := make([]*wire.JoinRequest, len(cl.clients))
+	if len(candidates) == 0 {
+		for s := range reqs {
+			reqs[s] = base
+		}
+		return reqs
+	}
+	locals := cl.localCandidates(tableL, candidates)
+	for s := range reqs {
+		if len(locals[s]) == 0 {
+			continue
+		}
+		r := *base
+		r.CandidatesA = locals[s]
+		reqs[s] = &r
+	}
+	return reqs
+}
+
+// localCandidates inverts the upload-time shard maps: per shard, the
+// ascending local row numbers of the global candidate ids that live on
+// it. Without a shard map (this process did not upload the table) the
+// ids came from globalRow's deterministic injection local*N+shard, so
+// the inverse is arithmetic. candidates must be sorted ascending —
+// sql.Execute ships them that way.
+func (cl *Cluster) localCandidates(table string, candidates []int) [][]int {
+	n := len(cl.clients)
+	cl.mu.Lock()
+	m := cl.shardMaps[table]
+	cl.mu.Unlock()
+	out := make([][]int, n)
+	if len(m) != n {
+		for _, g := range candidates {
+			if g >= 0 {
+				out[g%n] = append(out[g%n], g/n)
+			}
+		}
+		return out
+	}
+	for s := 0; s < n; s++ {
+		sm := m[s] // ascending global ids of shard s's rows
+		i := 0
+		for _, g := range candidates {
+			for i < len(sm) && sm[i] < g {
+				i++
+			}
+			if i < len(sm) && sm[i] == g {
+				out[s] = append(out[s], i)
+			}
+		}
+	}
+	return out
+}
+
+// scatter runs one join step on every shard concurrently and returns
+// the merged stream: reqs carries one request per shard (see
+// shardJoinReqs; a nil slot skips that shard). tableL/tableR name the
+// step's sides for row-identity remapping. In async mode each shard's
+// work is submitted as a server-side job first and the results are
+// attached, so the shards' worker pools (and job spools) own the
+// execution.
 //
 // Degraded mode: a shard that sheds (ErrOverloaded) is retried with
 // jittered exponential backoff on that shard alone — its siblings
 // keep streaming. Admission control rejects before any batch is
 // produced, so the retry re-sends a request that has emitted nothing.
-func (cl *Cluster) scatter(tableL, tableR string, req *wire.JoinRequest, async bool) *clusterStepStream {
+func (cl *Cluster) scatter(tableL, tableR string, reqs []*wire.JoinRequest, async bool) *clusterStepStream {
 	ms := &clusterStepStream{
 		batches: make(chan []sql.StepRow, len(cl.clients)),
 		quit:    make(chan struct{}),
 	}
 	var wg sync.WaitGroup
 	for s := range cl.clients {
+		if reqs[s] == nil {
+			continue
+		}
 		wg.Add(1)
 		go func(shard int) {
 			defer wg.Done()
 			label := strconv.Itoa(shard)
 			started := time.Now()
-			revealed, err := cl.runShard(shard, tableL, tableR, req, async, ms)
+			revealed, err := cl.runShard(shard, tableL, tableR, reqs[shard], async, ms)
 			cl.met.ShardSeconds.With(label).Observe(time.Since(started).Seconds())
 			if err != nil {
 				ms.fail(fmt.Errorf("shard %d (%s): %w", shard, cl.addrs[shard], err))
@@ -463,7 +536,7 @@ type ClusterRunner struct {
 	Async   bool
 }
 
-func (r ClusterRunner) RunStep(p *sql.Plan, step int) (sql.StepStream, error) {
+func (r ClusterRunner) RunStep(p *sql.Plan, step int, in sql.StepInput) (sql.StepStream, error) {
 	spec, err := p.SpecFor(step, r.Cluster.keys)
 	if err != nil {
 		return nil, err
@@ -472,12 +545,15 @@ func (r ClusterRunner) RunStep(p *sql.Plan, step int) (sql.StepStream, error) {
 	// One token set per step, shared by every shard: the shards jointly
 	// execute one logical query, and a semi-honest coalition of
 	// backends then sees exactly the single-server request, not N
-	// fresher-keyed variants of it.
+	// fresher-keyed variants of it. Only the semi-join candidate lists
+	// differ per shard — each backend receives the (remapped) subset of
+	// hub rows it actually stores.
 	req, err := joinReqFromSpec(st.Left.Table, st.Right.Table, spec)
 	if err != nil {
 		return nil, err
 	}
-	return r.Cluster.scatter(st.Left.Table, st.Right.Table, req, r.Async), nil
+	reqs := r.Cluster.shardJoinReqs(req, st.Left.Table, in.CandidatesL)
+	return r.Cluster.scatter(st.Left.Table, st.Right.Table, reqs, r.Async), nil
 }
 
 // ExecutePlan runs a compiled SQL plan scatter-gather: every pairwise
@@ -504,7 +580,7 @@ func (cl *Cluster) Join(tableA, tableB string, selA, selB securejoin.Selection, 
 	if err != nil {
 		return nil, 0, err
 	}
-	ms := cl.scatter(tableA, tableB, req, false)
+	ms := cl.scatter(tableA, tableB, cl.shardJoinReqs(req, tableA, nil), false)
 	defer ms.Close()
 	var out []JoinResult
 	for {

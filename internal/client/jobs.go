@@ -49,6 +49,11 @@ func (c *Client) SubmitJoinQuery(tableA, tableB string, selA, selB securejoin.Se
 // as its own async job and returns the job IDs in step order. Resume
 // the plan — after a disconnect or even a server restart — by handing
 // the same plan and IDs to ExecuteSubmitted.
+//
+// Eager whole-plan submission cannot carry semi-join candidate lists
+// (a step's candidates are the previous step's matches, unknown at
+// submit time), so every step executes in full. ExecutePlanAsync
+// submits lazily step by step and keeps the reduction.
 func (c *Client) SubmitPlan(p *sql.Plan) ([]string, error) {
 	ids := make([]string, len(p.Steps))
 	for step := range p.Steps {
@@ -187,14 +192,48 @@ func (c *Client) PollJobCtx(ctx context.Context, id string, interval time.Durati
 }
 
 // jobRunner adapts submitted jobs to sql.StepRunner: step i's stream
-// is an attach to ids[i] instead of a fresh JoinRequest.
+// is an attach to ids[i] instead of a fresh JoinRequest. The jobs were
+// submitted before execution began, so in.CandidatesL is deliberately
+// ignored — the steps ran (or run) in full, and the stitch discards
+// non-candidate rows client-side, yielding identical results without
+// the semi-join savings.
 type jobRunner struct {
 	c   *Client
 	ids []string
 }
 
-func (r jobRunner) RunStep(p *sql.Plan, step int) (sql.StepStream, error) {
+func (r jobRunner) RunStep(p *sql.Plan, step int, in sql.StepInput) (sql.StepStream, error) {
 	js, err := r.c.AttachJob(r.ids[step])
+	if err != nil {
+		return nil, err
+	}
+	return wireStepStream{js}, nil
+}
+
+// asyncStepRunner submits each step as a job at the moment Execute
+// reaches it and attaches immediately — the lazy twin of SubmitPlan +
+// jobRunner. Per-step submission is what lets the semi-join reduction
+// work through the job queue: by the time step k+1 is submitted, the
+// previous step's matches are known and ride the request as its
+// candidate list.
+type asyncStepRunner struct{ c *Client }
+
+func (r asyncStepRunner) RunStep(p *sql.Plan, step int, in sql.StepInput) (sql.StepStream, error) {
+	spec, err := p.SpecFor(step, r.c.keys)
+	if err != nil {
+		return nil, err
+	}
+	spec.CandidatesA = in.CandidatesL
+	st := &p.Steps[step]
+	req, err := joinReqFromSpec(st.Left.Table, st.Right.Table, spec)
+	if err != nil {
+		return nil, err
+	}
+	info, err := r.c.submitJoinReq(req)
+	if err != nil {
+		return nil, fmt.Errorf("submitting plan step %d: %w", step, err)
+	}
+	js, err := r.c.AttachJob(info.ID)
 	if err != nil {
 		return nil, err
 	}
@@ -212,15 +251,14 @@ func (c *Client) ExecuteSubmitted(p *sql.Plan, ids []string, emit func(sql.Resul
 	return sql.Execute(jobRunner{c: c, ids: ids}, p, emit)
 }
 
-// ExecutePlanAsync submits every plan step as a job, then attaches and
-// stitches the results — ExecutePlan routed through the server's job
-// queue. The steps execute on the server's worker pool (and their
-// completed results spool durably) rather than being tied to this
-// connection's request lifetimes.
+// ExecutePlanAsync runs a plan through the server's job queue: each
+// step is submitted as a job when execution reaches it, then attached
+// and stitched — ExecutePlan with the steps executing on the server's
+// worker pool (and their completed results spooling durably) rather
+// than being tied to this connection's request lifetimes. Submission
+// is per step, so semi-join candidate lists propagate exactly as in
+// the synchronous path; to pre-submit a whole plan up front (at the
+// cost of full per-step execution), use SubmitPlan + ExecuteSubmitted.
 func (c *Client) ExecutePlanAsync(p *sql.Plan, emit func(sql.ResultRow) error) (int, error) {
-	ids, err := c.SubmitPlan(p)
-	if err != nil {
-		return 0, err
-	}
-	return c.ExecuteSubmitted(p, ids, emit)
+	return sql.Execute(asyncStepRunner{c}, p, emit)
 }

@@ -69,12 +69,19 @@ type EncryptedRow struct {
 // client.Cluster): this server holds shard Shard of ShardCount. They
 // are metadata only — the engine stores and joins a shard exactly like
 // a whole table — and zero for unsharded tables.
+//
+// NDV is the number of distinct join values of the table, counted
+// client-side at encrypt time (the server only ever sees ciphertexts,
+// so it could not compute this itself). It is planner metadata only —
+// 0 means unknown — and feeds the SQL planner's selectivity estimates
+// through TableStats/Describe.
 type EncryptedTable struct {
 	Name       string
 	Rows       []*EncryptedRow
 	Index      *sse.Index
 	Shard      int
 	ShardCount int
+	NDV        int
 }
 
 // Client holds all secret material: the Secure Join master key, the
@@ -125,7 +132,7 @@ func (c *Client) Params() securejoin.Params { return c.scheme.Params() }
 
 // EncryptTable encrypts a table for upload.
 func (c *Client) EncryptTable(name string, rows []PlainRow) (*EncryptedTable, error) {
-	out := &EncryptedTable{Name: name, Rows: make([]*EncryptedRow, len(rows))}
+	out := &EncryptedTable{Name: name, Rows: make([]*EncryptedRow, len(rows)), NDV: countDistinctJoinValues(rows)}
 	for i, r := range rows {
 		jc, err := c.scheme.Encrypt(securejoin.Row{JoinValue: r.JoinValue, Attrs: r.Attrs})
 		if err != nil {
@@ -138,6 +145,17 @@ func (c *Client) EncryptTable(name string, rows []PlainRow) (*EncryptedTable, er
 		out.Rows[i] = &EncryptedRow{Join: jc, Payload: pc}
 	}
 	return out, nil
+}
+
+// countDistinctJoinValues is the join-column NDV stamped onto encrypted
+// tables: only the key owner can count plaintext join values, so this
+// happens at encrypt time and travels with the upload as metadata.
+func countDistinctJoinValues(rows []PlainRow) int {
+	seen := make(map[string]struct{}, len(rows))
+	for _, r := range rows {
+		seen[string(r.JoinValue)] = struct{}{}
+	}
+	return len(seen)
 }
 
 // NewQuery issues the two tokens of one equi-join query.
@@ -329,13 +347,15 @@ func (s *Server) DropTable(name string) error {
 // is what a SQL planner needs to choose prefiltered execution — served
 // in-process here and over the wire by the server's Describe request.
 // Shard/ShardCount echo the table's shard annotations (zero for whole
-// tables).
+// tables). NDV echoes the client-computed distinct-join-value count
+// (0 = unknown), which the planner turns into per-value selectivity.
 type TableStat struct {
 	Name       string
 	Rows       int
 	Indexed    bool
 	Shard      int
 	ShardCount int
+	NDV        int
 }
 
 // TableStats lists the stored tables, sorted by name.
@@ -345,7 +365,7 @@ func (s *Server) TableStats() []TableStat {
 	for _, t := range s.tables {
 		out = append(out, TableStat{
 			Name: t.Name, Rows: len(t.Rows), Indexed: t.Index != nil,
-			Shard: t.Shard, ShardCount: t.ShardCount,
+			Shard: t.Shard, ShardCount: t.ShardCount, NDV: t.NDV,
 		})
 	}
 	s.tablesMu.RUnlock()
@@ -449,6 +469,22 @@ type JoinSpec struct {
 	// against the tables' indexes so SJ.Dec runs only over matching
 	// rows. Nil means full scan (the paper's exact leakage profile).
 	Prefilter *PrefilterQuery
+	// CandidatesA/B optionally restrict each side to an explicit row-id
+	// list — the semi-join reduction: a multi-join executor ships the
+	// hub rows matched by the previous step so SJ.Dec runs only over
+	// them. They compose with Prefilter by intersection, and with each
+	// other by the usual semantics: empty (or nil) means no explicit
+	// restriction. Leakage-neutral: the lists contain only row ids whose
+	// match status sigma(q) of the prior step already revealed.
+	CandidatesA []int
+	CandidatesB []int
+	// SkipPayloadA/B omit that side's sealed payload from every emitted
+	// JoinedRow — the key-only projection: when the query's SELECT list
+	// references no payload of the side, there is nothing to ship or
+	// for the client to open. Strictly leakage-reducing (the server
+	// streams fewer of the opaque blobs it stores).
+	SkipPayloadA bool
+	SkipPayloadB bool
 	// Batch bounds the probe-side rows per Next call; <= 0 selects
 	// DefaultBatchSize.
 	Batch int
@@ -509,6 +545,8 @@ type JoinStream struct {
 
 	index    map[string][]int // D value of A -> rows, the build side
 	probe    []int            // candidate rows of B, ascending; nil = every row
+	skipA    bool             // key-only projection: omit side-A payloads
+	skipB    bool             // key-only projection: omit side-B payloads
 	bucketsB map[string][]int // D value of B -> rows seen so far (intra-B pairs)
 	pairs    leakage.PairSet  // leakage accumulated as matching progresses
 	next     int              // next entry of probe to decrypt
@@ -565,6 +603,10 @@ func (s *Server) OpenJoin(tableA, tableB string, spec JoinSpec) (*JoinStream, er
 	if err != nil {
 		return nil, err
 	}
+	// Explicit candidate lists (the semi-join reduction) intersect with
+	// whatever the SSE pre-filter selected.
+	candA = mergeCandidates(candA, spec.CandidatesA, len(ta.Rows))
+	candB = mergeCandidates(candB, spec.CandidatesB, len(tb.Rows))
 
 	// Build side: parallel SJ.Dec over A's candidates, indexed by D
 	// value under the original row numbers. Each token's Miller program
@@ -605,6 +647,8 @@ func (s *Server) OpenJoin(tableA, tableB string, spec JoinSpec) (*JoinStream, er
 		workers:  spec.Workers,
 		index:    index,
 		probe:    candB,
+		skipA:    spec.SkipPayloadA,
+		skipB:    spec.SkipPayloadB,
 		bucketsB: make(map[string][]int),
 		pairs:    pairs,
 		started:  started,
@@ -661,12 +705,14 @@ func (st *JoinStream) Next() ([]JoinedRow, error) {
 		rowB := candRow(st.probe, st.next+j)
 		key := string(db)
 		for _, rowA := range st.index[key] {
-			out = append(out, JoinedRow{
-				RowA:     rowA,
-				RowB:     rowB,
-				PayloadA: st.ta.Rows[rowA].Payload,
-				PayloadB: st.tb.Rows[rowB].Payload,
-			})
+			jr := JoinedRow{RowA: rowA, RowB: rowB}
+			if !st.skipA {
+				jr.PayloadA = st.ta.Rows[rowA].Payload
+			}
+			if !st.skipB {
+				jr.PayloadB = st.tb.Rows[rowB].Payload
+			}
+			out = append(out, jr)
 			st.pairs.Add(leakage.Pair{
 				A: leakage.RowRef{Table: st.tableA, Row: rowA},
 				B: leakage.RowRef{Table: st.tableB, Row: rowB},

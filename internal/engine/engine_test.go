@@ -134,8 +134,8 @@ func TestTableStats(t *testing.T) {
 
 	stats := server.TableStats()
 	want := []TableStat{
-		{Name: "Employees", Rows: 4, Indexed: false},
-		{Name: "Teams", Rows: 2, Indexed: true},
+		{Name: "Employees", Rows: 4, Indexed: false, NDV: 2},
+		{Name: "Teams", Rows: 2, Indexed: true, NDV: 2},
 	}
 	if len(stats) != len(want) {
 		t.Fatalf("TableStats = %+v", stats)

@@ -16,14 +16,16 @@ import (
 // with the same security posture as the running server.
 
 // tableFile is the gob image of an EncryptedTable. Shard/ShardCount
-// are gob-additive (zero in files written before sharding existed), so
-// shard annotations survive restarts without a format change.
+// and NDV are gob-additive (zero in files written before they
+// existed), so the annotations survive restarts without a format
+// change.
 type tableFile struct {
 	Name       string
 	Rows       []tableFileRow
 	Index      []byte // empty when the table has no SSE index
 	Shard      int
 	ShardCount int
+	NDV        int
 }
 
 type tableFileRow struct {
@@ -33,7 +35,7 @@ type tableFileRow struct {
 
 // SaveTable serializes an encrypted table.
 func SaveTable(w io.Writer, t *EncryptedTable) error {
-	f := tableFile{Name: t.Name, Rows: make([]tableFileRow, len(t.Rows)), Shard: t.Shard, ShardCount: t.ShardCount}
+	f := tableFile{Name: t.Name, Rows: make([]tableFileRow, len(t.Rows)), Shard: t.Shard, ShardCount: t.ShardCount, NDV: t.NDV}
 	for i, r := range t.Rows {
 		jc, err := r.Join.MarshalBinary()
 		if err != nil {
@@ -58,7 +60,7 @@ func LoadTable(r io.Reader) (*EncryptedTable, error) {
 	if err := gob.NewDecoder(r).Decode(&f); err != nil {
 		return nil, fmt.Errorf("engine: decoding table: %w", err)
 	}
-	t := &EncryptedTable{Name: f.Name, Rows: make([]*EncryptedRow, len(f.Rows)), Shard: f.Shard, ShardCount: f.ShardCount}
+	t := &EncryptedTable{Name: f.Name, Rows: make([]*EncryptedRow, len(f.Rows)), Shard: f.Shard, ShardCount: f.ShardCount, NDV: f.NDV}
 	for i, row := range f.Rows {
 		var ct securejoin.RowCiphertext
 		if err := ct.UnmarshalBinary(row.Join); err != nil {

@@ -129,6 +129,37 @@ func candidates(t *EncryptedTable, tokens map[int][]sse.SearchToken) ([]int, err
 	return cand, nil
 }
 
+// mergeCandidates intersects the pre-filter's candidate rows with an
+// explicit candidate list from a JoinSpec (the semi-join reduction).
+// An empty explicit list means "no explicit restriction" — over the
+// wire the field is gob-additive, so absent and empty are
+// indistinguishable, and a multi-join executor never ships an empty
+// list anyway (an empty intermediate short-circuits the whole plan).
+// Out-of-range ids are dropped defensively rather than crashing the
+// decrypt pipeline on a confused (or malicious) client.
+func mergeCandidates(cand, explicit []int, tableRows int) []int {
+	if len(explicit) == 0 {
+		return cand
+	}
+	if !sortedUnique(explicit) {
+		explicit = sortUnique(explicit)
+	}
+	ex := make([]int, 0, len(explicit))
+	for _, id := range explicit {
+		if id >= 0 && id < tableRows {
+			ex = append(ex, id)
+		}
+	}
+	if cand == nil {
+		return ex
+	}
+	out := sse.IntersectSorted(cand, ex)
+	if out == nil {
+		out = []int{} // keep "no rows" distinct from the "every row" sentinel
+	}
+	return out
+}
+
 // sortedUnique reports whether xs is strictly ascending.
 func sortedUnique(xs []int) bool {
 	for i := 1; i < len(xs); i++ {

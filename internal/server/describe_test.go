@@ -32,8 +32,8 @@ func TestDescribeTables(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []client.TableInfo{
-		{Name: "Indexed", Rows: 1, Indexed: true},
-		{Name: "Plain", Rows: 2, Indexed: false},
+		{Name: "Indexed", Rows: 1, Indexed: true, NDV: 1},
+		{Name: "Plain", Rows: 2, Indexed: false, NDV: 2},
 	}
 	if len(tables) != len(want) {
 		t.Fatalf("DescribeTables = %+v", tables)

@@ -550,7 +550,7 @@ func (ss *session) handleDescribe(id uint64) error {
 	for i, st := range stats {
 		list.Tables[i] = wire.TableInfo{
 			Name: st.Name, Rows: st.Rows, Indexed: st.Indexed,
-			Shard: st.Shard, ShardCount: st.ShardCount,
+			Shard: st.Shard, ShardCount: st.ShardCount, NDV: st.NDV,
 		}
 	}
 	return ss.send(&wire.Frame{ID: id, Tables: list})
@@ -602,7 +602,7 @@ func (ss *session) handleUpload(id uint64, up *wire.UploadRequest) error {
 		// store): the server stores and joins a shard exactly like a
 		// whole table, but Describe echoes the annotations so clients
 		// can verify which partition this backend holds.
-		table := &engine.EncryptedTable{Name: up.Table, Rows: staged, Shard: up.Shard, ShardCount: up.ShardCount}
+		table := &engine.EncryptedTable{Name: up.Table, Rows: staged, Shard: up.Shard, ShardCount: up.ShardCount, NDV: up.NDV}
 		if len(up.Index) > 0 {
 			idx := &sse.Index{}
 			if err := idx.UnmarshalBinary(up.Index); err != nil {
@@ -641,7 +641,14 @@ func (s *Server) joinSpecFrom(jr *wire.JoinRequest) (engine.JoinSpec, error) {
 	}
 	q := &securejoin.Query{TokenA: &ta, TokenB: &tb}
 
-	spec := engine.JoinSpec{Query: q, Batch: s.batch, Workers: clampWorkers(jr.Workers)}
+	spec := engine.JoinSpec{
+		Query: q, Batch: s.batch, Workers: clampWorkers(jr.Workers),
+		// Semi-join candidate lists and key-only projection flags pass
+		// straight through; the engine intersects candidates with any
+		// prefilter and drops out-of-range ids defensively.
+		CandidatesA: jr.CandidatesA, CandidatesB: jr.CandidatesB,
+		SkipPayloadA: jr.SkipPayloadA, SkipPayloadB: jr.SkipPayloadB,
+	}
 	if len(jr.PrefilterA) > 0 || len(jr.PrefilterB) > 0 {
 		pf := &engine.PrefilterQuery{Join: q}
 		if len(jr.PrefilterA) > 0 {

@@ -76,10 +76,23 @@ func TestSQLConformanceCluster(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantRows := map[string]int{"Teams": len(teams), "Employees": len(employees)}
+	// Hash partitioning places each distinct join value on exactly one
+	// shard, so summing per-shard NDVs must recover the true count.
+	distinct := func(rows []engine.PlainRow) int {
+		seen := map[string]bool{}
+		for _, r := range rows {
+			seen[string(r.JoinValue)] = true
+		}
+		return len(seen)
+	}
+	wantNDV := map[string]int{"Teams": distinct(teams), "Employees": distinct(employees)}
 	for _, info := range infos {
 		if info.Rows != wantRows[info.Name] || !info.Indexed || info.ShardCount != 2 {
 			t.Fatalf("aggregated describe of %s = %+v, want %d rows, indexed, 2 shards",
 				info.Name, info, wantRows[info.Name])
+		}
+		if info.NDV != wantNDV[info.Name] {
+			t.Errorf("aggregated NDV of %s = %d, want %d", info.Name, info.NDV, wantNDV[info.Name])
 		}
 	}
 
@@ -222,6 +235,28 @@ func TestSQLConformanceClusterMultiJoin(t *testing.T) {
 				if revealed != singleRevealed {
 					t.Errorf("%s summed sigma = %d pairs, single server revealed %d", mode, revealed, singleRevealed)
 				}
+			}
+
+			// Full execution (semi-join off) through the cluster: same
+			// rows, and the default semi-join run may only have revealed
+			// fewer pairs than this reference.
+			cat.SetSemiJoin(false)
+			fullPlan, err := cat.Compile(cq.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cat.SetSemiJoin(true)
+			var fullRows []string
+			fullRevealed, err := cl.ExecutePlan(fullPlan,
+				func(r sql.ResultRow) error { fullRows = append(fullRows, render(r)); return nil })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := canonical(t, fullRows); got != singleCanon {
+				t.Errorf("cluster full-execution rows differ from single server:\n%s\nvs\n%s", got, singleCanon)
+			}
+			if singleRevealed > fullRevealed {
+				t.Errorf("semi-join revealed %d pairs, more than full execution's %d", singleRevealed, fullRevealed)
 			}
 		})
 	}

@@ -86,8 +86,11 @@ var conformanceQueries = []conformanceQuery{
 		rows: [][2]int{{1, 2}}},
 	{name: "IN on A", query: conformanceBase + ` WHERE Teams.Name IN ('Web Application', 'Database')`,
 		rows: [][2]int{{0, 0}, {0, 1}, {1, 2}}},
+	// With NDV stats synced (3 distinct team keys), an IN covering as
+	// many values as the table has distinct join values estimates to the
+	// whole table — the planner now correctly refuses the index probe.
 	{name: "IN all roles", query: conformanceBase + ` WHERE Employees.Role IN ('Programmer', 'Tester', 'Operator')`,
-		rows: [][2]int{{0, 0}, {0, 1}, {1, 2}, {2, 3}}},
+		rows: [][2]int{{0, 0}, {0, 1}, {1, 2}, {2, 3}}, fullScan: true},
 	{name: "same-column conjuncts merge", query: conformanceBase + ` WHERE Employees.Role = 'Programmer' AND Employees.Role IN ('Tester')`,
 		rows: [][2]int{{0, 0}, {0, 1}, {1, 2}}},
 	{name: "multi-attr conjunction one side", query: conformanceBase + ` WHERE Employees.Role = 'Programmer' AND Employees.Level = '1'`,
@@ -115,7 +118,7 @@ var conformanceQueries = []conformanceQuery{
 	{name: "dept only", query: conformanceBase + ` WHERE Teams.Dept = 'Support'`,
 		rows: [][2]int{{2, 3}}},
 	{name: "IN covering every value", query: conformanceBase + ` WHERE Teams.Name IN ('Web Application', 'Database', 'Helpdesk')`,
-		rows: [][2]int{{0, 0}, {0, 1}, {1, 2}, {2, 3}}},
+		rows: [][2]int{{0, 0}, {0, 1}, {1, 2}, {2, 3}}, fullScan: true},
 }
 
 // canonical renders one execution's result as a sorted, payload-opened
@@ -233,6 +236,15 @@ func TestSQLConformanceMultiJoin(t *testing.T) {
 			if !plan.Steps[1].Stitch {
 				t.Fatal("second step not marked as a stitch")
 			}
+			// Semi-join is on by default: the stitch step must carry the
+			// reduction, and the stitch side's payload is always skipped
+			// (the stitcher reads it from the intermediate).
+			if !plan.Steps[1].SemiJoin {
+				t.Fatal("stitch step not marked semi-join")
+			}
+			if !plan.Steps[1].Left.SkipPayload {
+				t.Fatal("stitch step left side does not skip its payload")
+			}
 
 			render := func(r sql.ResultRow) string {
 				return fmt.Sprintf("%d|%d|%d|%s|%s|%s",
@@ -247,6 +259,34 @@ func TestSQLConformanceMultiJoin(t *testing.T) {
 			var wireRows []string
 			wireRevealed, err := c.ExecutePlan(plan,
 				func(r sql.ResultRow) error { wireRows = append(wireRows, render(r)); return nil })
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Async mode submits each step lazily through the job queue,
+			// carrying the same candidate lists.
+			var asyncRows []string
+			asyncRevealed, err := c.ExecutePlanAsync(plan,
+				func(r sql.ResultRow) error { asyncRows = append(asyncRows, render(r)); return nil })
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Full execution (semi-join disabled) is the reference the
+			// reduction must match row for row. Revealed pairs may only
+			// shrink: a hub row that matched nothing in the previous step
+			// is never decrypted again, so its later-step pairs — which
+			// full execution reveals and then discards — never surface.
+			cat.SetSemiJoin(false)
+			fullPlan, err := cat.Compile(cq.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cat.SetSemiJoin(true)
+			if fullPlan.Steps[1].SemiJoin {
+				t.Fatal("SetSemiJoin(false) did not clear the stitch step's semi-join flag")
+			}
+			var fullRows []string
+			fullRevealed, err := c.ExecutePlan(fullPlan,
+				func(r sql.ResultRow) error { fullRows = append(fullRows, render(r)); return nil })
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -267,6 +307,56 @@ func TestSQLConformanceMultiJoin(t *testing.T) {
 			}
 			if libRevealed != wireRevealed {
 				t.Errorf("lib revealed %d pairs, wire revealed %d", libRevealed, wireRevealed)
+			}
+			if asyncCanon := canonical(t, asyncRows); asyncCanon != libCanon {
+				t.Errorf("async rows differ from lib:\n%s\nvs\n%s", asyncCanon, libCanon)
+			}
+			if asyncRevealed != libRevealed {
+				t.Errorf("lib revealed %d pairs, async revealed %d", libRevealed, asyncRevealed)
+			}
+			if fullCanon := canonical(t, fullRows); fullCanon != libCanon {
+				t.Errorf("full execution rows differ from semi-join:\n%s\nvs\n%s", fullCanon, libCanon)
+			}
+			if libRevealed > fullRevealed {
+				t.Errorf("semi-join revealed %d pairs, more than full execution's %d", libRevealed, fullRevealed)
+			}
+
+			// Key-only projection: selecting only join columns must yield
+			// the same stitched row identities and revealed pairs with
+			// every payload column empty.
+			keyOnly := strings.Replace(cq.query, "SELECT *", "SELECT Teams.Key, Employees.Team, Offices.TeamKey", 1)
+			koPlan, err := cat.Compile(keyOnly)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s := range koPlan.Steps {
+				if !koPlan.Steps[s].Left.SkipPayload || !koPlan.Steps[s].Right.SkipPayload {
+					t.Fatalf("key-only plan step %d still ships payloads:\n%s", s, koPlan.Describe())
+				}
+			}
+			var koRows []string
+			koRevealed, err := c.ExecutePlan(koPlan,
+				func(r sql.ResultRow) error {
+					for i, p := range r.Payloads {
+						if len(p) != 0 {
+							t.Errorf("key-only execution delivered a payload for column %d: %q", i, p)
+						}
+					}
+					koRows = append(koRows, fmt.Sprintf("%d|%d|%d", r.Rows[0], r.Rows[1], r.Rows[2]))
+					return nil
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wantIDs []string
+			for _, tr := range cq.rows {
+				wantIDs = append(wantIDs, fmt.Sprintf("%d|%d|%d", tr[0], tr[1], tr[2]))
+			}
+			if got, want := canonical(t, koRows), canonical(t, wantIDs); got != want {
+				t.Errorf("key-only rows =\n%s\nwant\n%s", got, want)
+			}
+			if koRevealed != libRevealed {
+				t.Errorf("key-only revealed %d pairs, semi-join revealed %d", koRevealed, libRevealed)
 			}
 		})
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/engine"
 )
@@ -23,7 +24,13 @@ func (p *Plan) SpecFor(step int, keys *engine.Client) (engine.JoinSpec, error) {
 		return engine.JoinSpec{}, fmt.Errorf("sql: plan has no step %d", step)
 	}
 	st := &p.Steps[step]
-	spec := engine.JoinSpec{Workers: p.Workers}
+	spec := engine.JoinSpec{
+		Workers: p.Workers,
+		// Key-only projections: a side whose payload the SELECT list
+		// never references skips payload shipping and opening entirely.
+		SkipPayloadA: st.Left.SkipPayload,
+		SkipPayloadB: st.Right.SkipPayload,
+	}
 	if st.Strategy != Prefiltered {
 		q, err := keys.NewQuery(st.Left.Sel, st.Right.Sel)
 		if err != nil {
@@ -74,11 +81,24 @@ type StepStream interface {
 	RevealedPairs() int
 }
 
+// StepInput is the runtime data Execute threads from one drained step
+// into the next — the semi-join reduction.
+type StepInput struct {
+	// CandidatesL restricts the step's left (shared/hub) table to these
+	// sorted row ids: exactly the rows the previous step matched, whose
+	// identities sigma(q) already revealed to the server. Nil means no
+	// restriction (the first step, or a plan with semi-join disabled).
+	CandidatesL []int
+}
+
 // StepRunner executes one pairwise encrypted join of a compiled plan.
 // internal/sql provides the in-process EngineRunner; internal/client
-// implements the wire twin over JoinRequest frames.
+// implements the wire twin over JoinRequest frames. Runners that
+// cannot honor in.CandidatesL (e.g. re-attaching pre-submitted jobs)
+// may ignore it — the stitch discards non-candidate rows client-side
+// either way, so results are identical, just slower.
 type StepRunner interface {
-	RunStep(p *Plan, step int) (StepStream, error)
+	RunStep(p *Plan, step int, in StepInput) (StepStream, error)
 }
 
 // ResultRow is one stitched result of an executed plan: per FROM-clause
@@ -119,15 +139,29 @@ func Execute(r StepRunner, p *Plan, emit func(ResultRow) error) (revealed int, e
 		// For stitch steps, index the intermediate by the shared (left)
 		// table's row number before draining the step.
 		var byRow map[int][]int // left row -> tuple positions
+		var in StepInput
 		if st.Stitch {
 			byRow = make(map[int][]int, len(tuples))
 			for ti := range tuples {
 				k := tuples[ti].Rows[li]
 				byRow[k] = append(byRow[k], ti)
 			}
+			if st.SemiJoin {
+				// Semi-join reduction: the keys of byRow are exactly the
+				// hub rows the previous step matched — ship them so the
+				// runner decrypts only those. Execute already broke out of
+				// the loop on an empty intermediate, so the list is never
+				// empty here (wire encoding cannot distinguish empty from
+				// absent).
+				in.CandidatesL = make([]int, 0, len(byRow))
+				for k := range byRow {
+					in.CandidatesL = append(in.CandidatesL, k)
+				}
+				sort.Ints(in.CandidatesL)
+			}
 		}
 
-		stream, err := r.RunStep(p, i)
+		stream, err := r.RunStep(p, i, in)
 		if err != nil {
 			return revealed, err
 		}
@@ -200,12 +234,13 @@ type EngineRunner struct {
 }
 
 // RunStep compiles one step and opens its engine JoinStream.
-func (r EngineRunner) RunStep(p *Plan, step int) (StepStream, error) {
+func (r EngineRunner) RunStep(p *Plan, step int, in StepInput) (StepStream, error) {
 	spec, err := p.SpecFor(step, r.Keys)
 	if err != nil {
 		return nil, err
 	}
 	spec.Batch = r.Batch
+	spec.CandidatesA = in.CandidatesL
 	st := &p.Steps[step]
 	js, err := r.Eng.OpenJoin(st.Left.Table, st.Right.Table, spec)
 	if err != nil {
@@ -228,13 +263,18 @@ func (s *engineStepStream) Next() ([]StepRow, error) {
 	}
 	out := make([]StepRow, len(rows))
 	for i, r := range rows {
-		pl, err := s.keys.OpenPayload(r.PayloadA)
-		if err != nil {
-			return nil, fmt.Errorf("sql: opening payload of %d: %w", r.RowA, err)
+		// A side executed key-only has no payload to open (nil from the
+		// engine's SkipPayload flags); its result column stays nil.
+		var pl, pr []byte
+		if len(r.PayloadA) > 0 {
+			if pl, err = s.keys.OpenPayload(r.PayloadA); err != nil {
+				return nil, fmt.Errorf("sql: opening payload of %d: %w", r.RowA, err)
+			}
 		}
-		pr, err := s.keys.OpenPayload(r.PayloadB)
-		if err != nil {
-			return nil, fmt.Errorf("sql: opening payload of %d: %w", r.RowB, err)
+		if len(r.PayloadB) > 0 {
+			if pr, err = s.keys.OpenPayload(r.PayloadB); err != nil {
+				return nil, fmt.Errorf("sql: opening payload of %d: %w", r.RowB, err)
+			}
 		}
 		out[i] = StepRow{RowL: r.RowA, RowR: r.RowB, PayloadL: pl, PayloadR: pr}
 	}

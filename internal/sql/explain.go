@@ -49,6 +49,11 @@ func (p *Plan) Describe() string {
 			fmt.Fprintf(&b, " (stitch on %s rows, client-side)", st.Left.Table)
 		}
 		b.WriteByte('\n')
+		if st.SemiJoin {
+			// The candidate count is runtime data (the previous step's
+			// matches), so EXPLAIN names the source step, not a number.
+			fmt.Fprintf(&b, "  semi-join: candidates from step %d — SJ.Dec only over %s rows the previous step matched\n", i, st.Left.Table)
+		}
 		describeSide(&b, "A", &st.Left, "  ")
 		describeSide(&b, "B", &st.Right, "  ")
 	}
@@ -110,6 +115,9 @@ func describeSide(b *strings.Builder, label string, sp *SidePlan, indent string)
 			parts[i] = fmt.Sprintf("%s (%d value(s))", pr.Column, pr.Values)
 		}
 		fmt.Fprintf(b, "%s  predicates: %s\n", indent, strings.Join(parts, ", "))
+	}
+	if sp.SkipPayload {
+		fmt.Fprintf(b, "%s  projection: key-only (payloads not shipped or decrypted)\n", indent)
 	}
 	if sp.Prefilter {
 		if sp.EstRows >= 0 {

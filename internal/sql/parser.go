@@ -7,7 +7,8 @@ import (
 
 // JoinQuery is the AST of one supported statement:
 //
-//	[EXPLAIN] SELECT * FROM <table> {, <table> | JOIN <table> ON <colRef> = <colRef>}
+//	[EXPLAIN] SELECT {* | <colRef> [, <colRef>]...}
+//	FROM <table> {, <table> | JOIN <table> ON <colRef> = <colRef>}
 //	[WHERE <conjunct> [AND <conjunct>]...]
 //
 // where each conjunct is either a predicate — <colRef> IN ('v', ...) or
@@ -19,6 +20,12 @@ import (
 type JoinQuery struct {
 	// Tables lists the FROM-clause tables in declaration order.
 	Tables []string
+	// Select lists an explicit SELECT list's column references in
+	// source order; nil means SELECT *. The planner uses it for
+	// key-only projections: a table whose non-join columns are never
+	// selected ships no payloads (see SidePlan.SkipPayload). Result
+	// rows always carry every table's row number either way.
+	Select []SelectCol
 	// Conds lists the equi-join conditions in source order.
 	Conds []JoinCond
 	// Predicates lists the WHERE conjuncts restricting single columns,
@@ -52,6 +59,14 @@ type Predicate struct {
 // ColRef is a qualified column reference.
 type ColRef struct {
 	Table, Column string
+}
+
+// SelectCol is one entry of an explicit SELECT list.
+type SelectCol struct {
+	ColRef
+	// Pos is the byte offset of the reference in the input, for error
+	// messages.
+	Pos int
 }
 
 // Parse parses one statement of the supported dialect.
@@ -111,13 +126,35 @@ func (p *parser) parseJoinQuery() (*JoinQuery, error) {
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
 	}
-	if _, err := p.expect(tokStar); err != nil {
-		return nil, fmt.Errorf("sql: only SELECT * is supported: %w", err)
+	var sel []SelectCol
+	if p.cur.kind == tokStar {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	} else {
+		// An explicit SELECT list: qualified column references only.
+		// Referencing just join columns (SELECT a.key, b.key) makes the
+		// query key-only — no payload is decrypted at all.
+		for {
+			pos := p.cur.pos
+			ref, err := p.parseColRef()
+			if err != nil {
+				return nil, fmt.Errorf("sql: SELECT list: %w", err)
+			}
+			sel = append(sel, SelectCol{ColRef: ref, Pos: pos})
+			if p.cur.kind == tokComma {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
 	}
 	if err := p.expectKeyword("FROM"); err != nil {
 		return nil, err
 	}
-	q := &JoinQuery{Explain: explain}
+	q := &JoinQuery{Explain: explain, Select: sel}
 
 	first, err := p.expect(tokIdent)
 	if err != nil {

@@ -13,8 +13,8 @@ import (
 // (schemas, row statistics, index flags, the worker hint). Compile
 // therefore memoizes plans under a canonical rendering of the parsed
 // statement, and every catalog mutation that could change a planning
-// decision — SetStats, SetIndexed, SetDefaultWorkers — clears the
-// cache. Dashboards and EXPLAIN's repeated-query workloads re-plan the
+// decision — SetStats, SetNDV, SetIndexed, SetDefaultWorkers,
+// SetSemiJoin — clears the cache. Dashboards and EXPLAIN's repeated-query workloads re-plan the
 // same handful of shapes between stat syncs; those compiles become a
 // map lookup.
 //
@@ -40,7 +40,17 @@ type planEntry struct {
 // hit diverge from a fresh compile.
 func canonicalKey(q *JoinQuery) string {
 	var b strings.Builder
-	b.WriteString("from:")
+	// SELECT * and an explicit list plan differently (key-only
+	// projections), so the list is part of the shape; "select:*" keeps
+	// pre-projection statements on their old slot.
+	b.WriteString("select:")
+	if q.Select == nil {
+		b.WriteByte('*')
+	}
+	for _, s := range q.Select {
+		fmt.Fprintf(&b, "%s.%s,", strings.ToLower(s.Table), strings.ToLower(s.Column))
+	}
+	b.WriteString(";from:")
 	for _, t := range q.Tables {
 		b.WriteString(strings.ToLower(t))
 		b.WriteByte(',')

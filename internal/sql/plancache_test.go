@@ -109,8 +109,44 @@ func TestPlanCacheNormalization(t *testing.T) {
 	}
 }
 
+// TestPlanCacheSelectSegment pins that the SELECT list is part of the
+// canonical key: a key-only projection and SELECT * are different
+// plans, while case and ordering of the same list coalesce.
+func TestPlanCacheSelectSegment(t *testing.T) {
+	cat := cacheCatalog(t)
+	if _, err := cat.Compile(cacheQuery); err != nil {
+		t.Fatal(err)
+	}
+	keyOnly := strings.Replace(cacheQuery, "SELECT *", "SELECT Teams.Key, Employees.Team", 1)
+	p, err := cat.Compile(keyOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cached {
+		t.Fatal("key-only projection hit the SELECT * cache slot")
+	}
+	if !p.SideA.SkipPayload || !p.SideB.SkipPayload {
+		t.Fatalf("key-only projection kept payloads: %v/%v", p.SideA.SkipPayload, p.SideB.SkipPayload)
+	}
+	// Same list, different case: one slot.
+	if p, err = cat.Compile(strings.Replace(cacheQuery, "SELECT *", "select TEAMS.key, employees.TEAM", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Cached {
+		t.Fatal("case variant of the SELECT list missed the cache")
+	}
+	// The original SELECT * slot is still warm and still ships payloads.
+	if p, err = cat.Compile(cacheQuery); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Cached || p.SideA.SkipPayload || p.SideB.SkipPayload {
+		t.Fatalf("SELECT * slot corrupted: cached=%v skip=%v/%v", p.Cached, p.SideA.SkipPayload, p.SideB.SkipPayload)
+	}
+}
+
 // TestPlanCacheInvalidation checks that every planning input clears the
-// cache: statistics, index flags, and the worker hint.
+// cache: statistics, index flags, the worker hint, and the semi-join
+// and NDV knobs.
 func TestPlanCacheInvalidation(t *testing.T) {
 	mutations := []struct {
 		name string
@@ -127,6 +163,12 @@ func TestPlanCacheInvalidation(t *testing.T) {
 			}
 		}},
 		{"SetDefaultWorkers", func(c *Catalog) { c.SetDefaultWorkers(7) }},
+		{"SetNDV", func(c *Catalog) {
+			if err := c.SetNDV("Teams", 9); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"SetSemiJoin", func(c *Catalog) { c.SetSemiJoin(false) }},
 	}
 	for _, m := range mutations {
 		t.Run(m.name, func(t *testing.T) {

@@ -34,6 +34,14 @@ type TableSchema struct {
 	// predicate is treated as selective. Sync it alongside Indexed from
 	// engine.Server.TableStats or client.DescribeTables.
 	RowCount int
+	// NDV is the table's distinct-join-value count (0 = unknown),
+	// computed client-side at encrypt time and echoed by
+	// TableStats/Describe. When present, the planner replaces the fixed
+	// defaultEqSelectivity guess with a per-value selectivity of 1/NDV —
+	// an approximation (the count is over the join column, predicates
+	// are over attributes), but one anchored to the table's real value
+	// diversity instead of a constant.
+	NDV int
 }
 
 // Catalog is the set of known table schemas, keyed case-insensitively.
@@ -44,6 +52,11 @@ type Catalog struct {
 	workers int
 	// met records planner decisions; nil-safe no-op until Instrument.
 	met sqlMetrics
+	// noSemiJoin disables the semi-join reduction on stitch steps
+	// (stored inverted so the zero-value catalog keeps it on — the
+	// reduction is leakage-neutral and strictly cheaper). See
+	// SetSemiJoin.
+	noSemiJoin bool
 
 	// Plan cache (see plancache.go): compiled plans keyed by normalized
 	// query shape, cleared whenever a catalog mutation could change a
@@ -145,6 +158,37 @@ func (c *Catalog) SetStats(name string, rows int, indexed bool) error {
 	return nil
 }
 
+// SetNDV records a table's distinct-join-value count, the statistic
+// that replaces the fixed per-value selectivity guess with 1/NDV (see
+// TableSchema.NDV). ndv <= 0 marks the count unknown. Kept separate
+// from SetStats so existing callers syncing rows+indexed keep their
+// signature.
+func (c *Catalog) SetNDV(name string, ndv int) error {
+	key := strings.ToLower(name)
+	s, ok := c.tables[key]
+	if !ok {
+		return fmt.Errorf("sql: unknown table %q", name)
+	}
+	if ndv < 0 {
+		ndv = 0
+	}
+	s.NDV = ndv
+	c.tables[key] = s
+	c.invalidatePlans()
+	return nil
+}
+
+// SetSemiJoin toggles the semi-join reduction: when on (the default),
+// every stitch step ships the hub rows matched by the previous step as
+// an explicit candidate list, so the server decrypts only those rows.
+// The list is a subset of the pairs sigma(q) already revealed, so the
+// reduction is leakage-neutral; turning it off reproduces the full
+// re-decryption behavior (useful for ablation benchmarks).
+func (c *Catalog) SetSemiJoin(enabled bool) {
+	c.noSemiJoin = !enabled
+	c.invalidatePlans()
+}
+
 // TableNames lists the catalog's declared table names, sorted.
 func (c *Catalog) TableNames() []string {
 	out := make([]string, 0, len(c.tables))
@@ -227,6 +271,13 @@ type SidePlan struct {
 	// Reason explains a full-scan decision for this side; empty when
 	// Prefilter is true.
 	Reason string
+	// SkipPayload marks a key-only side: the SELECT list never
+	// references the table's payload (or, for the left side of a stitch
+	// step, the stitcher takes the payload from the intermediate), so
+	// the step skips sealed-payload shipping and decryption for it
+	// entirely. Strictly leakage-reducing — the server learns only that
+	// fewer ciphertexts left the building.
+	SkipPayload bool
 }
 
 // Tokens is the number of SSE search tokens a prefiltered execution
@@ -265,6 +316,12 @@ type JoinStep struct {
 	Left, Right SidePlan
 	Strategy    Strategy
 	Stitch      bool
+	// SemiJoin marks a stitch step that ships the hub rows matched by
+	// the previous step as an explicit candidate list, so SJ.Dec runs
+	// only over rows sigma(q) already revealed (leakage-neutral: the
+	// list is a subset of the prior step's revealed pairs). Off when
+	// the catalog disabled the reduction (Catalog.SetSemiJoin).
+	SemiJoin bool
 }
 
 // Plan is a validated, executable query: the left-deep chain of
@@ -385,8 +442,31 @@ func (c *Catalog) PlanQuery(q *JoinQuery) (*Plan, error) {
 	}
 	for i, sp := range sides {
 		sp.Preds = predSummaries(counts[i])
-		sp.EstRows = estimateRows(sp.RowCount, sp.Preds)
+		sp.EstRows = estimateRows(sp.RowCount, schemas[i].NDV, sp.Preds)
 		chooseSide(sp)
+	}
+
+	// Key-only projections: with an explicit SELECT list, a table whose
+	// non-join columns are never referenced ships no payloads at all.
+	// SELECT * (nil list) keeps every payload, the legacy behavior.
+	if q.Select != nil {
+		needPayload := make([]bool, len(sides))
+		for _, ref := range q.Select {
+			i, ok := byName[strings.ToLower(ref.Table)]
+			if !ok {
+				return nil, fmt.Errorf("sql: SELECT references table %q, which is not part of the join (offset %d)", ref.Table, ref.Pos)
+			}
+			if strings.EqualFold(ref.Column, schemas[i].JoinColumn) {
+				continue // key reference: row identity only, no payload
+			}
+			if _, _, err := resolveAttr(schemas[i], ref.Column); err != nil {
+				return nil, err
+			}
+			needPayload[i] = true
+		}
+		for i, sp := range sides {
+			sp.SkipPayload = !needPayload[i]
+		}
 	}
 
 	// Adjacency over the join graph. Every table sharing an edge with a
@@ -413,6 +493,14 @@ func (c *Catalog) PlanQuery(q *JoinQuery) (*Plan, error) {
 	for n := 1; n < len(order); n++ {
 		left, right := sides[partners[n]], sides[order[n]]
 		step := JoinStep{Left: *left, Right: *right, Stitch: n > 1}
+		if step.Stitch {
+			step.SemiJoin = !c.noSemiJoin
+			// The stitcher always takes the hub's payload from the
+			// intermediate the earlier steps built, never from this
+			// step's pairs — the left payload of a stitch step is dead
+			// weight regardless of the SELECT list.
+			step.Left.SkipPayload = true
+		}
 		if left.Prefilter || right.Prefilter {
 			step.Strategy = Prefiltered
 		}
@@ -549,17 +637,22 @@ func betterSide(sides []*SidePlan) func(i, j int) bool {
 	}
 }
 
-// estimateRows applies the default selectivity model: rows surviving
-// the side's predicates, assuming each predicate value matches
-// defaultEqSelectivity of the table and different columns are
-// independent. Returns -1 when the row count is unknown.
-func estimateRows(rowCount int, preds []PredSummary) int {
+// estimateRows applies the selectivity model: rows surviving the
+// side's predicates, assuming each predicate value matches a fraction
+// 1/NDV of the table when the distinct-value count is known and
+// defaultEqSelectivity otherwise, with different columns independent.
+// Returns -1 when the row count is unknown.
+func estimateRows(rowCount, ndv int, preds []PredSummary) int {
 	if rowCount <= 0 {
 		return -1
 	}
+	perValue := defaultEqSelectivity
+	if ndv > 0 {
+		perValue = 1 / float64(ndv)
+	}
 	frac := 1.0
 	for _, p := range preds {
-		f := float64(p.Values) * defaultEqSelectivity
+		f := float64(p.Values) * perValue
 		if f > 1 {
 			f = 1
 		}

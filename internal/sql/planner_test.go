@@ -175,6 +175,165 @@ func TestJoinOrderUsesSelectivity(t *testing.T) {
 	}
 }
 
+// TestJoinOrderUsesNDV pins that distinct-value counts sharpen the
+// equality selectivity from the 0.1 default to 1/NDV — and that the
+// sharper estimate can flip the join order both ways.
+func TestJoinOrderUsesNDV(t *testing.T) {
+	// Baseline (no NDV): est(A) = 1000 * 0.1 = 100 > rows(C) = 50, so C
+	// joins before A.
+	cat := orderCatalog(t, 1000, 10, 50)
+	const q = `SELECT * FROM A, B, C WHERE A.k = B.k AND B.k = C.k AND A.c = 'x'`
+	plan, err := cat.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stepsString(plan); got != "B*C B*A+" {
+		t.Fatalf("steps without NDV = %q, want %q", got, "B*C B*A+")
+	}
+
+	// A column with 100 distinct values: est(A) = 1000/100 = 10 ties
+	// with rows(B) = 10, so A now anchors the chain ahead of C.
+	if err := cat.SetNDV("a", 100); err != nil {
+		t.Fatal(err) // case-insensitive lookup
+	}
+	if plan, err = cat.Compile(q); err != nil {
+		t.Fatal(err)
+	}
+	if got := stepsString(plan); got != "A*B B*C+" {
+		t.Fatalf("steps with NDV=100 = %q, want %q", got, "A*B B*C+")
+	}
+
+	// Few distinct values make equality *less* selective than the
+	// default: est(A) = 1000/2 = 500 > 50 keeps C first.
+	if err := cat.SetNDV("A", 2); err != nil {
+		t.Fatal(err)
+	}
+	if plan, err = cat.Compile(q); err != nil {
+		t.Fatal(err)
+	}
+	if got := stepsString(plan); got != "B*C B*A+" {
+		t.Fatalf("steps with NDV=2 = %q, want %q", got, "B*C B*A+")
+	}
+
+	if err := cat.SetNDV("Nope", 5); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+}
+
+// TestEstimateRowsNDV pins the estimator arithmetic itself.
+func TestEstimateRowsNDV(t *testing.T) {
+	eq := func(vals int) []PredSummary { return []PredSummary{{Column: "c", Values: vals}} }
+	cases := []struct {
+		rows, ndv int
+		preds     []PredSummary
+		want      int
+	}{
+		{rows: 1000, ndv: 0, preds: eq(1), want: 100},  // default 0.1
+		{rows: 1000, ndv: 100, preds: eq(1), want: 10}, // 1/NDV
+		{rows: 1000, ndv: 100, preds: eq(3), want: 30}, // IN scales per value
+		{rows: 1000, ndv: 2, preds: eq(5), want: 1000}, // saturates at the table
+		{rows: 0, ndv: 100, preds: eq(1), want: -1},    // unknown rows stay unknown
+		{rows: 1000, ndv: 100, preds: nil, want: 1000}, // no predicates
+	}
+	for _, c := range cases {
+		if got := estimateRows(c.rows, c.ndv, c.preds); got != c.want {
+			t.Errorf("estimateRows(%d, %d, %+v) = %d, want %d", c.rows, c.ndv, c.preds, got, c.want)
+		}
+	}
+}
+
+// TestSetSemiJoin pins the catalog knob: semi-join candidate
+// propagation is on by default, toggles off and back on, and only ever
+// marks stitch steps.
+func TestSetSemiJoin(t *testing.T) {
+	cat := orderCatalog(t, 1000, 10, 100)
+	const q = `SELECT * FROM A, B, C WHERE A.k = B.k AND B.k = C.k`
+	plan, err := cat.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Steps[0].SemiJoin || !plan.Steps[1].SemiJoin {
+		t.Fatalf("default semi-join flags = %v/%v, want false/true",
+			plan.Steps[0].SemiJoin, plan.Steps[1].SemiJoin)
+	}
+	// The stitch step's hub payloads are discarded client-side, so the
+	// planner always skips them, whatever the SELECT list.
+	if !plan.Steps[1].Left.SkipPayload {
+		t.Fatal("stitch step's hub side should skip payloads")
+	}
+
+	cat.SetSemiJoin(false)
+	if plan, err = cat.Compile(q); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Steps[1].SemiJoin {
+		t.Fatal("SetSemiJoin(false) did not disable candidate propagation")
+	}
+	cat.SetSemiJoin(true)
+	if plan, err = cat.Compile(q); err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Steps[1].SemiJoin {
+		t.Fatal("SetSemiJoin(true) did not restore candidate propagation")
+	}
+}
+
+// TestSelectListProjection pins the key-only projection planning: a
+// side whose payload columns never appear in the SELECT list is marked
+// SkipPayload, and unknown references fail compilation.
+func TestSelectListProjection(t *testing.T) {
+	cat := orderCatalog(t, 1000, 10, 100)
+
+	// Join-column-only SELECT: every side is key-only.
+	plan, err := cat.Compile(`SELECT A.k, B.k, C.k FROM A, B, C WHERE A.k = B.k AND B.k = C.k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range plan.Steps {
+		if !st.Left.SkipPayload || !st.Right.SkipPayload {
+			t.Fatalf("key-only SELECT left payloads on: %s*%s = %v/%v",
+				st.Left.Table, st.Right.Table, st.Left.SkipPayload, st.Right.SkipPayload)
+		}
+	}
+
+	// Referencing an attribute keeps that side's payloads.
+	plan, err = cat.Compile(`SELECT A.c, B.k, C.k FROM A, B, C WHERE A.k = B.k AND B.k = C.k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range plan.Steps {
+		st := st
+		for i, sp := range []*SidePlan{&st.Left, &st.Right} {
+			// The stitched hub's payloads are discarded client-side, so
+			// its left slot stays key-only regardless.
+			if st.Stitch && i == 0 {
+				continue
+			}
+			wantSkip := sp.Table != "A"
+			if sp.SkipPayload != wantSkip {
+				t.Fatalf("side %s SkipPayload = %v, want %v", sp.Table, sp.SkipPayload, wantSkip)
+			}
+		}
+	}
+
+	// SELECT * keeps every non-stitch payload.
+	plan, err = cat.Compile(`SELECT * FROM A JOIN B ON A.k = B.k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Steps[0].Left.SkipPayload || plan.Steps[0].Right.SkipPayload {
+		t.Fatal("SELECT * should not skip payloads")
+	}
+
+	if _, err = cat.Compile(`SELECT D.c FROM A JOIN B ON A.k = B.k`); err == nil ||
+		!strings.Contains(err.Error(), "not part of the join") {
+		t.Fatalf("SELECT of foreign table accepted: %v", err)
+	}
+	if _, err = cat.Compile(`SELECT A.nope FROM A JOIN B ON A.k = B.k`); err == nil {
+		t.Fatal("SELECT of unknown column accepted")
+	}
+}
+
 // TestJoinOrderDeclarationFallback pins the no-statistics behavior: the
 // chain follows the FROM clause and says so.
 func TestJoinOrderDeclarationFallback(t *testing.T) {

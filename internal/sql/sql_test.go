@@ -81,6 +81,35 @@ func TestParseRejectsDuplicateTables(t *testing.T) {
 	}
 }
 
+// TestParseSelectList pins the projection grammar: SELECT * leaves
+// Select nil, an explicit list records each qualified reference with
+// its byte offset.
+func TestParseSelectList(t *testing.T) {
+	q, err := Parse(`SELECT * FROM A JOIN B ON A.k = B.k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Select != nil {
+		t.Fatalf("SELECT * produced a projection list: %+v", q.Select)
+	}
+
+	q, err = Parse(`SELECT A.k, B.c FROM A JOIN B ON A.k = B.k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 2 {
+		t.Fatalf("projection list = %+v", q.Select)
+	}
+	if q.Select[0].ColRef != (ColRef{"A", "k"}) || q.Select[1].ColRef != (ColRef{"B", "c"}) {
+		t.Fatalf("projection refs = %+v", q.Select)
+	}
+	// Offsets point into the statement: "A.k" starts right after
+	// "SELECT ".
+	if q.Select[0].Pos != 7 {
+		t.Fatalf("first projection offset = %d, want 7", q.Select[0].Pos)
+	}
+}
+
 func TestParseNoWhere(t *testing.T) {
 	q, err := Parse(`SELECT * FROM A JOIN B ON A.k = B.k`)
 	if err != nil {
@@ -120,9 +149,12 @@ func TestParseNumberLiteral(t *testing.T) {
 func TestParseErrors(t *testing.T) {
 	cases := []string{
 		``,
-		`SELECT a FROM A JOIN B ON A.k = B.k`, // projection list unsupported
-		`SELECT * FROM A`,                     // single table
-		`SELECT * FROM A JOIN B ON k = B.k`,   // unqualified column
+		`SELECT a FROM A JOIN B ON A.k = B.k`,          // unqualified projection column
+		`SELECT * FROM A`,                              // single table
+		`SELECT FROM A JOIN B ON A.k = B.k`,            // empty projection list
+		`SELECT A.k, FROM A JOIN B ON A.k = B.k`,       // dangling comma in list
+		`SELECT *, A.k FROM A JOIN B ON A.k = B.k`,     // star mixed with columns
+		`SELECT * FROM A JOIN B ON k = B.k`,            // unqualified column
 		`SELECT * FROM A JOIN B ON A.k = B.k WHERE`,    // dangling WHERE
 		`SELECT * FROM A JOIN B ON A.k = B.k trailing`, // trailing garbage
 		`SELECT * FROM A JOIN B ON A.k = B.k WHERE A.c IN ()`,

@@ -121,6 +121,12 @@ type SubmitRequest struct {
 // and joins the shard exactly like a whole table — and gob-additive:
 // their zero values (0, 0) are what unsharded clients always sent, so
 // no version bump.
+//
+// NDV, on the Commit chunk, carries the table's distinct-join-value
+// count, computed client-side at encrypt time (only the key owner sees
+// plaintext join values). It is planner metadata echoed back by
+// Describe; gob-additive — 0 (unknown) is what older clients always
+// sent.
 type UploadRequest struct {
 	Table      string
 	Rows       []UploadRow
@@ -129,6 +135,7 @@ type UploadRequest struct {
 	Index      []byte
 	Shard      int
 	ShardCount int
+	NDV        int
 }
 
 // UploadRow is one encrypted row: the Secure Join ciphertext and the
@@ -151,11 +158,26 @@ type UploadRow struct {
 // zero-valued when absent, so requests from clients that predate them
 // execute exactly the v2 full-scan, server-paced join — no handshake
 // or version change.
+//
+// CandidatesA/B optionally restrict a side to an explicit row-id list
+// — the semi-join reduction: a multi-join executor ships the hub rows
+// matched by the previous plan step so SJ.Dec runs only over them,
+// intersected with any SSE prefilter on the same side. A non-empty
+// list is a restriction; empty means none (executors never ship an
+// empty list — an empty intermediate short-circuits the plan client-
+// side instead). SkipPayloadA/B ask the server to omit that side's
+// sealed payloads from the result rows (key-only projection). All four
+// are gob-additive exactly like PrefilterA/B: their zero values are
+// what older clients always sent, so no version bump.
 type JoinRequest struct {
 	TableA, TableB         string
 	TokenA, TokenB         []byte
 	PrefilterA, PrefilterB []byte
 	Workers                int
+	CandidatesA            []int
+	CandidatesB            []int
+	SkipPayloadA           bool
+	SkipPayloadB           bool
 }
 
 // Frame is one server→client message. ID echoes the request it belongs
@@ -305,12 +327,15 @@ type TableList struct {
 // Shard/ShardCount echo the annotations of a sharded upload (zero for
 // whole tables — gob-additive, like the Shard fields on UploadRequest),
 // so a cluster client can verify which hash-partition a backend holds.
+// NDV echoes the distinct-join-value count of the upload (0 = unknown;
+// gob-additive), feeding the planner's per-value selectivity estimate.
 type TableInfo struct {
 	Name       string
 	Rows       int
 	Indexed    bool
 	Shard      int
 	ShardCount int
+	NDV        int
 }
 
 // Conn frames gob messages over a byte stream: each message is a
